@@ -1,0 +1,30 @@
+"""Shared benchmark helpers.
+
+Every bench regenerates one paper table/figure: it times the full
+experiment, prints the same rows the paper reports (visible with
+``pytest benchmarks/ --benchmark-only -s``), attaches them to the
+benchmark's ``extra_info``, and asserts the paper's qualitative shape.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def record_result(benchmark):
+    """Attach an ExperimentResult to the benchmark and print it."""
+
+    def _record(result):
+        benchmark.extra_info["experiment"] = result.name
+        benchmark.extra_info["table"] = result.format()
+        print()
+        print(result.format())
+        return result
+
+    return _record
+
+
+def clear_sweep_cache():
+    """Force sweep-based figures to do real work under the timer."""
+    from repro.experiments.paper_sweep import run_sweep
+
+    run_sweep.cache_clear()

@@ -1,0 +1,105 @@
+"""Ablation: Willow vs independent / centralized / thermal-blind control.
+
+Quantifies each ingredient of the design: coordination (vs independent
+per-server control), hierarchy (vs a flat centralized matcher), and
+the Eq. 3 thermal caps (vs a thermally blind controller).
+"""
+
+import numpy as np
+
+from repro.baselines import run_centralized, run_independent, run_no_thermal
+from repro.core import WillowConfig, WillowController
+from repro.power import constant_supply
+from repro.sim import RandomStreams
+from repro.topology import build_paper_simulation
+from repro.workload import (
+    SIMULATION_APPS,
+    random_placement,
+    scale_for_target_utilization,
+)
+
+HOT = {f"server-{i}": 40.0 for i in range(15, 19)}
+SEED = 8
+TICKS = 50
+
+
+def fresh_inputs():
+    tree = build_paper_simulation()
+    config = WillowConfig()
+    streams = RandomStreams(SEED)
+    placement = random_placement(
+        [s.node_id for s in tree.servers()], SIMULATION_APPS, streams["placement"]
+    )
+    scale_for_target_utilization(placement, config.server_model.slope, 0.6)
+    return tree, config, constant_supply(18 * 450.0), placement
+
+
+def run_all():
+    outcomes = {}
+
+    tree, config, supply, placement = fresh_inputs()
+    willow = WillowController(
+        tree, config, supply, placement, ambient_overrides=HOT, seed=SEED
+    )
+    collector = willow.run(TICKS)
+    outcomes["willow"] = {
+        "dropped": collector.total_dropped_power(),
+        "violations": sum(s.thermal.violations for s in willow.servers.values()),
+        "worst_link_msgs": max(
+            collector.messages_per_link_per_tick().values()
+        ),
+    }
+
+    tree, config, supply, placement = fresh_inputs()
+    independent = run_independent(
+        tree, config, supply, placement, n_ticks=TICKS, seed=SEED,
+        ambient_overrides=HOT,
+    )
+    outcomes["independent"] = {
+        "dropped": independent.total_dropped_power(),
+        "violations": 0,
+        "worst_link_msgs": 0,
+    }
+
+    tree, config, supply, placement = fresh_inputs()
+    centralized = run_centralized(
+        tree, config, supply, placement, n_ticks=TICKS, seed=SEED,
+        ambient_overrides=HOT,
+    )
+    outcomes["centralized"] = {
+        "dropped": centralized.total_dropped_power(),
+        "violations": 0,
+        "root_msgs_per_tick": sum(1 for m in centralized.messages if m.upward)
+        / TICKS,
+    }
+
+    tree, config, supply, placement = fresh_inputs()
+    _collector, violations = run_no_thermal(
+        tree, config, supply, placement, n_ticks=TICKS, seed=SEED,
+        ambient_overrides=HOT,
+    )
+    outcomes["no_thermal"] = {"violations": violations}
+    return outcomes
+
+
+def test_bench_ablation_baselines(benchmark):
+    outcomes = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    benchmark.extra_info["outcomes"] = outcomes
+    print()
+    for name, stats in outcomes.items():
+        print(f"{name:12s} {stats}")
+
+    # Coordination wins: Willow drops far less than independent control.
+    assert outcomes["willow"]["dropped"] < 0.8 * outcomes["independent"]["dropped"]
+    # Thermal caps matter: the blind controller violates; Willow never.
+    assert outcomes["willow"]["violations"] == 0
+    assert outcomes["no_thermal"]["violations"] > 0
+    # Hierarchy matters for message load: Willow keeps <= 2 per link,
+    # centralized pushes one message per server through the root.
+    assert outcomes["willow"]["worst_link_msgs"] <= 2
+    assert outcomes["centralized"]["root_msgs_per_tick"] == 18
+    # Property 2 flavour: hierarchical matching is not materially worse
+    # than the centralized matcher on served demand.
+    assert outcomes["willow"]["dropped"] <= 2.0 * max(
+        outcomes["centralized"]["dropped"], 1.0
+    ) + 0.05 * outcomes["independent"]["dropped"]

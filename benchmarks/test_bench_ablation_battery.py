@@ -1,0 +1,75 @@
+"""Ablation: UPS sizing (the paper's "leaner design" trade-off).
+
+Sec. I motivates Willow with "under-engineering uninterrupted power
+supplies"; Sec. IV-C grounds the supply time constants in storage that
+"integrates out" short deficits.  This bench sweeps the battery size
+under a flapping supply and quantifies the QoS a leaner UPS costs --
+the gap Willow then has to close by adaptation.
+"""
+
+import numpy as np
+
+from repro.core import WillowConfig, WillowController
+from repro.power import Battery, buffer_supply, step_supply
+from repro.sim import RandomStreams
+from repro.topology import build_paper_simulation
+from repro.workload import (
+    SIMULATION_APPS,
+    random_placement,
+    scale_for_target_utilization,
+)
+
+NOMINAL = 18 * 450.0
+TICKS = 60
+
+
+def flapping_supply():
+    segments = [
+        (float(4 * i), NOMINAL if i % 2 == 0 else 0.55 * NOMINAL)
+        for i in range(15)
+    ]
+    return step_supply(segments)
+
+
+def run_with_battery(capacity: float | None, seed: int = 31):
+    raw = flapping_supply()
+    if capacity is None:
+        trace = raw
+    else:
+        battery = Battery(capacity=capacity, max_rate=NOMINAL, efficiency=0.95)
+        trace = buffer_supply(raw, battery, duration=float(TICKS), horizon=12.0)
+    tree = build_paper_simulation()
+    config = WillowConfig()
+    streams = RandomStreams(seed)
+    placement = random_placement(
+        [s.node_id for s in tree.servers()], SIMULATION_APPS, streams["placement"]
+    )
+    scale_for_target_utilization(placement, config.server_model.slope, 0.6)
+    controller = WillowController(tree, config, trace, placement, seed=seed)
+    collector = controller.run(TICKS)
+    return {
+        "dropped": collector.total_dropped_power(),
+        "served": collector.total_energy(),
+        "migrations": collector.migration_count(),
+    }
+
+
+def test_bench_ablation_battery_sizing(benchmark):
+    capacities = {"none": None, "lean": 1_000.0, "full": 10_000.0}
+    results = benchmark.pedantic(
+        lambda: {name: run_with_battery(c) for name, c in capacities.items()},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["results"] = results
+    print()
+    for name, stats in results.items():
+        print(
+            f"UPS {name:5s} dropped={stats['dropped']:9.0f} "
+            f"served={stats['served']:9.0f} migs={stats['migrations']}"
+        )
+    # More storage, less QoS loss -- monotone across the sweep.
+    assert results["full"]["dropped"] < results["lean"]["dropped"]
+    assert results["lean"]["dropped"] < results["none"]["dropped"]
+    # And more demand actually served.
+    assert results["full"]["served"] > results["none"]["served"]

@@ -1,0 +1,61 @@
+"""Ablation: local-first matching vs flat (global) matching.
+
+Sec. IV-E prefers local migrations for their lower network impact.
+This ablation runs identical workloads with the locality preference on
+and off and compares the network footprint of the migrations.
+"""
+
+import numpy as np
+
+from repro.core import WillowConfig, WillowController
+from repro.network.paths import mean_migration_hops
+from repro.power import constant_supply
+from repro.sim import RandomStreams
+from repro.topology import build_paper_simulation
+from repro.workload import (
+    SIMULATION_APPS,
+    random_placement,
+    scale_for_target_utilization,
+)
+
+HOT = {f"server-{i}": 40.0 for i in range(15, 19)}
+
+
+def run_variant(local_first: bool, seed: int = 13):
+    config = WillowConfig(local_first=local_first)
+    tree = build_paper_simulation()
+    streams = RandomStreams(seed)
+    placement = random_placement(
+        [s.node_id for s in tree.servers()], SIMULATION_APPS, streams["placement"]
+    )
+    scale_for_target_utilization(placement, config.server_model.slope, 0.6)
+    controller = WillowController(
+        tree,
+        config,
+        constant_supply(18 * 450.0),
+        placement,
+        ambient_overrides=HOT,
+        seed=seed,
+    )
+    return controller.run(60)
+
+
+def test_bench_ablation_locality(benchmark):
+    def run_both():
+        return run_variant(True), run_variant(False)
+
+    local, flat = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    # Locality preference keeps migrations near their source.
+    assert local.local_fraction() > flat.local_fraction()
+    assert mean_migration_hops(local) < mean_migration_hops(flat)
+    # Both variants keep serving (sanity).
+    assert local.migration_count() > 0 and flat.migration_count() > 0
+    benchmark.extra_info["local_fraction_local_first"] = local.local_fraction()
+    benchmark.extra_info["local_fraction_flat"] = flat.local_fraction()
+    benchmark.extra_info["mean_hops_local_first"] = mean_migration_hops(local)
+    benchmark.extra_info["mean_hops_flat"] = mean_migration_hops(flat)
+    print(
+        f"\nlocal-first: {local.local_fraction():.2f} local, "
+        f"{mean_migration_hops(local):.2f} hops | flat: "
+        f"{flat.local_fraction():.2f} local, {mean_migration_hops(flat):.2f} hops"
+    )

@@ -1,0 +1,60 @@
+"""Ablation: the power margin P_min (Sec. IV-E ping-pong avoidance).
+
+Larger margins suppress migration churn (and bouncing), at the cost of
+leaving more demand unmatched.  The bench sweeps P_min and checks the
+trade-off the paper's design argues for.
+"""
+
+from repro.core import WillowConfig, WillowController
+from repro.metrics import count_ping_pongs
+from repro.power import constant_supply
+from repro.sim import RandomStreams
+from repro.topology import build_paper_simulation
+from repro.workload import (
+    SIMULATION_APPS,
+    random_placement,
+    scale_for_target_utilization,
+)
+
+HOT = {f"server-{i}": 40.0 for i in range(15, 19)}
+MARGINS = (0.0, 10.0, 30.0, 60.0)
+
+
+def run_variant(p_min: float, seed: int = 13):
+    config = WillowConfig(p_min=p_min)
+    tree = build_paper_simulation()
+    streams = RandomStreams(seed)
+    placement = random_placement(
+        [s.node_id for s in tree.servers()], SIMULATION_APPS, streams["placement"]
+    )
+    scale_for_target_utilization(placement, config.server_model.slope, 0.6)
+    controller = WillowController(
+        tree,
+        config,
+        constant_supply(18 * 450.0),
+        placement,
+        ambient_overrides=HOT,
+        seed=seed,
+    )
+    collector = controller.run(60)
+    return {
+        "migrations": collector.migration_count(),
+        "ping_pongs": count_ping_pongs(controller.vms, window=10.0),
+        "dropped": collector.total_dropped_power(),
+    }
+
+
+def test_bench_ablation_margin_sweep(benchmark):
+    results = benchmark.pedantic(
+        lambda: {m: run_variant(m) for m in MARGINS}, rounds=1, iterations=1
+    )
+    benchmark.extra_info["sweep"] = {str(k): v for k, v in results.items()}
+    print()
+    for margin, stats in results.items():
+        print(f"P_min={margin:5.1f}  {stats}")
+    # A generous margin damps churn: far fewer migrations than no margin.
+    assert results[60.0]["migrations"] < results[0.0]["migrations"]
+    # Bouncing never increases with margin.
+    assert results[60.0]["ping_pongs"] <= results[0.0]["ping_pongs"]
+    # The cost: more demand goes unmatched (throttled) at large margins.
+    assert results[60.0]["dropped"] >= results[0.0]["dropped"]

@@ -1,0 +1,108 @@
+"""Ablation: FFDLR vs first-fit / FFD / BFD / worst-fit.
+
+Checks the two reasons the paper gives for choosing FFDLR: speed
+(O(n log n), "simple to implement with guaranteed bounds") and the
+repack-into-smallest-bins behaviour that empties servers for
+consolidation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.binpack import (
+    Bin,
+    Item,
+    best_fit_decreasing,
+    ffdlr_pack,
+    first_fit,
+    first_fit_decreasing,
+    ffd_bin_count,
+    optimal_bin_count,
+    worst_fit,
+)
+
+PACKERS = {
+    "ffdlr": ffdlr_pack,
+    "first_fit": first_fit,
+    "ffd": first_fit_decreasing,
+    "bfd": best_fit_decreasing,
+    "worst_fit": worst_fit,
+}
+
+
+def random_instances(n_instances=60, seed=7):
+    rng = np.random.default_rng(seed)
+    instances = []
+    for _ in range(n_instances):
+        n_items = int(rng.integers(5, 25))
+        n_bins = int(rng.integers(3, 12))
+        sizes = rng.uniform(5.0, 120.0, size=n_items)
+        capacities = rng.uniform(50.0, 300.0, size=n_bins)
+        instances.append((sizes, capacities))
+    return instances
+
+
+def pack_all(packer, instances):
+    stats = {"unpacked": 0.0, "bins_used": 0, "offered": 0.0}
+    for sizes, capacities in instances:
+        items = [Item(i, float(s)) for i, s in enumerate(sizes)]
+        bins = [Bin(j, float(c)) for j, c in enumerate(capacities)]
+        result = packer(items, bins)
+        stats["unpacked"] += sum(item.size for item in result.unpacked)
+        stats["bins_used"] += result.bins_used
+        stats["offered"] += float(np.sum(sizes))
+    return stats
+
+
+def test_bench_ablation_packer_quality(benchmark):
+    instances = random_instances()
+    results = benchmark.pedantic(
+        lambda: {name: pack_all(p, instances) for name, p in PACKERS.items()},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for name, stats in results.items():
+        packed = 1.0 - stats["unpacked"] / stats["offered"]
+        print(f"{name:10s} packed={packed:.3%} bins_used={stats['bins_used']}")
+    benchmark.extra_info["results"] = results
+    # FFDLR packs at least as much demand as first-fit (arrival order).
+    assert results["ffdlr"]["unpacked"] <= results["first_fit"]["unpacked"] + 1e-6
+    # And never strands more than the best baseline by over 2 % of offer.
+    best = min(stats["unpacked"] for name, stats in results.items() if name != "ffdlr")
+    assert results["ffdlr"]["unpacked"] <= best + 0.02 * results["ffdlr"]["offered"]
+
+
+def test_bench_ffd_bound_on_random_instances(benchmark):
+    rng = np.random.default_rng(21)
+    instances = [rng.uniform(0.05, 1.0, size=int(rng.integers(3, 13))) for _ in range(40)]
+
+    def check_all():
+        worst_ratio = 0.0
+        for sizes in instances:
+            used = ffd_bin_count(sizes, 1.0)
+            optimal = optimal_bin_count(sizes, 1.0)
+            assert used <= 1.5 * optimal + 1
+            worst_ratio = max(worst_ratio, used / optimal)
+        return worst_ratio
+
+    worst = benchmark.pedantic(check_all, rounds=1, iterations=1)
+    benchmark.extra_info["worst_ffd_over_opt"] = worst
+    assert worst <= 1.5 + 1  # loose numeric echo of the bound
+    print(f"\nworst FFD/OPT ratio observed: {worst:.3f}")
+
+
+def test_bench_ffdlr_speed_scaling(benchmark):
+    """FFDLR on a large instance -- the O(n log n) speed claim."""
+    rng = np.random.default_rng(3)
+    sizes = rng.uniform(1.0, 50.0, size=2000)
+    capacities = rng.uniform(100.0, 400.0, size=300)
+
+    def pack_once():
+        items = [Item(i, float(s)) for i, s in enumerate(sizes)]
+        bins = [Bin(j, float(c)) for j, c in enumerate(capacities)]
+        return ffdlr_pack(items, bins)
+
+    result = benchmark(pack_once)
+    result.validate()
+    assert result.packed_size > 0

@@ -1,0 +1,56 @@
+"""Ablation: the Eq. 4 smoothing weight alpha.
+
+Without smoothing (alpha = 1) budgets chase per-tick Poisson noise and
+the controller churns; the paper's "simple exponential smoothing is
+often adequate" claim shows up as fewer migrations at moderate alpha.
+"""
+
+from repro.core import WillowConfig, WillowController
+from repro.power import constant_supply
+from repro.sim import RandomStreams
+from repro.topology import build_paper_simulation
+from repro.workload import (
+    SIMULATION_APPS,
+    random_placement,
+    scale_for_target_utilization,
+)
+
+HOT = {f"server-{i}": 40.0 for i in range(15, 19)}
+ALPHAS = (0.2, 0.5, 1.0)
+
+
+def run_variant(alpha: float, seed: int = 13):
+    config = WillowConfig(alpha=alpha)
+    tree = build_paper_simulation()
+    streams = RandomStreams(seed)
+    placement = random_placement(
+        [s.node_id for s in tree.servers()], SIMULATION_APPS, streams["placement"]
+    )
+    scale_for_target_utilization(placement, config.server_model.slope, 0.6)
+    controller = WillowController(
+        tree,
+        config,
+        constant_supply(18 * 450.0),
+        placement,
+        ambient_overrides=HOT,
+        seed=seed,
+    )
+    collector = controller.run(60)
+    return {
+        "migrations": collector.migration_count(),
+        "dropped": collector.total_dropped_power(),
+    }
+
+
+def test_bench_ablation_smoothing(benchmark):
+    results = benchmark.pedantic(
+        lambda: {a: run_variant(a) for a in ALPHAS}, rounds=1, iterations=1
+    )
+    benchmark.extra_info["sweep"] = {str(k): v for k, v in results.items()}
+    print()
+    for alpha, stats in results.items():
+        print(f"alpha={alpha:.1f}  {stats}")
+    # No smoothing churns more than the paper-style moderate smoothing.
+    assert results[1.0]["migrations"] > results[0.5]["migrations"]
+    # And loses more demand to budget noise.
+    assert results[1.0]["dropped"] > results[0.5]["dropped"]

@@ -1,0 +1,76 @@
+"""Extension bench: cooling-aware (holistic) budgets vs cooling-blind.
+
+On a hot day a cooling-blind controller budgets the full facility feed
+to IT and the facility overdraws (IT + cooling > feed); the holistic
+controller pre-subtracts the cooling share.  The bench quantifies the
+overdraw avoided.
+"""
+
+import numpy as np
+
+from repro.cooling import CoolingModel, effective_it_budget, facility_report
+from repro.core import WillowConfig, WillowController
+from repro.power import constant_supply
+from repro.sim import RandomStreams
+from repro.topology import build_paper_simulation
+from repro.workload import (
+    SIMULATION_APPS,
+    random_placement,
+    scale_for_target_utilization,
+)
+
+HOT_DAY = 35.0
+FEED = 18 * 450.0  # facility feed in watts
+TICKS = 40
+
+
+def run_variant(cooling_aware: bool, seed: int = 14):
+    cooling = CoolingModel()
+    config = WillowConfig()
+    tree = build_paper_simulation()
+    streams = RandomStreams(seed)
+    placement = random_placement(
+        [s.node_id for s in tree.servers()], SIMULATION_APPS, streams["placement"]
+    )
+    scale_for_target_utilization(placement, config.server_model.slope, 0.7)
+    it_budget = (
+        effective_it_budget(FEED, cooling, HOT_DAY) if cooling_aware else FEED
+    )
+    controller = WillowController(
+        tree, config, constant_supply(it_budget), placement, seed=seed
+    )
+    collector = controller.run(TICKS)
+    report = facility_report(collector, cooling, HOT_DAY)
+    # Facility draw per tick = IT + cooling.
+    per_tick_draw = report.total_energy / TICKS
+    return {
+        "facility_draw": per_tick_draw,
+        "overdraw": max(per_tick_draw - FEED, 0.0),
+        "it_energy": report.it_energy,
+        "pue": report.mean_pue,
+    }
+
+
+def test_bench_extension_cooling_awareness(benchmark):
+    results = benchmark.pedantic(
+        lambda: {
+            "holistic": run_variant(True),
+            "blind": run_variant(False),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["results"] = results
+    print()
+    for name, stats in results.items():
+        print(
+            f"{name:9s} facility={stats['facility_draw']:7.0f} W  "
+            f"overdraw={stats['overdraw']:6.0f} W  PUE={stats['pue']:.2f}"
+        )
+    holistic, blind = results["holistic"], results["blind"]
+    # The holistic controller keeps the facility within its feed...
+    assert holistic["overdraw"] <= 1e-6
+    # ...the blind one overdraws on a hot day at high utilization.
+    assert blind["overdraw"] > 0.0
+    # Both see the same physics (same PUE at the same outside temp).
+    assert abs(holistic["pue"] - blind["pue"]) < 1e-9

@@ -1,0 +1,49 @@
+"""Extension bench: multiple QoS classes (the paper's future work).
+
+Asserts the priority ladder: under a supply collapse, loss fractions
+order gold <= silver <= bronze.
+"""
+
+from repro.core import WillowConfig, WillowController
+from repro.power import step_supply
+from repro.qos import per_class_report, tiered_catalog
+from repro.sim import RandomStreams
+from repro.topology import build_paper_simulation
+from repro.workload import (
+    SIMULATION_APPS,
+    random_placement,
+    scale_for_target_utilization,
+)
+
+
+def run_scenario(seed: int = 17):
+    config = WillowConfig()
+    tree = build_paper_simulation()
+    streams = RandomStreams(seed)
+    placement = random_placement(
+        [s.node_id for s in tree.servers()],
+        tuple(tiered_catalog(SIMULATION_APPS)),
+        streams["placement"],
+        vms_per_server=6,
+    )
+    scale_for_target_utilization(placement, config.server_model.slope, 0.65)
+    supply = step_supply([(0.0, 18 * 450.0), (30.0, 18 * 200.0)])
+    controller = WillowController(tree, config, supply, placement, seed=seed)
+    collector = controller.run(80)
+    return per_class_report(collector, controller.vms, scale=controller.placement.scale)
+
+
+def test_bench_extension_qos_priority_ladder(benchmark):
+    report = benchmark.pedantic(run_scenario, rounds=1, iterations=1)
+    benchmark.extra_info["loss"] = {
+        name: tier.loss_fraction for name, tier in report.items()
+    }
+    print()
+    for name in ("gold", "silver", "bronze"):
+        tier = report[name]
+        print(f"{name:>7}: loss {tier.loss_fraction:.1%}")
+    assert report["gold"].loss_fraction <= report["silver"].loss_fraction
+    assert report["silver"].loss_fraction <= report["bronze"].loss_fraction
+    assert report["bronze"].dropped > 0
+    # Gold keeps the vast majority of its service through the collapse.
+    assert report["gold"].loss_fraction < 0.35

@@ -1,0 +1,17 @@
+"""Bench: Fig. 4 -- thermal constant selection curves."""
+
+import numpy as np
+
+from repro.experiments import fig04_thermal
+
+
+def test_bench_fig04_thermal_constants(benchmark, record_result):
+    result = benchmark.pedantic(fig04_thermal.run, rounds=3, iterations=1)
+    record_result(result)
+    data = result.data
+    # Paper checkpoints: ~450 W surplus for a cool idle node; ~0 for a
+    # node at its 70 C limit in a 45 C ambient.
+    assert data["cap_idle_cool"] == 450.0 or abs(data["cap_idle_cool"] - 450.0) < 1e-6
+    assert data["cap_at_limit_hot"] < 0.06 * 450.0
+    for curve in data["curves"].values():
+        assert np.all(np.diff(curve) < 0)

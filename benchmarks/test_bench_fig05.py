@@ -1,0 +1,23 @@
+"""Bench: Fig. 5 -- average server power vs utilization (hot/cold zones)."""
+
+from conftest import clear_sweep_cache
+
+from repro.experiments import fig05_power
+
+
+def test_bench_fig05_power_vs_utilization(benchmark, record_result):
+    def run():
+        clear_sweep_cache()
+        return fig05_power.run(n_ticks=120, seed=11)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(result)
+    data = result.data
+    cold, hot = data["cold"], data["hot"]
+    # Hot zone consumes less at every moderate+ utilization.
+    for u, c, h in zip(data["utilizations"], cold, hot):
+        if u >= 0.3:
+            assert h < c, f"hot zone not capped below cold at U={u}"
+    # Power rises with utilization; hot saturates at its ~300 W cap.
+    assert cold[-1] > 1.8 * cold[1]
+    assert max(hot) < 310.0

@@ -1,0 +1,27 @@
+"""Bench: Fig. 6 -- average server temperature vs utilization."""
+
+import numpy as np
+from conftest import clear_sweep_cache
+
+from repro.experiments import fig06_temperature
+
+
+def test_bench_fig06_temperature_convergence(benchmark, record_result):
+    def run():
+        clear_sweep_cache()
+        return fig06_temperature.run(n_ticks=120, seed=11)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(result)
+    data = result.data
+    # Hot zone pinned near its 40 C ambient at low utilization.
+    assert data["hot"][0] >= 39.0
+    assert data["cold"][0] < 35.0
+    # Temperatures converge as utilization rises (gap shrinks).
+    gaps = data["gap"]
+    assert np.mean(gaps[:3]) > 2.0 * np.mean(gaps[-3:]) or np.mean(
+        gaps[-3:]
+    ) < 3.0
+    # The 70 C limit is never crossed.
+    for temps in data["per_server"]:
+        assert max(temps) <= 70.0 + 1e-6

@@ -1,0 +1,24 @@
+"""Bench: Fig. 7 -- per-server consolidation power savings at U=40 %."""
+
+import numpy as np
+from conftest import clear_sweep_cache
+
+from repro.experiments import fig07_consolidation
+
+
+def test_bench_fig07_consolidation_savings(benchmark, record_result):
+    def run():
+        clear_sweep_cache()
+        return fig07_consolidation.run(utilization=0.4, n_ticks=120, seed=11)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(result)
+    data = result.data
+    # Consolidation saves energy overall...
+    assert sum(data["savings"]) > 0
+    # ...with the maximum savings in the hot zone (paper: "maximum
+    # power savings is achieved in the last four servers").
+    assert data["hot_mean_saving"] > data["cold_mean_saving"]
+    # Because the hot zone spends more time asleep.
+    asleep = data["asleep_fraction"]
+    assert np.mean(asleep[14:]) > np.mean(asleep[:14])

@@ -1,0 +1,27 @@
+"""Bench: Fig. 9 -- demand-driven vs consolidation-driven migrations."""
+
+import numpy as np
+from conftest import clear_sweep_cache
+
+from repro.experiments import fig09_migration_mix
+
+
+def test_bench_fig09_migration_mix(benchmark, record_result):
+    def run():
+        clear_sweep_cache()
+        return fig09_migration_mix.run(n_ticks=120, seed=11)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(result)
+    data = result.data
+    demand = np.asarray(data["demand"])
+    consolidation = np.asarray(data["consolidation"])
+    # Consolidation-driven dominates at low utilization...
+    assert consolidation[0] > demand[0]
+    # ...demand-driven dominates at high utilization (paper Fig. 9).
+    assert demand[-2] > consolidation[-2]
+    # Consolidation activity declines as utilization rises.
+    assert consolidation[:3].mean() > consolidation[-3:].mean()
+    # Crossover falls somewhere in the middle of the sweep.
+    crossings = np.nonzero(np.diff(np.sign(demand - consolidation)))[0]
+    assert len(crossings) >= 1

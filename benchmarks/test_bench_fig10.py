@@ -1,0 +1,24 @@
+"""Bench: Fig. 10 -- migration traffic normalised to max network traffic."""
+
+import numpy as np
+from conftest import clear_sweep_cache
+
+from repro.experiments import fig10_traffic
+
+
+def test_bench_fig10_migration_traffic(benchmark, record_result):
+    def run():
+        clear_sweep_cache()
+        return fig10_traffic.run(n_ticks=120, seed=11)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(result)
+    fractions = np.asarray(result.data["fractions"])
+    # Rises through mid utilizations, falls at the high end (no surplus
+    # left to migrate into) -- an interior peak.
+    peak = int(np.argmax(fractions))
+    assert 0 < peak < len(fractions) - 1
+    assert fractions[peak] > fractions[-1]
+    assert fractions[peak] > fractions[0]
+    # Overhead remains a small fraction of network capacity.
+    assert fractions.max() < 0.25

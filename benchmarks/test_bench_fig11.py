@@ -1,0 +1,25 @@
+"""Bench: Fig. 11 -- power demand of level-1 switches."""
+
+import numpy as np
+from conftest import clear_sweep_cache
+
+from repro.experiments import fig11_switch_power
+
+
+def test_bench_fig11_switch_power(benchmark, record_result):
+    def run():
+        clear_sweep_cache()
+        return fig11_switch_power.run(n_ticks=120, seed=11)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(result)
+    data = result.data
+    # "The average power demand is almost the same in all the switches"
+    # -- local-first migration spreads traffic: modest spread at
+    # moderate+ utilizations.
+    for u, cv in zip(data["utilizations"], data["cv"]):
+        if u >= 0.4:
+            assert cv < 0.45, f"uneven switch power at U={u} (cv={cv:.2f})"
+    # Switch power tracks served load upward.
+    mean_power = [float(np.mean(row)) for row in data["per_switch"]]
+    assert mean_power[-1] > mean_power[0]

@@ -1,0 +1,23 @@
+"""Bench: Fig. 12 -- migration cost borne by level-1 switches."""
+
+import numpy as np
+from conftest import clear_sweep_cache
+
+from repro.experiments import fig10_traffic, fig12_switch_cost
+
+
+def test_bench_fig12_switch_migration_cost(benchmark, record_result):
+    def run():
+        clear_sweep_cache()
+        return fig12_switch_cost.run(n_ticks=120, seed=11)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(result)
+    costs = np.asarray(result.data["totals"])
+    # "Corresponds to the trend in total number of migrations ... shown
+    # in Figure 10": same sweep, strongly correlated series.
+    traffic = np.asarray(fig10_traffic.run(n_ticks=120, seed=11).data["fractions"])
+    assert np.corrcoef(traffic, costs)[0, 1] > 0.8
+    # Interior peak, like Fig. 10.
+    peak = int(np.argmax(costs))
+    assert 0 < peak < len(costs) - 1

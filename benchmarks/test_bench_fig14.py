@@ -1,0 +1,21 @@
+"""Bench: Fig. 14 -- experimental estimation of c1 and c2."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig14_calibration
+
+
+def test_bench_fig14_calibration(benchmark, record_result):
+    result = benchmark.pedantic(fig14_calibration.run, rounds=3, iterations=1)
+    record_result(result)
+    data = result.data
+    # Least squares over the (synthetic) heating run recovers the
+    # paper's measured constants c1=0.2, c2=0.008.
+    assert data["fit_c1"] == pytest.approx(0.2, rel=0.05)
+    assert data["fit_c2"] == pytest.approx(0.008, rel=0.25)
+    # The figure's line: max accommodatable power is linear in the
+    # temperature headroom and reaches the server's 232 W max.
+    caps = np.asarray(data["caps"], dtype=float)
+    assert np.allclose(np.diff(caps, n=2), 0.0, atol=1e-6)
+    assert caps[-1] == pytest.approx(232.0)

@@ -1,0 +1,18 @@
+"""Bench: Figs. 15+16 -- deficit supply trace and migration bursts."""
+
+from repro.experiments import fig15_16_deficit
+
+
+def test_bench_fig15_16_deficit_run(benchmark, record_result):
+    result = benchmark.pedantic(fig15_16_deficit.run, rounds=1, iterations=1)
+    record_result(result)
+    data = result.data
+    # A migration burst at every supply plunge (units 7, 12, 25).
+    for start, count in data["bursts"].items():
+        assert count >= 1, f"no burst at plunge unit {start}"
+    # Decision stability: nothing moves while a plunge persists...
+    assert data["migrations_during_persistence"] == 0
+    # ...and nothing moves when the supply recovers (unidirectional).
+    assert data["migrations_at_recovery"] == 0
+    # Off-plunge (constraint-driven) activity stays small.
+    assert data["off_plunge_migrations"] <= 4

@@ -1,0 +1,22 @@
+"""Bench: Figs. 17+18 -- testbed temperature behaviour."""
+
+import numpy as np
+
+from repro.experiments import fig17_18_temps
+
+
+def test_bench_fig17_18_testbed_temperatures(benchmark, record_result):
+    result = benchmark.pedantic(fig17_18_temps.run, rounds=1, iterations=1)
+    record_result(result)
+    data = result.data
+    means = data["mean_temperature"]
+    # Fig. 18: the loaded server runs hottest; ordering follows load.
+    assert means["server-A"] >= means["server-B"]
+    assert means["server-B"] >= means["server-C"] - 1.0
+    # Thermal limit never violated anywhere.
+    for series in data["series"].values():
+        assert np.max(series) <= data["t_limit"] + 1e-6
+    # Fig. 17: server A's temperature dips when the supply plunges
+    # (its power is throttled / shed).
+    a = data["a_per_unit"]
+    assert np.mean(a[7:10]) < np.mean(a[4:7])

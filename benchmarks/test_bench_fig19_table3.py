@@ -1,0 +1,25 @@
+"""Bench: Fig. 19 + Table III -- consolidation under energy plenty."""
+
+import pytest
+
+from repro.experiments import fig19_table3
+
+
+def test_bench_fig19_table3_consolidation(benchmark, record_result):
+    result = benchmark.pedantic(fig19_table3.run, rounds=1, iterations=1)
+    record_result(result)
+    data = result.data
+    # Table III: server C (20 % utilization) is drained to 0 and stays
+    # down for the rest of the run.
+    assert data["c_final"] == pytest.approx(0.0, abs=1e-6)
+    # A and B absorb C's workload.
+    absorbed = (
+        data["final"]["server-A"]
+        + data["final"]["server-B"]
+        - data["initial"]["server-A"]
+        - data["initial"]["server-B"]
+    )
+    assert absorbed > 0.1
+    # Paper arithmetic: ~580 W before, ~420 W after, ~27.5 % savings.
+    assert data["baseline_power"] == pytest.approx(580.0, abs=30.0)
+    assert 0.15 <= data["savings"] <= 0.35

@@ -1,0 +1,22 @@
+"""Bench: Eq. 9 power imbalance -- Willow vs a fleet that cannot migrate.
+
+The paper's stated design goal: the migration scheme "should not leave
+a few servers in the power deficient state while some servers have
+excess power budgets."
+"""
+
+import numpy as np
+
+from repro.experiments import imbalance
+
+
+def test_bench_imbalance_reduction(benchmark, record_result):
+    result = benchmark.pedantic(imbalance.run, rounds=1, iterations=1)
+    record_result(result)
+    data = result.data
+    with_migrations = np.asarray(data["with"])
+    without = np.asarray(data["without"])
+    # Run-average imbalance shrinks when migrations are allowed.
+    assert with_migrations.mean() < without.mean()
+    # And over the settled post-plunge tail as well.
+    assert data["tail_with"] < data["tail_without"]

@@ -1,0 +1,73 @@
+"""Bench: hierarchy scaling (Sec. V-A2's O(log n) decision story).
+
+Runs full control loops on balanced trees from 9 to 243 servers and
+checks that (a) per-server wall time stays roughly flat -- total work
+O(n) with an O(log n) decision critical path -- and (b) the per-link
+message bound is independent of fleet size.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import WillowConfig, WillowController
+from repro.network import verify_message_bound
+from repro.power import constant_supply
+from repro.sim import RandomStreams
+from repro.topology import build_balanced
+from repro.workload import (
+    SIMULATION_APPS,
+    random_placement,
+    scale_for_target_utilization,
+)
+
+SIZES = {9: [3, 3], 27: [3, 3, 3], 81: [3, 3, 3, 3], 243: [3, 3, 3, 3, 3]}
+TICKS = 10
+
+
+def run_size(branching, seed=5):
+    tree = build_balanced(branching)
+    n = len(tree.servers())
+    config = WillowConfig()
+    streams = RandomStreams(seed)
+    placement = random_placement(
+        [s.node_id for s in tree.servers()], SIMULATION_APPS, streams["placement"]
+    )
+    scale_for_target_utilization(placement, config.server_model.slope, 0.6)
+    controller = WillowController(
+        tree, config, constant_supply(n * 450.0), placement, seed=seed
+    )
+    start = time.perf_counter()
+    collector = controller.run(TICKS)
+    elapsed = time.perf_counter() - start
+    return elapsed, collector
+
+
+def test_bench_scaling_per_server_time_flat(benchmark):
+    def sweep():
+        results = {}
+        for n, branching in SIZES.items():
+            elapsed, collector = run_size(branching)
+            results[n] = {
+                "seconds": elapsed,
+                "per_server_ms": elapsed / n * 1e3,
+                "bound_ok": verify_message_bound(collector, bound=2),
+            }
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["results"] = {str(k): v for k, v in results.items()}
+    print()
+    for n, stats in results.items():
+        print(
+            f"n={n:4d} total={stats['seconds'] * 1e3:7.1f} ms "
+            f"per-server={stats['per_server_ms']:6.3f} ms "
+            f"msg-bound={'ok' if stats['bound_ok'] else 'VIOLATED'}"
+        )
+    # Message bound independent of scale.
+    assert all(stats["bound_ok"] for stats in results.values())
+    # Per-server time does not blow up with fleet size: allow up to 4x
+    # drift across a 27x size increase (quadratic behaviour would be
+    # ~27x).
+    per_server = [stats["per_server_ms"] for stats in results.values()]
+    assert max(per_server) < 4.0 * min(per_server)

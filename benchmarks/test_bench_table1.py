@@ -1,0 +1,20 @@
+"""Bench: Table I -- utilization vs power consumption."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import table1_power_model
+
+
+def test_bench_table1_power_model(benchmark, record_result):
+    result = benchmark.pedantic(table1_power_model.run, rounds=5, iterations=1)
+    record_result(result)
+    data = result.data
+    powers = np.asarray(data["powers"])
+    # Continuously increasing, linear (the paper's observation), and
+    # consistent with every intact number in Sec. V-C.
+    assert np.all(np.diff(powers) > 0)
+    assert np.allclose(np.diff(powers, n=2), 0.0)
+    p = dict(zip(data["utilizations"], data["powers"]))
+    assert p[0.8] + p[0.4] + p[0.2] == pytest.approx(580.0)
+    assert p[1.0] == pytest.approx(232.0)

@@ -1,0 +1,15 @@
+"""Bench: Table II -- application power profiles."""
+
+import pytest
+
+from repro.experiments import table2_app_profiles
+
+
+def test_bench_table2_application_profiles(benchmark, record_result):
+    result = benchmark.pedantic(table2_app_profiles.run, rounds=1, iterations=1)
+    record_result(result)
+    measured = result.data["measured"]
+    # Paper: A1 adds 8 W, A2 10 W, A3 15 W.
+    assert measured["A1"] == pytest.approx(8.0, abs=0.5)
+    assert measured["A2"] == pytest.approx(10.0, abs=0.5)
+    assert measured["A3"] == pytest.approx(15.0, abs=0.5)

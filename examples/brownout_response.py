@@ -1,0 +1,95 @@
+"""Brownout response: a data center rides through supply plunges.
+
+The scenario of the paper's introduction: a leaner design means the
+data center is occasionally under-powered.  We run the 18-server fleet
+at 60 % utilization through a supply trace with three brown-out
+episodes and show how Willow adapts: fleet power follows the budget,
+migrations burst at the plunges, QoS loss stays bounded.
+
+Run with::
+
+    python examples/brownout_response.py
+"""
+
+import numpy as np
+
+from repro.core import WillowConfig, WillowController
+from repro.power import step_supply
+from repro.sim import RandomStreams
+from repro.topology import build_paper_simulation
+from repro.workload import (
+    SIMULATION_APPS,
+    random_placement,
+    scale_for_target_utilization,
+)
+
+N_TICKS = 120
+BROWNOUTS = ((30, 50, 0.70), (70, 80, 0.55), (100, 110, 0.80))  # (start, end, factor)
+
+
+def build_supply(nominal: float):
+    segments = []
+    for tick in range(N_TICKS):
+        factor = 1.0
+        for start, end, depth in BROWNOUTS:
+            if start <= tick < end:
+                factor = depth
+        segments.append((float(tick), nominal * factor))
+    # De-duplicate consecutive equal budgets for a compact trace.
+    compact = [segments[0]]
+    for time, budget in segments[1:]:
+        if budget != compact[-1][1]:
+            compact.append((time, budget))
+    return step_supply(compact)
+
+
+def main() -> None:
+    config = WillowConfig()
+    tree = build_paper_simulation()
+    streams = RandomStreams(7)
+    placement = random_placement(
+        [s.node_id for s in tree.servers()], SIMULATION_APPS, streams["placement"]
+    )
+    scale_for_target_utilization(placement, config.server_model.slope, 0.6)
+
+    nominal = 18 * config.circuit_limit
+    supply = build_supply(nominal)
+    controller = WillowController(tree, config, supply, placement, seed=7)
+    metrics = controller.run(N_TICKS)
+
+    # Per-tick fleet power vs the budget in force.
+    times = metrics.times()
+    fleet_power = np.array(
+        [
+            sum(s.power for s in metrics.server_samples if s.time == t)
+            for t in times
+        ]
+    )
+    budgets = np.array([supply.at(t) for t in times])
+    migrations = metrics.migrations_per_tick(horizon=N_TICKS)
+
+    print("Brownout response -- 18 servers at U=60%")
+    print(f"{'tick':>5} {'budget (W)':>11} {'fleet (W)':>10} {'migs':>5}")
+    for t in range(0, N_TICKS, 5):
+        marker = " <- brownout" if budgets[t] < nominal else ""
+        print(
+            f"{t:5d} {budgets[t]:11.0f} {fleet_power[t]:10.0f} "
+            f"{migrations[t]:5d}{marker}"
+        )
+
+    print()
+    inside = [
+        fleet_power[t] <= budgets[t] + 1e-6 for t in range(N_TICKS)
+    ]
+    print(f"fleet power within budget  : {np.mean(inside):.1%} of ticks")
+    print(f"total migrations           : {metrics.migration_count()}")
+    print(f"demand dropped             : {metrics.total_dropped_power():.0f} W*ticks")
+    served = sum(s.power for s in metrics.server_samples)
+    print(
+        "QoS: dropped / served      : "
+        f"{metrics.total_dropped_power() / served:.2%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

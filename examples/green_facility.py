@@ -1,0 +1,87 @@
+"""Holistic facility control: cooling-aware budgets.
+
+The paper's future work asks Willow to "consider the energy consumed by
+cooling infrastructure as well in the adaptation."  This example feeds
+the controller an *effective IT budget* -- the facility supply minus
+the cooling power needed to remove the IT heat -- across a day whose
+outside temperature swings from a cool morning to a hot afternoon.
+
+On the hot afternoon the chiller's COP drops, the same facility feed
+supports less IT load, and Willow sheds/consolidates accordingly.
+
+Run with::
+
+    python examples/green_facility.py
+"""
+
+import numpy as np
+
+from repro.cooling import CoolingModel, effective_it_budget, facility_report
+from repro.core import WillowConfig, WillowController
+from repro.power import step_supply
+from repro.sim import RandomStreams
+from repro.topology import build_paper_simulation
+from repro.workload import (
+    SIMULATION_APPS,
+    random_placement,
+    scale_for_target_utilization,
+)
+
+N_TICKS = 96  # one tick ~ 15 minutes
+
+
+def outside_temperature(tick: int) -> float:
+    """10 C at dawn, 38 C mid-afternoon."""
+    return 24.0 + 14.0 * np.sin(np.pi * (tick - 20) / 60.0) if 20 <= tick <= 80 else 12.0
+
+
+def main() -> None:
+    config = WillowConfig()
+    tree = build_paper_simulation()
+    streams = RandomStreams(23)
+    placement = random_placement(
+        [s.node_id for s in tree.servers()], SIMULATION_APPS, streams["placement"]
+    )
+    scale_for_target_utilization(placement, config.server_model.slope, 0.55)
+
+    cooling = CoolingModel()
+    facility_feed = 18 * 450.0 * 1.1  # feed sized with ~10% cooling headroom
+    segments = []
+    for tick in range(N_TICKS):
+        budget = effective_it_budget(
+            facility_feed, cooling, outside_temperature(tick)
+        )
+        segments.append((float(tick), budget))
+    compact = [segments[0]]
+    for time, budget in segments[1:]:
+        if abs(budget - compact[-1][1]) > 1e-9:
+            compact.append((time, budget))
+    supply = step_supply(compact)
+
+    controller = WillowController(tree, config, supply, placement, seed=23)
+    metrics = controller.run(N_TICKS)
+
+    print("Green facility -- cooling-aware IT budgets across a day")
+    print(f"{'tick':>5} {'outside C':>9} {'COP':>6} {'IT budget':>10} {'IT power':>9}")
+    for tick in range(0, N_TICKS, 8):
+        t_out = outside_temperature(tick)
+        it_power = sum(
+            s.power for s in metrics.server_samples if s.time == float(tick)
+        )
+        print(
+            f"{tick:5d} {t_out:9.1f} {cooling.cop(t_out):6.1f} "
+            f"{supply.at(float(tick)):10.0f} {it_power:9.0f}"
+        )
+
+    report_cool = facility_report(metrics, cooling, outside_temp=12.0)
+    report_hot = facility_report(metrics, cooling, outside_temp=35.0)
+    print()
+    print(f"PUE if the whole day were cool (12C) : {report_cool.mean_pue:.2f}")
+    print(f"PUE if the whole day were hot (35C)  : {report_hot.mean_pue:.2f}")
+    print(f"migrations                           : {metrics.migration_count()}")
+    print(f"demand dropped                       : "
+          f"{metrics.total_dropped_power():.0f} W*ticks")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Willow: a control system for energy and thermal adaptive computing.
+
+Reproduction of Kant, Murugan & Du, IEEE IPDPS 2011.  The package
+implements the complete system described in the paper plus every
+substrate it depends on:
+
+* ``repro.sim``        -- discrete-event simulation kernel
+* ``repro.thermal``    -- RC thermal model (Eqs. 1-3) + calibration
+* ``repro.topology``   -- hierarchical PMU tree + switch fabric
+* ``repro.power``      -- power models, supply traces, budget division
+* ``repro.workload``   -- applications, VMs, Poisson demand
+* ``repro.binpack``    -- FFDLR variable-size bin packing + baselines
+* ``repro.core``       -- the Willow controller itself
+* ``repro.network``    -- migration traffic / message accounting
+* ``repro.baselines``  -- independent / centralized / thermal-blind
+* ``repro.metrics``    -- collectors, stability, convergence
+* ``repro.experiments``-- one module per paper figure/table
+
+Quickstart::
+
+    from repro.core import run_willow
+    controller, metrics = run_willow(target_utilization=0.4, n_ticks=100)
+    print(metrics.migration_count(), "migrations")
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import WillowConfig, WillowController, run_willow
+
+__all__ = ["WillowConfig", "WillowController", "run_willow", "__version__"]

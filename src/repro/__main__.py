@@ -1,0 +1,42 @@
+"""``python -m repro`` -- package overview and a one-shot demo run.
+
+Usage::
+
+    python -m repro            # overview + 30-tick demo summary
+    python -m repro --no-demo  # overview only
+"""
+
+from __future__ import annotations
+
+import sys
+
+import repro
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    print(f"repro {repro.__version__} -- Willow (IPDPS 2011) reproduction")
+    print()
+    print("entry points:")
+    print("  python -m repro.experiments.runner all   # every paper fig/table")
+    print("  python -m repro.experiments.report out.md  # markdown report")
+    print("  pytest tests/                            # test suite")
+    print("  pytest benchmarks/ --benchmark-only      # asserted benchmarks")
+    print("  examples/quickstart.py and 9 more        # runnable scenarios")
+    if "--no-demo" in argv:
+        return 0
+    print()
+    print("demo: 18 servers, hot zone on 15-18, U=50%, 30 ticks")
+    from repro.core import run_willow
+    from repro.metrics import summarize_run
+
+    hot = {f"server-{i}": 40.0 for i in range(15, 19)}
+    _controller, collector = run_willow(
+        target_utilization=0.5, n_ticks=30, seed=0, ambient_overrides=hot
+    )
+    print(summarize_run(collector).format())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

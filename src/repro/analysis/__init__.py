@@ -1,0 +1,28 @@
+"""Replication and sweep analysis.
+
+Simulation claims should hold across seeds, not on one lucky draw.
+This subpackage provides:
+
+* :func:`~repro.analysis.replication.replicate` -- run a scenario over
+  several seeds and collect scalar outcomes;
+* :func:`~repro.analysis.replication.mean_ci` -- mean and normal-theory
+  confidence interval for a replicated outcome;
+* :func:`~repro.analysis.replication.compare` -- paired comparison of
+  two scenarios over common seeds (sign consistency + mean difference).
+"""
+
+from repro.analysis.replication import (
+    ComparisonResult,
+    ReplicationResult,
+    compare,
+    mean_ci,
+    replicate,
+)
+
+__all__ = [
+    "ComparisonResult",
+    "ReplicationResult",
+    "compare",
+    "mean_ci",
+    "replicate",
+]

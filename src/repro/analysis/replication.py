@@ -1,0 +1,139 @@
+"""Replication across seeds: means, confidence intervals, pairings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ReplicationResult",
+    "replicate",
+    "mean_ci",
+    "ComparisonResult",
+    "compare",
+]
+
+
+@dataclass(frozen=True)
+class ReplicationResult:
+    """Scalar outcomes of one scenario over several seeds."""
+
+    seeds: Tuple[int, ...]
+    outcomes: Dict[str, np.ndarray]  # metric name -> per-seed values
+
+    def metric(self, name: str) -> np.ndarray:
+        return self.outcomes[name]
+
+    def mean(self, name: str) -> float:
+        return float(self.outcomes[name].mean())
+
+
+def replicate(
+    run: Callable[[int], Mapping[str, float]],
+    seeds: Sequence[int],
+) -> ReplicationResult:
+    """Run ``run(seed)`` for every seed; collect named scalar outcomes.
+
+    ``run`` must return the same metric keys for every seed.
+    """
+    seeds = tuple(int(s) for s in seeds)
+    if not seeds:
+        raise ValueError("need at least one seed")
+    if len(set(seeds)) != len(seeds):
+        raise ValueError("seeds must be distinct")
+    collected: Dict[str, list] = {}
+    keys = None
+    for seed in seeds:
+        outcome = dict(run(seed))
+        if keys is None:
+            keys = set(outcome)
+            if not keys:
+                raise ValueError("run() returned no metrics")
+        elif set(outcome) != keys:
+            raise ValueError(
+                f"inconsistent metric keys at seed {seed}: "
+                f"{sorted(set(outcome) ^ keys)}"
+            )
+        for key, value in outcome.items():
+            collected.setdefault(key, []).append(float(value))
+    return ReplicationResult(
+        seeds=seeds,
+        outcomes={k: np.asarray(v) for k, v in collected.items()},
+    )
+
+
+def mean_ci(
+    values: Sequence[float], confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Mean and normal-theory half-width for a replicated metric.
+
+    With the small replication counts typical here (3-10 seeds) this is
+    an indicative interval, not a rigorous one; z-quantiles avoid a
+    scipy dependency in the hot path (scipy is available for users who
+    want t-quantiles).
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1 or len(values) < 2:
+        raise ValueError("need at least two replicate values")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    z = {0.90: 1.645, 0.95: 1.960, 0.99: 2.576}.get(round(confidence, 2))
+    if z is None:
+        from scipy.stats import norm
+
+        z = float(norm.ppf(0.5 + confidence / 2.0))
+    half_width = z * values.std(ddof=1) / np.sqrt(len(values))
+    return float(values.mean()), float(half_width)
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Paired comparison of scenario A vs scenario B over common seeds."""
+
+    metric: str
+    a_values: np.ndarray
+    b_values: np.ndarray
+
+    @property
+    def differences(self) -> np.ndarray:
+        return self.a_values - self.b_values
+
+    @property
+    def mean_difference(self) -> float:
+        return float(self.differences.mean())
+
+    @property
+    def sign_consistency(self) -> float:
+        """Fraction of seeds where A-B has the majority sign."""
+        signs = np.sign(self.differences)
+        nonzero = signs[signs != 0]
+        if nonzero.size == 0:
+            return 1.0
+        majority = 1.0 if nonzero.sum() >= 0 else -1.0
+        return float(np.mean(nonzero == majority))
+
+    def a_wins_everywhere(self, *, smaller_is_better: bool = False) -> bool:
+        """True iff A beats B on every seed."""
+        if smaller_is_better:
+            return bool(np.all(self.a_values < self.b_values))
+        return bool(np.all(self.a_values > self.b_values))
+
+
+def compare(
+    run_a: Callable[[int], Mapping[str, float]],
+    run_b: Callable[[int], Mapping[str, float]],
+    seeds: Sequence[int],
+    metric: str,
+) -> ComparisonResult:
+    """Paired A/B over common seeds for one metric."""
+    result_a = replicate(run_a, seeds)
+    result_b = replicate(run_b, seeds)
+    if metric not in result_a.outcomes or metric not in result_b.outcomes:
+        raise KeyError(f"metric {metric!r} missing from a scenario's outcomes")
+    return ComparisonResult(
+        metric=metric,
+        a_values=result_a.outcomes[metric],
+        b_values=result_b.outcomes[metric],
+    )

@@ -1,0 +1,26 @@
+"""Comparator policies for Willow.
+
+The paper's claims are comparative ("coordinated beats independent",
+"thermal-aware placement avoids violations", "hierarchy scales");
+these baselines make each claim measurable:
+
+* :mod:`repro.baselines.independent` -- every server throttles to its
+  static share of supply; no coordination, no migrations.
+* :mod:`repro.baselines.centralized` -- one flat controller packs all
+  VMs over all servers each round; optimal matching reach but O(n)
+  messages through the root and no locality.
+* :mod:`repro.baselines.no_thermal` -- Willow with the thermal hard
+  constraint disabled; temperature violations quantify what the Eq. 3
+  caps buy.
+"""
+
+from repro.baselines.independent import run_independent
+from repro.baselines.centralized import build_flat_tree, run_centralized
+from repro.baselines.no_thermal import run_no_thermal
+
+__all__ = [
+    "build_flat_tree",
+    "run_centralized",
+    "run_independent",
+    "run_no_thermal",
+]

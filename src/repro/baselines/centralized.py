@@ -1,0 +1,79 @@
+"""Fully centralized control.
+
+One flat controller sees every server as a direct child of the root:
+matching reaches everything in a single bin-packing instance (no
+locality constraint) but every demand report and budget directive
+crosses the root -- 2n messages per tick on the root's links versus
+Willow's 2 per link.  Willow's Property 2 argues the hierarchical
+solution is no worse; this baseline lets the benches check that while
+exposing the message-count difference.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional
+
+from repro.core.config import WillowConfig
+from repro.core.controller import WillowController
+from repro.metrics.collector import MetricsCollector
+from repro.power.supply import SupplyTrace
+from repro.topology.tree import NodeKind, Tree
+from repro.workload.generator import PlacementPlan
+from repro.workload.vm import VM
+
+__all__ = ["build_flat_tree", "run_centralized"]
+
+
+def build_flat_tree(n_servers: int) -> Tree:
+    """A height-1 hierarchy: root with ``n_servers`` leaf children."""
+    if n_servers < 1:
+        raise ValueError(f"n_servers must be >= 1, got {n_servers}")
+    tree = Tree(root_name="datacenter", root_level=1)
+    for i in range(n_servers):
+        tree.add_child(tree.root, f"server-{i + 1}", NodeKind.SERVER)
+    tree.validate()
+    return tree
+
+
+def _translate_placement(
+    placement: PlacementPlan, source: Tree, flat: Tree
+) -> PlacementPlan:
+    """Re-home a placement onto the flat tree, preserving server order."""
+    source_ids = [s.node_id for s in source.servers()]
+    flat_ids = [s.node_id for s in flat.servers()]
+    if len(source_ids) != len(flat_ids):
+        raise ValueError("flat tree server count mismatch")
+    mapping = dict(zip(source_ids, flat_ids))
+    vms: List[VM] = []
+    for vm in placement.vms:
+        vms.append(VM(vm_id=vm.vm_id, app=vm.app, host_id=mapping[vm.host_id]))
+    return PlacementPlan(vms=vms, scale=placement.scale)
+
+
+def run_centralized(
+    tree: Tree,
+    config: WillowConfig,
+    supply: SupplyTrace,
+    placement: PlacementPlan,
+    *,
+    n_ticks: int,
+    seed: int = 0,
+    ambient_overrides: Optional[Mapping[str, float]] = None,
+) -> MetricsCollector:
+    """Run the flat centralized controller on an equivalent data center.
+
+    The hierarchy of ``tree`` is discarded; servers keep their order
+    (so ambient overrides by server name still apply when the source
+    tree uses ``server-N`` names).
+    """
+    flat = build_flat_tree(len(tree.servers()))
+    flat_placement = _translate_placement(placement, tree, flat)
+    controller = WillowController(
+        flat,
+        config,
+        supply,
+        flat_placement,
+        ambient_overrides=ambient_overrides,
+        seed=seed,
+    )
+    return controller.run(n_ticks)

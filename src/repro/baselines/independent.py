@@ -1,0 +1,91 @@
+"""Independent (uncoordinated) per-server control.
+
+Each server receives a fixed equal share of the supply, throttles its
+own demand to that share (and to its own thermal cap), and never
+migrates anything.  This is the "independent controls can lead to
+unstable or suboptimal control" strawman of Sec. III: deficits on hot
+or busy servers are pure QoS loss even while siblings idle.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.core.config import WillowConfig
+from repro.core.events import Drop
+from repro.core.state import ServerRuntime
+from repro.metrics.collector import MetricsCollector, ServerSample
+from repro.power.supply import SupplyTrace
+from repro.sim.rng import RandomStreams
+from repro.topology.tree import Tree
+from repro.workload.generator import DemandGenerator, PlacementPlan
+
+__all__ = ["run_independent"]
+
+_EPS = 1e-9
+
+
+def run_independent(
+    tree: Tree,
+    config: WillowConfig,
+    supply: SupplyTrace,
+    placement: PlacementPlan,
+    *,
+    n_ticks: int,
+    seed: int = 0,
+    ambient_overrides: Optional[Mapping[str, float]] = None,
+) -> MetricsCollector:
+    """Run the uncoordinated baseline; returns collected metrics.
+
+    Accepts the same inputs as
+    :class:`~repro.core.controller.WillowController` so A/B runs can
+    share placement, seed and supply.
+    """
+    if n_ticks < 1:
+        raise ValueError(f"n_ticks must be >= 1, got {n_ticks}")
+    collector = MetricsCollector()
+    streams = RandomStreams(seed)
+    generator = DemandGenerator(placement, streams)
+    ambient_overrides = dict(ambient_overrides or {})
+
+    servers = {}
+    for leaf in tree.servers():
+        params = config.thermal
+        if leaf.name in ambient_overrides:
+            params = params.with_ambient(ambient_overrides[leaf.name])
+        servers[leaf.node_id] = ServerRuntime(leaf, config, params)
+    for vm in placement.vms:
+        servers[vm.host_id].vms[vm.vm_id] = vm
+
+    n = len(servers)
+    for tick in range(n_ticks):
+        now = float(tick) * config.delta_d
+        generator.sample_tick()
+        share = supply.at(now) / n
+        for server in servers.values():
+            server.observe_demand()
+            budget = min(share, server.hard_cap())
+            server.set_budget(budget)
+            available = max(budget - server.model.static_power, 0.0)
+            active = server.vm_demand
+            served = min(active, available)
+            if active - served > _EPS:
+                collector.record_drop(
+                    Drop(now, server.node.node_id, None, active - served)
+                )
+            server.served_power = served
+            wall = server.actual_power()
+            temperature = server.update_temperature(wall, config.delta_d)
+            collector.record_server(
+                ServerSample(
+                    time=now,
+                    server_id=server.node.node_id,
+                    power=wall,
+                    temperature=temperature,
+                    utilization=server.utilization,
+                    demand=server.raw_demand,
+                    budget=budget,
+                    asleep=False,
+                )
+            )
+    return collector

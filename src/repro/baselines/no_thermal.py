@@ -1,0 +1,51 @@
+"""Thermal-oblivious Willow.
+
+Identical control scheme but the thermal hard constraint (Eq. 3) is
+disabled: only circuit ratings cap budgets.  Hot-zone servers then get
+full budgets, run hot, and the temperature-violation count quantifies
+exactly what the thermal caps buy ("the thermal constraints were never
+violated in the simulations" -- Sec. VI, with caps on).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Optional, Tuple
+
+from repro.core.config import WillowConfig
+from repro.core.controller import WillowController
+from repro.metrics.collector import MetricsCollector
+from repro.power.supply import SupplyTrace
+from repro.topology.tree import Tree
+from repro.workload.generator import PlacementPlan
+
+__all__ = ["run_no_thermal"]
+
+
+def run_no_thermal(
+    tree: Tree,
+    config: WillowConfig,
+    supply: SupplyTrace,
+    placement: PlacementPlan,
+    *,
+    n_ticks: int,
+    seed: int = 0,
+    ambient_overrides: Optional[Mapping[str, float]] = None,
+) -> Tuple[MetricsCollector, int]:
+    """Run Willow without thermal caps.
+
+    Returns ``(collector, violation_count)`` where the count is the
+    total number of server-ticks spent above ``T_limit``.
+    """
+    blind = dataclasses.replace(config, thermal_enabled=False)
+    controller = WillowController(
+        tree,
+        blind,
+        supply,
+        placement,
+        ambient_overrides=ambient_overrides,
+        seed=seed,
+    )
+    collector = controller.run(n_ticks)
+    violations = sum(s.thermal.violations for s in controller.servers.values())
+    return collector, violations

@@ -1,0 +1,82 @@
+"""Baseline packers for the FFDLR ablation (Sec. IV-F cites FF/FFD
+bounds from Johnson et al.).
+
+All baselines share the :func:`repro.binpack.ffdlr.ffdlr_pack`
+signature: finite variable-size bins, items that fit nowhere are
+returned unpacked.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.binpack.items import Bin, Item, PackResult
+
+__all__ = ["first_fit", "first_fit_decreasing", "best_fit_decreasing", "worst_fit"]
+
+
+def _pack_sequentially(
+    items: Sequence[Item],
+    bins: Sequence[Bin],
+    order: Callable[[List[Item]], List[Item]],
+    choose: Callable[[Item, List[Bin]], Bin | None],
+) -> PackResult:
+    bins = list(bins)
+    result = PackResult(assignment={}, bins=bins, unpacked=[])
+    keys = [item.key for item in items]
+    if len(set(keys)) != len(keys):
+        raise ValueError("duplicate item keys")
+    for item in order([it for it in items if it.size > 0]):
+        candidates = [b for b in bins if b.fits(item)]
+        chosen = choose(item, candidates)
+        if chosen is None:
+            result.unpacked.append(item)
+        else:
+            chosen.add(item)
+            result.assignment[item.key] = chosen.key
+    result.validate()
+    return result
+
+
+def first_fit(items: Sequence[Item], bins: Sequence[Bin]) -> PackResult:
+    """Place each item (arrival order) into the first bin it fits."""
+    return _pack_sequentially(
+        items,
+        bins,
+        order=lambda its: list(its),
+        choose=lambda item, cands: cands[0] if cands else None,
+    )
+
+
+def first_fit_decreasing(items: Sequence[Item], bins: Sequence[Bin]) -> PackResult:
+    """FFD: sort items by decreasing size, then first-fit."""
+    return _pack_sequentially(
+        items,
+        bins,
+        order=lambda its: sorted(its, key=lambda it: it.size, reverse=True),
+        choose=lambda item, cands: cands[0] if cands else None,
+    )
+
+
+def best_fit_decreasing(items: Sequence[Item], bins: Sequence[Bin]) -> PackResult:
+    """BFD: decreasing sizes, tightest-fitting bin first."""
+    return _pack_sequentially(
+        items,
+        bins,
+        order=lambda its: sorted(its, key=lambda it: it.size, reverse=True),
+        choose=lambda item, cands: (
+            min(cands, key=lambda b: b.residual) if cands else None
+        ),
+    )
+
+
+def worst_fit(items: Sequence[Item], bins: Sequence[Bin]) -> PackResult:
+    """Loosest-fitting bin first (spreads load; anti-consolidation)."""
+    return _pack_sequentially(
+        items,
+        bins,
+        order=lambda its: list(its),
+        choose=lambda item, cands: (
+            max(cands, key=lambda b: b.residual) if cands else None
+        ),
+    )

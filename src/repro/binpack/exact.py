@@ -1,0 +1,112 @@
+"""Exact solutions for small bin-packing instances.
+
+These exponential-time routines exist purely as *test oracles*: the
+property-based tests check FFDLR's (3/2) OPT + 1 guarantee against
+:func:`optimal_bin_count`, and check that a demand is only declared
+unpackable when :func:`feasible_exact` agrees no packing exists.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Sequence, Tuple
+
+__all__ = ["optimal_bin_count", "feasible_exact"]
+
+_SLACK = 1e-9
+_MAX_EXACT = 14
+
+
+def optimal_bin_count(sizes: Sequence[float], capacity: float) -> int:
+    """Minimum number of equal-``capacity`` bins packing all ``sizes``.
+
+    Branch-and-bound over items in decreasing order with symmetry
+    breaking (a new bin is only opened as the *last* candidate).
+    Limited to 14 items -- enough for oracle duty.
+    """
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity}")
+    items = sorted((s for s in sizes if s > 0), reverse=True)
+    if not items:
+        return 0
+    if len(items) > _MAX_EXACT:
+        raise ValueError(f"exact solver limited to {_MAX_EXACT} items")
+    if items[0] > capacity + _SLACK:
+        raise ValueError(f"item of size {items[0]} exceeds capacity {capacity}")
+
+    best = len(items)  # one bin per item always works
+
+    def search(index: int, loads: List[float]) -> None:
+        nonlocal best
+        if len(loads) >= best:
+            return
+        if index == len(items):
+            best = min(best, len(loads))
+            return
+        size = items[index]
+        # Lower bound: remaining volume cannot beat `best`.
+        remaining = sum(items[index:])
+        slack_available = sum(capacity - load for load in loads)
+        extra_bins_needed = 0
+        if remaining > slack_available + _SLACK:
+            import math
+
+            extra_bins_needed = math.ceil(
+                (remaining - slack_available) / capacity - _SLACK
+            )
+        if len(loads) + extra_bins_needed >= best:
+            return
+        tried = set()
+        for i, load in enumerate(loads):
+            if load + size <= capacity + _SLACK and load not in tried:
+                tried.add(load)
+                loads[i] = load + size
+                search(index + 1, loads)
+                loads[i] = load
+        loads.append(size)
+        search(index + 1, loads)
+        loads.pop()
+
+    search(0, [])
+    return best
+
+
+def feasible_exact(sizes: Sequence[float], capacities: Sequence[float]) -> bool:
+    """Whether all ``sizes`` fit into the given variable ``capacities``.
+
+    Exhaustive backtracking with memoisation on (item index, sorted
+    residuals).  Limited to small instances (oracle duty only).
+    """
+    items = tuple(sorted((s for s in sizes if s > 0), reverse=True))
+    bins = [c for c in capacities if c > 0]
+    if not items:
+        return True
+    if not bins:
+        return False
+    if len(items) > _MAX_EXACT or len(bins) > _MAX_EXACT:
+        raise ValueError(f"exact solver limited to {_MAX_EXACT} items/bins")
+    if sum(items) > sum(bins) + _SLACK:
+        return False
+
+    # Quantise residuals for stable memo keys.
+    def quantise(value: float) -> int:
+        return int(round(value * 1e6))
+
+    q_items = [quantise(s) for s in items]
+    q_bins = tuple(sorted(quantise(c) for c in bins))
+
+    @lru_cache(maxsize=None)
+    def search(index: int, residuals: Tuple[int, ...]) -> bool:
+        if index == len(q_items):
+            return True
+        size = q_items[index]
+        tried = set()
+        for i, residual in enumerate(residuals):
+            if residual >= size and residual not in tried:
+                tried.add(residual)
+                nxt = tuple(sorted(residuals[:i] + (residual - size,) + residuals[i + 1:]))
+                if search(index + 1, nxt):
+                    return True
+        return False
+
+    return search(0, q_bins)

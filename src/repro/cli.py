@@ -1,0 +1,174 @@
+"""Command-line interface for custom Willow runs.
+
+Usage::
+
+    python -m repro.cli --utilization 0.5 --ticks 100 --hot 4 --seed 7
+    python -m repro.cli --supply-dip 0.4 --dip-at 40 --export-json run.json
+
+Builds the paper's 18-server data center (or a custom balanced tree),
+runs the controller, and prints a summary; optional CSV/JSON export.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="Run Willow on a simulated data center.",
+    )
+    parser.add_argument(
+        "--utilization", type=float, default=0.5,
+        help="target mean utilization in (0, 1] (default 0.5)",
+    )
+    parser.add_argument(
+        "--ticks", type=int, default=100, help="control ticks to run"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    parser.add_argument(
+        "--hot", type=int, default=0, metavar="N",
+        help="put the last N servers in a 40C hot zone",
+    )
+    parser.add_argument(
+        "--branching", type=str, default=None, metavar="A,B,C",
+        help="custom balanced tree, e.g. 3,3,3 (default: paper's 2,3,3)",
+    )
+    parser.add_argument(
+        "--supply-factor", type=float, default=1.0,
+        help="nominal supply as a multiple of fleet circuit capacity",
+    )
+    parser.add_argument(
+        "--supply-dip", type=float, default=0.0, metavar="FRAC",
+        help="mid-run supply dip fraction (0 disables)",
+    )
+    parser.add_argument(
+        "--dip-at", type=int, default=None, metavar="TICK",
+        help="tick the dip starts (default: half the run)",
+    )
+    parser.add_argument(
+        "--supply-csv", type=str, default=None, metavar="FILE",
+        help="drive the root budget from a time,budget CSV "
+             "(overrides --supply-factor/--supply-dip)",
+    )
+    parser.add_argument(
+        "--no-consolidation", action="store_true",
+        help="disable consolidation/sleep",
+    )
+    parser.add_argument(
+        "--p-min", type=float, default=None, help="migration margin (W)"
+    )
+    parser.add_argument(
+        "--export-csv", type=str, default=None, metavar="DIR",
+        help="write per-record CSVs to DIR",
+    )
+    parser.add_argument(
+        "--export-json", type=str, default=None, metavar="FILE",
+        help="write the full run as JSON",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if not 0.0 < args.utilization <= 1.0:
+        print("--utilization must be in (0, 1]", file=sys.stderr)
+        return 2
+    if args.ticks < 1:
+        print("--ticks must be >= 1", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.supply_dip < 1.0:
+        print("--supply-dip must be in [0, 1)", file=sys.stderr)
+        return 2
+
+    from repro.core import WillowConfig, WillowController
+    from repro.metrics import summarize_run
+    from repro.power import constant_supply, step_supply
+    from repro.sim import RandomStreams
+    from repro.topology import build_balanced, build_paper_simulation
+    from repro.workload import (
+        SIMULATION_APPS,
+        random_placement,
+        scale_for_target_utilization,
+    )
+
+    if args.branching:
+        try:
+            branching = [int(x) for x in args.branching.split(",")]
+        except ValueError:
+            print("--branching must be comma-separated ints", file=sys.stderr)
+            return 2
+        tree = build_balanced(branching)
+    else:
+        tree = build_paper_simulation()
+    servers = tree.servers()
+
+    overrides = {}
+    config_kwargs = {}
+    if args.no_consolidation:
+        config_kwargs["consolidation_enabled"] = False
+    if args.p_min is not None:
+        config_kwargs["p_min"] = args.p_min
+    config = WillowConfig(**config_kwargs)
+
+    if args.hot:
+        if args.hot > len(servers):
+            print("--hot exceeds server count", file=sys.stderr)
+            return 2
+        overrides = {s.name: 40.0 for s in servers[-args.hot:]}
+
+    nominal = args.supply_factor * len(servers) * config.circuit_limit
+    if args.supply_csv:
+        from repro.power import supply_from_csv
+
+        try:
+            supply = supply_from_csv(args.supply_csv)
+        except (OSError, ValueError) as error:
+            print(f"--supply-csv: {error}", file=sys.stderr)
+            return 2
+    elif args.supply_dip > 0:
+        dip_at = args.dip_at if args.dip_at is not None else args.ticks // 2
+        supply = step_supply(
+            [(0.0, nominal), (float(dip_at), nominal * (1 - args.supply_dip))]
+        )
+    else:
+        supply = constant_supply(nominal)
+
+    streams = RandomStreams(args.seed)
+    placement = random_placement(
+        [s.node_id for s in servers], SIMULATION_APPS, streams["placement"]
+    )
+    scale_for_target_utilization(
+        placement, config.server_model.slope, args.utilization
+    )
+    controller = WillowController(
+        tree, config, supply, placement,
+        ambient_overrides=overrides, seed=args.seed,
+    )
+    collector = controller.run(args.ticks)
+
+    print(
+        f"Willow run: {len(servers)} servers, U={args.utilization:.0%}, "
+        f"{args.ticks} ticks, seed {args.seed}"
+        + (f", hot zone on last {args.hot}" if args.hot else "")
+    )
+    print(summarize_run(collector).format())
+
+    if args.export_csv:
+        from repro.metrics.export import export_csv
+
+        written = export_csv(collector, args.export_csv)
+        print(f"wrote {len(written)} CSV files to {args.export_csv}")
+    if args.export_json:
+        from repro.metrics.export import export_json
+
+        path = export_json(collector, args.export_json)
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

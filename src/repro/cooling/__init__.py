@@ -1,0 +1,29 @@
+"""Cooling-infrastructure energy (paper Sec. VI future work).
+
+"In order to do a holistic power control, Willow must consider the
+energy consumed by cooling infrastructure as well in the adaptation."
+
+* :class:`~repro.cooling.model.CoolingModel` -- a CRAC/chiller model
+  with an outside-air economizer: cooling power = IT power / COP, with
+  the coefficient of performance degrading as the outside temperature
+  rises.
+* :func:`~repro.cooling.model.effective_it_budget` -- holistic budget
+  division: given a total facility supply, how much may the IT load
+  draw so that IT + cooling stays within it.
+* :func:`~repro.cooling.model.facility_report` -- post-hoc PUE and
+  energy accounting over a finished run.
+"""
+
+from repro.cooling.model import (
+    CoolingModel,
+    FacilityReport,
+    effective_it_budget,
+    facility_report,
+)
+
+__all__ = [
+    "CoolingModel",
+    "FacilityReport",
+    "effective_it_budget",
+    "facility_report",
+]

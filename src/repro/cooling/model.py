@@ -1,0 +1,143 @@
+"""Chiller/economizer cooling model and facility-level accounting.
+
+Every watt the IT load dissipates must be removed by the cooling
+plant at a cost of ``1 / COP`` watts.  The coefficient of performance
+is high when outside air can do the work (economizer mode) and
+degrades linearly with the outside temperature once mechanical
+chilling takes over -- the standard first-order model for data-center
+cooling studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.collector import MetricsCollector
+
+__all__ = [
+    "CoolingModel",
+    "effective_it_budget",
+    "FacilityReport",
+    "facility_report",
+]
+
+
+@dataclass(frozen=True)
+class CoolingModel:
+    """Outside-temperature-dependent coefficient of performance.
+
+    Attributes
+    ----------
+    economizer_cop:
+        COP while outside air is cold enough for free cooling.
+    economizer_limit:
+        Outside temperature (deg C) up to which the economizer covers
+        the load.
+    chiller_cop_at_limit:
+        COP of the mechanical chiller right at the economizer limit.
+    cop_slope:
+        COP lost per degree of outside temperature beyond the limit.
+    min_cop:
+        Floor below which the COP never falls.
+    """
+
+    economizer_cop: float = 8.0
+    economizer_limit: float = 18.0
+    chiller_cop_at_limit: float = 4.0
+    cop_slope: float = 0.12
+    min_cop: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.economizer_cop <= 0 or self.chiller_cop_at_limit <= 0:
+            raise ValueError("COP values must be positive")
+        if self.min_cop <= 0:
+            raise ValueError("min_cop must be positive")
+        if self.cop_slope < 0:
+            raise ValueError("cop_slope must be non-negative")
+        if self.chiller_cop_at_limit > self.economizer_cop:
+            raise ValueError(
+                "chiller COP cannot exceed the economizer COP at the limit"
+            )
+
+    def cop(self, outside_temp):
+        """COP at the given outside temperature (scalar or array)."""
+        t = np.asarray(outside_temp, dtype=float)
+        mechanical = self.chiller_cop_at_limit - self.cop_slope * (
+            t - self.economizer_limit
+        )
+        result = np.where(t <= self.economizer_limit, self.economizer_cop, mechanical)
+        result = np.maximum(result, self.min_cop)
+        return float(result) if result.ndim == 0 else result
+
+    def cooling_power(self, it_power, outside_temp):
+        """Watts the cooling plant draws to remove ``it_power``."""
+        it = np.asarray(it_power, dtype=float)
+        if np.any(it < 0):
+            raise ValueError("it_power must be non-negative")
+        result = it / self.cop(outside_temp)
+        return float(result) if result.ndim == 0 else result
+
+    def pue(self, outside_temp):
+        """Power usage effectiveness (IT + cooling) / IT."""
+        cop = self.cop(outside_temp)
+        result = 1.0 + 1.0 / np.asarray(cop, dtype=float)
+        return float(result) if result.ndim == 0 else result
+
+
+def effective_it_budget(
+    facility_supply: float, model: CoolingModel, outside_temp: float
+) -> float:
+    """Holistic budget division: IT watts a facility supply can carry.
+
+    Solves ``P_it + P_it / COP <= supply``:
+
+        P_it = supply * COP / (COP + 1)
+
+    Feeding this to the Willow root instead of the raw supply makes the
+    controller cooling-aware without any change to its mechanics.
+    """
+    if facility_supply < 0:
+        raise ValueError("facility_supply must be non-negative")
+    cop = model.cop(outside_temp)
+    return facility_supply * cop / (cop + 1.0)
+
+
+@dataclass(frozen=True)
+class FacilityReport:
+    """Facility-level energy accounting over one run."""
+
+    it_energy: float  # W*ticks
+    cooling_energy: float  # W*ticks
+    mean_pue: float
+
+    @property
+    def total_energy(self) -> float:
+        return self.it_energy + self.cooling_energy
+
+
+def facility_report(
+    collector: MetricsCollector,
+    model: CoolingModel,
+    outside_temp: float,
+) -> FacilityReport:
+    """PUE and energy split for a finished run at a fixed outside temp."""
+    times = collector.times()
+    if times.size == 0:
+        raise ValueError("no server samples recorded")
+    it_per_tick: dict = {}
+    for sample in collector.server_samples:
+        it_per_tick[sample.time] = it_per_tick.get(sample.time, 0.0) + sample.power
+    it_energy = float(sum(it_per_tick.values()))
+    cooling_energy = float(
+        sum(model.cooling_power(p, outside_temp) for p in it_per_tick.values())
+    )
+    mean_pue = (
+        (it_energy + cooling_energy) / it_energy if it_energy > 0 else float("nan")
+    )
+    return FacilityReport(
+        it_energy=it_energy,
+        cooling_energy=cooling_energy,
+        mean_pue=mean_pue,
+    )

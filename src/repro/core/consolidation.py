@@ -1,0 +1,215 @@
+"""Consolidation: drain under-utilised servers and put them to sleep.
+
+"When the utilization in a node is really small the demand from that
+node is migrated away from it and the node is deactivated" (Sec. IV-E);
+the testbed sets the threshold at 20 % utilization (Sec. V-C5).  Every
+``Delta_A = eta2 * Delta_D`` the planner:
+
+1. finds awake servers below the utilization threshold,
+2. for each (least-loaded first) checks whether *all* of its VMs fit
+   into the remaining eligible surpluses (FFDLR, which by design packs
+   into the smallest bins and so fills servers up), and
+3. if so, plans the moves and marks the server for sleep -- partial
+   drains are never done since a half-empty server saves nothing.
+
+Waking is the inverse: when drops persist while a sleeping server
+exists and the root has budget headroom for its static floor, one
+server per consolidation round begins its (slow) S3/S4 resume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.binpack.ffdlr import ffdlr_pack
+from repro.binpack.items import Bin, Item
+from repro.core.config import WillowConfig
+from repro.core.migration import PlannedMove
+from repro.core.state import NodeRuntime, ServerRuntime, SleepState
+from repro.topology.tree import Tree
+from repro.workload.vm import VM
+
+__all__ = ["ConsolidationPlan", "ConsolidationPlanner"]
+
+_EPS = 1e-9
+
+
+@dataclass
+class ConsolidationPlan:
+    """Moves plus the servers to deactivate afterwards."""
+
+    moves: List[PlannedMove] = field(default_factory=list)
+    to_sleep: List[ServerRuntime] = field(default_factory=list)
+    to_wake: List[ServerRuntime] = field(default_factory=list)
+
+
+class ConsolidationPlanner:
+    """Plans consolidation-driven migrations and sleep/wake actions."""
+
+    def __init__(self, tree: Tree, config: WillowConfig):
+        self.tree = tree
+        self.config = config
+
+    def _target_capacity(self, server: ServerRuntime) -> float:
+        surplus = server.budget - server.raw_demand
+        overhead = self.config.p_min + self.config.migration_cost_power
+        return max(surplus - overhead, 0.0)
+
+    def plan(
+        self,
+        servers: Dict[int, ServerRuntime],
+        internals: Dict[int, NodeRuntime],
+        *,
+        recent_dropped_power: float = 0.0,
+        root_budget: float = 0.0,
+        total_demand: float = 0.0,
+    ) -> ConsolidationPlan:
+        """One consolidation pass.
+
+        ``recent_dropped_power``, ``root_budget`` and ``total_demand``
+        feed the wake heuristic: persistent drops with budget headroom
+        justify resuming one sleeping server.
+        """
+        plan = ConsolidationPlan()
+        config = self.config
+
+        # Never drain capacity while demand is being dropped: in a
+        # deficit regime consolidation would remove the very surplus
+        # the deficits need (and fight the wake heuristic below).
+        deficit_regime = recent_dropped_power > config.p_min
+
+        # Servers whose budget fell below their own static floor cannot
+        # comply while awake (the floor is unavoidable); they are drain
+        # candidates even in a deficit regime -- the paper's severe-case
+        # "shut down" response.
+        floor = config.server_model.static_power
+        if config.consolidation_enabled and deficit_regime:
+            starved = sorted(
+                (
+                    s
+                    for s in servers.values()
+                    if s.is_awake and s.budget < floor - _EPS
+                ),
+                key=lambda s: s.vm_demand,
+            )
+            capacity: Dict[int, float] = {
+                s.node.node_id: self._target_capacity(s)
+                for s in servers.values()
+                if s.is_awake and s.budget >= floor
+            }
+            for candidate in starved:
+                if not candidate.vms:
+                    plan.to_sleep.append(candidate)
+                    continue
+                items = [
+                    Item(key=vm.vm_id, size=max(vm.current_demand, _EPS), payload=vm)
+                    for vm in candidate.vms.values()
+                ]
+                bins = [
+                    Bin(key=node_id, capacity=residual)
+                    for node_id, residual in sorted(capacity.items())
+                    if residual > _EPS
+                ]
+                if not bins:
+                    continue
+                result = ffdlr_pack(items, bins)
+                if result.unpacked:
+                    continue  # cannot strand VMs; stay awake
+                for bin_ in result.bins:
+                    for item in bin_.contents:
+                        plan.moves.append(
+                            PlannedMove(
+                                vm=item.payload,
+                                src=candidate.node,
+                                dst=servers[bin_.key].node,
+                            )
+                        )
+                        capacity[bin_.key] = max(
+                            capacity[bin_.key] - item.size, 0.0
+                        )
+                plan.to_sleep.append(candidate)
+
+        if config.consolidation_enabled and not deficit_regime:
+            threshold_power = config.consolidation_threshold * config.server_model.slope
+            # Hot-zone servers (higher ambient => lower thermal cap) are
+            # drained first: Willow "tries to move as much work away
+            # from these servers as possible due to their high
+            # temperatures" (Sec. V-B3), which is also what maximises
+            # their sleep time in Fig. 7.  Within a zone, drain the
+            # least-loaded first.
+            candidates = sorted(
+                (
+                    s
+                    for s in servers.values()
+                    if s.is_awake
+                    and s.vm_demand <= threshold_power + _EPS
+                ),
+                key=lambda s: (-s.thermal_params.t_ambient, s.vm_demand),
+            )
+            draining: set = set()
+            # Residual receive-capacity per potential target; mutated as
+            # earlier drains land so later candidates see the truth.
+            capacity: Dict[int, float] = {
+                s.node.node_id: self._target_capacity(s)
+                for s in servers.values()
+                if s.is_awake
+            }
+            extra_load: Dict[int, float] = {}
+            for candidate in candidates:
+                # A server that received load from an earlier drain this
+                # round stays up (its planned VMs are not in .vms yet,
+                # so it could not be drained consistently anyway).
+                if extra_load.get(candidate.node.node_id, 0.0) > _EPS:
+                    continue
+                current_demand = candidate.vm_demand
+                if not candidate.vms and current_demand <= _EPS:
+                    # Nothing hosted: deactivate immediately.
+                    plan.to_sleep.append(candidate)
+                    draining.add(candidate.node.node_id)
+                    continue
+                items = [
+                    Item(key=vm.vm_id, size=max(vm.current_demand, _EPS), payload=vm)
+                    for vm in candidate.vms.values()
+                ]
+                bins = [
+                    Bin(key=node_id, capacity=residual)
+                    for node_id, residual in sorted(capacity.items())
+                    if node_id != candidate.node.node_id
+                    and node_id not in draining
+                    and residual > _EPS
+                ]
+                if not bins:
+                    continue
+                result = ffdlr_pack(items, bins)
+                if result.unpacked:
+                    continue  # partial drains save nothing; skip
+                for bin_ in result.bins:
+                    for item in bin_.contents:
+                        vm: VM = item.payload
+                        plan.moves.append(
+                            PlannedMove(
+                                vm=vm,
+                                src=candidate.node,
+                                dst=servers[bin_.key].node,
+                            )
+                        )
+                        capacity[bin_.key] = max(
+                            capacity[bin_.key] - item.size, 0.0
+                        )
+                        extra_load[bin_.key] = (
+                            extra_load.get(bin_.key, 0.0) + item.size
+                        )
+                plan.to_sleep.append(candidate)
+                draining.add(candidate.node.node_id)
+                capacity.pop(candidate.node.node_id, None)
+
+        # -- wake heuristic ---------------------------------------------------
+        if deficit_regime:
+            sleeping = [
+                s for s in servers.values() if s.sleep_state is SleepState.ASLEEP
+            ]
+            headroom = root_budget - total_demand
+            if sleeping and headroom > config.server_model.static_power:
+                plan.to_wake.append(sleeping[0])
+        return plan

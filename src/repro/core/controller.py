@@ -1,0 +1,536 @@
+"""The Willow control loop (paper Sec. IV, evaluated in Sec. V).
+
+:class:`WillowController` wires together every substrate -- the
+hierarchy tree, switch fabric, workload, power/thermal models, FFDLR
+matching -- and drives the three nested control cadences on the DES
+kernel:
+
+* every ``Delta_D``  (1 tick):   demand sampling, smoothing, upward
+  demand reports, demand-driven migrations, drops, power/thermal
+  bookkeeping;
+* every ``Delta_S = eta1 ticks``: supply-side budget allocation from
+  the root supply trace, downward budget directives;
+* every ``Delta_A = eta2 ticks``: consolidation (drain + sleep) and
+  wake decisions.
+
+Quantity conventions: node-level demands/budgets/surpluses are *wall
+watts*; VM demands are *dynamic watts* (the static floor stays with the
+server, so moving a VM moves only its dynamic power).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Protocol
+
+from repro.core.config import WillowConfig
+from repro.core.consolidation import ConsolidationPlanner
+from repro.core.events import (
+    ControlMessage,
+    Drop,
+    Migration,
+    MigrationCause,
+)
+from repro.core.migration import MigrationPlanner, PlannedMove
+from repro.core.state import NodeRuntime, ServerRuntime
+from repro.core.deficits import power_imbalance
+from repro.metrics.collector import MetricsCollector, ServerSample, SwitchSample
+from repro.power.budget import allocate_proportional
+from repro.power.supply import SupplyTrace, constant_supply
+from repro.sim.core import Environment
+from repro.sim.rng import RandomStreams
+from repro.thermal.model import ThermalParams
+from repro.topology.switches import SwitchFabric
+from repro.topology.tree import Node, Tree
+from repro.workload.applications import SIMULATION_APPS
+from repro.workload.generator import (
+    DemandGenerator,
+    PlacementPlan,
+    random_placement,
+    scale_for_target_utilization,
+)
+
+__all__ = ["DemandSource", "WillowController", "run_willow"]
+
+_EPS = 1e-9
+
+
+class DemandSource(Protocol):
+    """Anything that can produce one tick of per-host demand."""
+
+    def sample_tick(self) -> Mapping[int, float]:  # pragma: no cover
+        """Update every VM's ``current_demand``; return demand per host."""
+        ...
+
+
+class WillowController:
+    """Runs Willow over one data center.
+
+    Parameters
+    ----------
+    tree:
+        The power-control hierarchy (servers are the leaves).
+    config:
+        All tunables; see :class:`WillowConfig`.
+    supply:
+        Root power budget over time.
+    placement:
+        Initial VM placement (``plan.vms`` host ids must be leaf node
+        ids of ``tree``).
+    demand_source:
+        Produces per-tick VM demands; defaults to a Poisson
+        :class:`DemandGenerator` over ``placement`` seeded by ``seed``.
+    ambient_overrides:
+        Map of server *name* -> ambient temperature, for hot/cold zones
+        (e.g. the Fig. 5 setup puts servers 15-18 at 40 C).
+    """
+
+    def __init__(
+        self,
+        tree: Tree,
+        config: WillowConfig,
+        supply: SupplyTrace,
+        placement: PlacementPlan,
+        *,
+        demand_source: Optional[DemandSource] = None,
+        ambient_overrides: Optional[Mapping[str, float]] = None,
+        fabric: Optional[SwitchFabric] = None,
+        collector: Optional[MetricsCollector] = None,
+        seed: int = 0,
+        ipc_graph=None,
+    ):
+        self.tree = tree
+        self.config = config
+        self.supply = supply
+        self.placement = placement
+        self.fabric = fabric or SwitchFabric(tree)
+        self.collector = collector or MetricsCollector()
+        self.env = Environment()
+        self.streams = RandomStreams(seed)
+        self.demand_source: DemandSource = demand_source or DemandGenerator(
+            placement, self.streams
+        )
+
+        ambient_overrides = dict(ambient_overrides or {})
+        self.servers: Dict[int, ServerRuntime] = {}
+        for leaf in tree.servers():
+            params: ThermalParams = config.thermal
+            if leaf.name in ambient_overrides:
+                params = params.with_ambient(ambient_overrides[leaf.name])
+            self.servers[leaf.node_id] = ServerRuntime(leaf, config, params)
+        if not self.servers:
+            raise ValueError("tree has no servers")
+
+        self.internals: Dict[int, NodeRuntime] = {
+            node.node_id: NodeRuntime(node, config)
+            for node in tree
+            if not node.is_leaf
+        }
+
+        # Attach VMs to their servers.
+        for vm in placement.vms:
+            runtime = self.servers.get(vm.host_id)
+            if runtime is None:
+                raise ValueError(
+                    f"VM {vm.vm_id} placed on unknown server id {vm.host_id}"
+                )
+            runtime.vms[vm.vm_id] = vm
+
+        self.migration_planner = MigrationPlanner(
+            tree, config, ipc_graph=ipc_graph
+        )
+        self.consolidation_planner = ConsolidationPlanner(tree, config)
+
+        #: Optional inter-VM communication graph
+        #: (:class:`repro.workload.affinity.AffinityGraph`).  Edges whose
+        #: endpoints sit on different servers add their rate to the
+        #: switches between the hosts every tick.
+        self.ipc_graph = ipc_graph
+        self._vm_by_id = {vm.vm_id: vm for vm in placement.vms}
+        self._path_cache: Dict[tuple, list] = {}
+
+        #: Observer hooks: ``on_tick(controller, tick_index, now)`` runs
+        #: at the end of every tick; ``on_migration(controller,
+        #: migration)`` right after each executed move.  For user
+        #: instrumentation (custom logging, live dashboards, invariant
+        #: checking) without subclassing.
+        self.on_tick: List = []
+        self.on_migration: List = []
+
+        self.root_budget: float = 0.0
+        self._tick_index = 0
+        self._dropped_since_consolidation = 0.0
+        self._tick_migration_traffic: Dict[int, float] = {}
+        self._last_switch_power: Dict[int, float] = {
+            s.switch_id: config.switch_model.static_power
+            for s in self.fabric.switches
+        }
+
+    # ------------------------------------------------------------------ run
+    def run(self, n_ticks: int) -> MetricsCollector:
+        """Run ``n_ticks`` demand windows and return the metrics."""
+        if n_ticks < 1:
+            raise ValueError(f"n_ticks must be >= 1, got {n_ticks}")
+
+        def loop():
+            for _ in range(n_ticks):
+                self._tick()
+                yield self.env.timeout(self.config.delta_d)
+
+        self.env.process(loop())
+        self.env.run()
+        return self.collector
+
+    # ----------------------------------------------------------------- tick
+    def _tick(self) -> None:
+        now = self.env.now
+        config = self.config
+        self._tick_migration_traffic = {}
+
+        # 0. housekeeping: expire migration costs, advance wake latency.
+        for server in self.servers.values():
+            server.expire_costs()
+            server.tick_wake()
+
+        # 1. sample this tick's demand.
+        self.demand_source.sample_tick()
+
+        # 2. smooth and report demand up the hierarchy.
+        for server in self.servers.values():
+            server.observe_demand()
+        self._aggregate_demands(now)
+
+        # 3. supply-side adaptation every Delta_S.
+        if self._tick_index % config.eta1 == 0:
+            self._allocate_budgets(now)
+
+        # 4. demand-side migrations (constraint tightening only).
+        # Unmatched deficits are NOT shut off wholesale: the VM stays on
+        # its host and runs degraded, i.e. its service is throttled to
+        # the budget in step 6 (Sec. IV-E: applications "run in a
+        # degraded operational mode to stay within the power budget").
+        plan = self.migration_planner.plan(self.servers, self.internals)
+        self._execute_moves(plan.moves, MigrationCause.DEMAND, now)
+        for vm, node in plan.dropped:
+            self.collector.record_unmatched(
+                Drop(now, node.node_id, vm.vm_id, vm.current_demand)
+            )
+
+        # 5. consolidation every Delta_A.
+        if (
+            self._tick_index > 0
+            and self._tick_index % config.eta2 == 0
+        ):
+            self._consolidate(now)
+
+        # 6. serve power within budget; throttle any residual excess.
+        total_demand = 0.0
+        for server in self.servers.values():
+            total_demand += server.raw_demand
+            if not server.is_awake:
+                server.served_power = 0.0
+                continue
+            available = max(
+                server.budget
+                - server.model.static_power
+                - server.migration_cost_demand,
+                0.0,
+            )
+            # Serve VMs in priority order (lower priority value first)
+            # so higher QoS classes degrade last; unserved watts are
+            # recorded per VM for per-class accounting.
+            served = 0.0
+            for vm in sorted(
+                server.vms.values(), key=lambda v: (v.app.priority, v.vm_id)
+            ):
+                if vm.current_demand <= 0:
+                    continue
+                grant = min(vm.current_demand, available - served)
+                grant = max(grant, 0.0)
+                unserved = vm.current_demand - grant
+                if unserved > _EPS:
+                    self.collector.record_drop(
+                        Drop(now, server.node.node_id, vm.vm_id, unserved)
+                    )
+                    self._dropped_since_consolidation += unserved
+                served += grant
+            server.served_power = served
+
+        # 7. thermal update and per-server sample.
+        for server in self.servers.values():
+            wall = server.actual_power()
+            temperature = server.update_temperature(wall, config.delta_d)
+            self.collector.record_server(
+                ServerSample(
+                    time=now,
+                    server_id=server.node.node_id,
+                    power=wall,
+                    temperature=temperature,
+                    utilization=server.utilization,
+                    demand=server.raw_demand,
+                    budget=server.budget,
+                    asleep=not server.is_awake,
+                )
+            )
+
+        # 8. switch traffic and power.
+        self._record_switches(now)
+
+        # 9. level-0 imbalance (Eq. 9).
+        demands = [s.raw_demand for s in self.servers.values()]
+        budgets = [s.budget for s in self.servers.values()]
+        self.collector.record_imbalance(now, power_imbalance(demands, budgets))
+
+        for hook in self.on_tick:
+            hook(self, self._tick_index, now)
+
+        self._tick_index += 1
+
+    # ------------------------------------------------------- demand reports
+    def _aggregate_demands(self, now: float) -> None:
+        """Propagate smoothed demand bottom-up; one message per link."""
+        for level in range(1, self.tree.root.level + 1):
+            for node in self.tree.nodes_at_level(level):
+                total = 0.0
+                for child in node.children:
+                    if child.is_leaf:
+                        total += self.servers[child.node_id].smoothed_demand
+                    else:
+                        total += self.internals[child.node_id].smoothed_demand
+                    self.collector.record_message(
+                        ControlMessage(now, link=child.node_id, upward=True)
+                    )
+                self.internals[node.node_id].observe_demand(total)
+
+    # ------------------------------------------------------- supply side
+    def _allocate_budgets(self, now: float) -> None:
+        """Proportional top-down division with hard caps (Sec. IV-D)."""
+        caps: Dict[int, float] = {}
+        for server in self.servers.values():
+            caps[server.node.node_id] = server.hard_cap()
+        for level in range(1, self.tree.root.level + 1):
+            for node in self.tree.nodes_at_level(level):
+                caps[node.node_id] = sum(
+                    caps[child.node_id] for child in node.children
+                )
+
+        self.root_budget = self.supply.at(now)
+        self.internals[self.tree.root.node_id].set_budget(
+            min(self.root_budget, caps[self.tree.root.node_id])
+        )
+
+        for level in range(self.tree.root.level, 0, -1):
+            for node in self.tree.nodes_at_level(level):
+                runtime = self.internals[node.node_id]
+                budget = runtime.budget
+                # Reserve the colocated switch group's draw off the top.
+                reserve = sum(
+                    self._last_switch_power[s.switch_id]
+                    for s in self.fabric.at_site(node)
+                )
+                budget = max(budget - reserve, 0.0)
+                demands = []
+                child_caps = []
+                for child in node.children:
+                    if child.is_leaf:
+                        demands.append(self.servers[child.node_id].smoothed_demand)
+                    else:
+                        demands.append(self.internals[child.node_id].smoothed_demand)
+                    child_caps.append(caps[child.node_id])
+                if self.config.allocation_mode == "capacity":
+                    # Equal split for identical capacities (testbed mode);
+                    # the cap limits still apply inside the allocator.
+                    weights = list(child_caps)
+                else:
+                    weights = demands
+                allocations, _unused = allocate_proportional(
+                    budget, weights, child_caps
+                )
+                for child, allocation in zip(node.children, allocations):
+                    if child.is_leaf:
+                        self.servers[child.node_id].set_budget(allocation)
+                    else:
+                        self.internals[child.node_id].set_budget(allocation)
+                    self.collector.record_message(
+                        ControlMessage(now, link=child.node_id, upward=False)
+                    )
+
+    # ------------------------------------------------------ migrations
+    def _execute_moves(
+        self, moves: Iterable[PlannedMove], cause: MigrationCause, now: float
+    ) -> None:
+        config = self.config
+        for move in moves:
+            src = self.servers[move.src.node_id]
+            dst = self.servers[move.dst.node_id]
+            vm = move.vm
+            del src.vms[vm.vm_id]
+            dst.vms[vm.vm_id] = vm
+            vm.place(dst.node.node_id, now)
+            src.charge_migration_cost(
+                config.migration_cost_power, config.migration_cost_ticks
+            )
+            dst.charge_migration_cost(
+                config.migration_cost_power, config.migration_cost_ticks
+            )
+            traffic = vm.current_demand * config.migration_traffic_factor
+            for switch, share in self.fabric.path(move.src, move.dst):
+                self._tick_migration_traffic[switch.switch_id] = (
+                    self._tick_migration_traffic.get(switch.switch_id, 0.0)
+                    + traffic * share
+                )
+            record = Migration(
+                time=now,
+                vm_id=vm.vm_id,
+                src_id=move.src.node_id,
+                dst_id=move.dst.node_id,
+                demand=vm.current_demand,
+                cause=cause,
+                local=move.local,
+                hops=self.fabric.hop_count(move.src, move.dst),
+                cost_power=config.migration_cost_power,
+            )
+            self.collector.record_migration(record)
+            for hook in self.on_migration:
+                hook(self, record)
+
+    # ------------------------------------------------------ consolidation
+    def _consolidate(self, now: float) -> None:
+        total_demand = sum(s.raw_demand for s in self.servers.values())
+        plan = self.consolidation_planner.plan(
+            self.servers,
+            self.internals,
+            recent_dropped_power=self._dropped_since_consolidation,
+            root_budget=self.root_budget,
+            total_demand=total_demand,
+        )
+        self._execute_moves(plan.moves, MigrationCause.CONSOLIDATION, now)
+        for server in plan.to_sleep:
+            if not server.vms:  # all moves executed; drain complete
+                server.sleep()
+        for server in plan.to_wake:
+            server.begin_wake()
+            # Prime the demand forecast with the unserved demand the
+            # server is being woken to absorb: budgets derive from
+            # smoothed demand, so without this the woken server would
+            # receive no budget, attract no migrations, and be drained
+            # again (sleep/wake thrash).  This is the paper's step 2:
+            # surplus "harnessed by bringing in additional workload".
+            per_tick_dropped = self._dropped_since_consolidation / max(
+                self.config.eta2, 1
+            )
+            forecast = min(
+                server.hard_cap(),
+                server.model.static_power + per_tick_dropped,
+            )
+            server.smoother.reset(initial=forecast)
+            server.smoothed_demand = forecast
+        self._dropped_since_consolidation = 0.0
+
+    # ------------------------------------------------------------ switches
+    def _record_switches(self, now: float) -> None:
+        """Base traffic = served demand in the subtree; plus migrations."""
+        model = self.config.switch_model
+        served_below: Dict[int, float] = {}
+        for server in self.servers.values():
+            served_below[server.node.node_id] = server.served_power
+        for level in range(1, self.tree.root.level + 1):
+            for node in self.tree.nodes_at_level(level):
+                served_below[node.node_id] = sum(
+                    served_below[child.node_id] for child in node.children
+                )
+        # IPC traffic: cross-host affinity edges load the switches on
+        # the path between the two hosts (future-work workload model).
+        ipc_traffic: Dict[int, float] = {}
+        if self.ipc_graph is not None:
+            for vm_a, vm_b, rate in self.ipc_graph.edges():
+                host_a = self._vm_by_id[vm_a].host_id
+                host_b = self._vm_by_id[vm_b].host_id
+                if host_a == host_b:
+                    continue
+                key = (host_a, host_b) if host_a < host_b else (host_b, host_a)
+                if key not in self._path_cache:
+                    self._path_cache[key] = self.fabric.path(
+                        self.tree.node(key[0]), self.tree.node(key[1])
+                    )
+                for switch, share in self._path_cache[key]:
+                    ipc_traffic[switch.switch_id] = (
+                        ipc_traffic.get(switch.switch_id, 0.0) + rate * share
+                    )
+
+        for switch in self.fabric.switches:
+            base = served_below[switch.site.node_id] / switch.redundancy
+            base += ipc_traffic.get(switch.switch_id, 0.0)
+            migration = self._tick_migration_traffic.get(switch.switch_id, 0.0)
+            power = model.power(base + migration)
+            self._last_switch_power[switch.switch_id] = power
+            self.collector.record_switch(
+                SwitchSample(
+                    time=now,
+                    switch_id=switch.switch_id,
+                    level=switch.level,
+                    base_traffic=base,
+                    migration_traffic=migration,
+                    power=power,
+                )
+            )
+
+    # ------------------------------------------------------------- helpers
+    @property
+    def vms(self) -> List:
+        """All VMs in the run (for stability analysis)."""
+        return list(self.placement.vms)
+
+    def server_by_name(self, name: str) -> ServerRuntime:
+        """Look up a server runtime by its tree node name."""
+        return self.servers[self.tree.by_name(name).node_id]
+
+
+def run_willow(
+    *,
+    tree: Optional[Tree] = None,
+    config: Optional[WillowConfig] = None,
+    supply: Optional[SupplyTrace] = None,
+    target_utilization: float = 0.4,
+    n_ticks: int = 100,
+    seed: int = 0,
+    apps: tuple = SIMULATION_APPS,
+    vms_per_server: int = 4,
+    ambient_overrides: Optional[Mapping[str, float]] = None,
+) -> tuple:
+    """Build and run a complete Willow simulation in one call.
+
+    Defaults reproduce the paper's simulation environment: the Fig. 3
+    topology (4 levels, 18 servers), a supply close to the servers'
+    maximum power limit, the 1/2/5/9 application mix, and Poisson
+    demand scaled to ``target_utilization``.
+
+    Returns ``(controller, collector)``.
+    """
+    from repro.topology.builders import build_paper_simulation
+
+    tree = tree or build_paper_simulation()
+    config = config or WillowConfig()
+    servers = tree.servers()
+    if supply is None:
+        supply = constant_supply(len(servers) * config.circuit_limit)
+
+    streams = RandomStreams(seed)
+    placement = random_placement(
+        [s.node_id for s in servers],
+        apps,
+        streams["placement"],
+        vms_per_server=vms_per_server,
+    )
+    scale_for_target_utilization(
+        placement, config.server_model.slope, target_utilization
+    )
+    controller = WillowController(
+        tree,
+        config,
+        supply,
+        placement,
+        ambient_overrides=ambient_overrides,
+        seed=seed,
+    )
+    collector = controller.run(n_ticks)
+    return controller, collector

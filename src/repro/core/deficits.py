@@ -1,0 +1,69 @@
+"""Power deficit, surplus and imbalance (paper Eqs. 5-9).
+
+    P_def(l, i) = [CP_{l,i} - TP_{l,i}]+                    (Eq. 5)
+    P_sur(l, i) = [TP_{l,i} - CP_{l,i}]+                    (Eq. 6)
+    P_def(l)    = max_i P_def(l, i)                         (Eq. 7)
+    P_sur(l)    = max_i P_sur(l, i)                         (Eq. 8)
+    P_imb(l)    = P_def(l) + min[P_def(l), P_sur(l)]        (Eq. 9)
+
+"The reason for capping the surplus by deficit is simply because any
+supply that is in excess of deficit is not handled by our control
+scheme and is left to be taken care of by the idle power control
+schemes that operate at a finer granularity."
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "power_deficit",
+    "power_surplus",
+    "level_deficit",
+    "level_surplus",
+    "power_imbalance",
+    "deficits_and_surpluses",
+]
+
+
+def power_deficit(demand: float, budget: float) -> float:
+    """Per-node deficit ``[CP - TP]+`` (Eq. 5)."""
+    return max(float(demand) - float(budget), 0.0)
+
+
+def power_surplus(demand: float, budget: float) -> float:
+    """Per-node surplus ``[TP - CP]+`` (Eq. 6)."""
+    return max(float(budget) - float(demand), 0.0)
+
+
+def deficits_and_surpluses(
+    demands: Sequence[float], budgets: Sequence[float]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorised Eqs. 5-6 over a whole level."""
+    demands = np.asarray(demands, dtype=float)
+    budgets = np.asarray(budgets, dtype=float)
+    if demands.shape != budgets.shape:
+        raise ValueError("demands and budgets must have the same shape")
+    diff = demands - budgets
+    return np.maximum(diff, 0.0), np.maximum(-diff, 0.0)
+
+
+def level_deficit(demands: Sequence[float], budgets: Sequence[float]) -> float:
+    """Level-wide deficit ``max_i P_def(l, i)`` (Eq. 7)."""
+    deficits, _ = deficits_and_surpluses(demands, budgets)
+    return float(deficits.max()) if deficits.size else 0.0
+
+
+def level_surplus(demands: Sequence[float], budgets: Sequence[float]) -> float:
+    """Level-wide surplus ``max_i P_sur(l, i)`` (Eq. 8)."""
+    _, surpluses = deficits_and_surpluses(demands, budgets)
+    return float(surpluses.max()) if surpluses.size else 0.0
+
+
+def power_imbalance(demands: Sequence[float], budgets: Sequence[float]) -> float:
+    """Allocation inefficiency ``P_def(l) + min(P_def(l), P_sur(l))`` (Eq. 9)."""
+    deficit = level_deficit(demands, budgets)
+    surplus = level_surplus(demands, budgets)
+    return deficit + min(deficit, surplus)

@@ -1,0 +1,267 @@
+"""Demand-side migration planning (paper Sec. IV-E).
+
+The planner turns per-server deficits into a set of VM moves:
+
+1. **Shedding.**  Each deficient server sheds whole VMs (demand is never
+   split below application granularity), largest first, until its
+   remaining demand leaves at least ``P_min`` surplus under its budget.
+2. **Matching, local first.**  Shed VMs become bin-packing items; the
+   surpluses of eligible servers (margin ``P_min`` and the pending
+   migration cost already subtracted) become bins.  Matching proceeds
+   bottom-up: first within the source's parent group (local), then
+   within progressively higher subtrees (non-local), using FFDLR at
+   every stage.
+3. **Unidirectional rule.**  A server is an eligible target only if
+   neither it nor any ancestor is *squeezed* -- had its budget reduced
+   by the latest supply event while its smoothed demand exceeds the new
+   budget.  (The paper forbids migrating into any node whose budget the
+   triggering event reduced; under a global supply dip that literal
+   reading would forbid the rebalancing its own testbed performs, so we
+   scope the rule to nodes the reduction actually left short.  See
+   DESIGN.md.)
+4. **Drops.**  Items no surplus can hold are returned as drops: the
+   demand is shed entirely this tick (the hosted application runs
+   degraded), exactly as Sec. IV-E prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.binpack.ffdlr import ffdlr_pack
+from repro.binpack.items import Bin, Item
+from repro.core.config import WillowConfig
+from repro.core.state import NodeRuntime, ServerRuntime
+from repro.topology.tree import Node, Tree
+from repro.workload.vm import VM
+
+__all__ = ["PlannedMove", "MigrationPlan", "MigrationPlanner"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class PlannedMove:
+    """One VM move the planner decided on."""
+
+    vm: VM
+    src: Node
+    dst: Node
+
+    @property
+    def local(self) -> bool:
+        return self.src.parent is self.dst.parent
+
+
+@dataclass
+class MigrationPlan:
+    """Outcome of one planning pass."""
+
+    moves: List[PlannedMove] = field(default_factory=list)
+    dropped: List[Tuple[VM, Node]] = field(default_factory=list)
+
+    @property
+    def dropped_power(self) -> float:
+        return sum(vm.current_demand for vm, _node in self.dropped)
+
+
+class MigrationPlanner:
+    """Plans demand-driven migrations over one hierarchy.
+
+    ``ipc_graph`` (a :class:`repro.workload.affinity.AffinityGraph`)
+    enables the affinity pre-pass when ``config.affinity_aware`` is
+    set: shed VMs are offered first to servers hosting their heaviest
+    IPC peers.
+    """
+
+    def __init__(self, tree: Tree, config: WillowConfig, ipc_graph=None):
+        self.tree = tree
+        self.config = config
+        self.ipc_graph = ipc_graph
+
+    # -- eligibility ---------------------------------------------------------
+    def _squeezed(
+        self,
+        server: ServerRuntime,
+        internals: Dict[int, NodeRuntime],
+    ) -> bool:
+        """Unidirectional-rule check: is this target in a sinking subtree?"""
+        if server.budget_reduced and server.smoothed_demand > server.budget + _EPS:
+            return True
+        for ancestor in server.node.ancestors():
+            runtime = internals.get(ancestor.node_id)
+            if runtime is None:
+                continue
+            if (
+                runtime.budget_reduced
+                and runtime.smoothed_demand > runtime.budget + _EPS
+            ):
+                return True
+        return False
+
+    def _target_capacity(self, server: ServerRuntime) -> float:
+        """Bin capacity a server offers: surplus minus margin and cost."""
+        surplus = server.budget - server.raw_demand
+        overhead = self.config.p_min + self.config.migration_cost_power
+        return max(surplus - overhead, 0.0)
+
+    # -- shedding --------------------------------------------------------------
+    def _shed_items(self, server: ServerRuntime) -> List[Item]:
+        """Choose whole VMs to move off a deficient server.
+
+        Sheds largest-demand VMs first until the remaining demand fits
+        under ``budget - P_min`` (or no VMs remain).
+        """
+        goal = max(server.budget - self.config.p_min, 0.0)
+        remaining = server.raw_demand
+        items: List[Item] = []
+        for vm in sorted(
+            server.vms.values(), key=lambda v: v.current_demand, reverse=True
+        ):
+            if remaining <= goal + _EPS:
+                break
+            if vm.current_demand <= 0:
+                continue
+            items.append(Item(key=vm.vm_id, size=vm.current_demand, payload=vm))
+            remaining -= vm.current_demand
+        return items
+
+    # -- planning ---------------------------------------------------------------
+    def plan(
+        self,
+        servers: Dict[int, ServerRuntime],
+        internals: Dict[int, NodeRuntime],
+    ) -> MigrationPlan:
+        """One demand-side planning pass over the whole tree.
+
+        ``servers`` maps leaf node ids to runtimes; ``internals`` maps
+        internal node ids to runtimes (for the unidirectional rule).
+        """
+        plan = MigrationPlan()
+
+        deficient = [
+            s
+            for s in servers.values()
+            if s.is_awake and s.raw_demand > s.budget + _EPS
+        ]
+        if not deficient:
+            return plan
+
+        # Pending items grouped by source server id.
+        pending: Dict[int, List[Item]] = {}
+        sources: Dict[int, ServerRuntime] = {}
+        for server in deficient:
+            items = self._shed_items(server)
+            if items:
+                pending[server.node.node_id] = items
+                sources[server.node.node_id] = server
+
+        # Residual capacity each eligible target still offers (mutates
+        # as matching proceeds so later passes see earlier placements).
+        capacity: Dict[int, float] = {}
+        for server in servers.values():
+            if not server.is_awake:
+                continue
+            if server.raw_demand > server.budget + _EPS:
+                continue  # deficient servers never receive
+            if self._squeezed(server, internals):
+                continue
+            cap = self._target_capacity(server)
+            if cap > _EPS:
+                capacity[server.node.node_id] = cap
+
+        # Affinity pre-pass: offer each shed VM to the eligible server
+        # hosting its heaviest IPC peer before generic matching.
+        if self.config.affinity_aware and self.ipc_graph is not None:
+            vm_host = {
+                vm.vm_id: server.node.node_id
+                for server in servers.values()
+                for vm in server.vms.values()
+            }
+            for src_id in list(pending):
+                remaining_items = []
+                for item in pending[src_id]:
+                    placed = False
+                    peers = sorted(
+                        self.ipc_graph.neighbours(item.key),
+                        key=lambda pair: -pair[1],
+                    )
+                    for peer_id, _rate in peers:
+                        host = vm_host.get(peer_id)
+                        if (
+                            host is None
+                            or host == src_id
+                            or host not in capacity
+                            or capacity[host] < item.size - _EPS
+                        ):
+                            continue
+                        plan.moves.append(
+                            PlannedMove(
+                                vm=item.payload,
+                                src=servers[src_id].node,
+                                dst=servers[host].node,
+                            )
+                        )
+                        capacity[host] = max(capacity[host] - item.size, 0.0)
+                        vm_host[item.key] = host
+                        placed = True
+                        break
+                    if not placed:
+                        remaining_items.append(item)
+                if remaining_items:
+                    pending[src_id] = remaining_items
+                else:
+                    del pending[src_id]
+
+        # Bottom-up matching: local (parent group) first, then wider.
+        levels = range(1, self.tree.root.level + 1) if self.config.local_first else [
+            self.tree.root.level
+        ]
+        for level in levels:
+            if not pending:
+                break
+            for group in self.tree.nodes_at_level(level):
+                group_leaf_ids = {leaf.node_id for leaf in group.leaves()}
+                group_items: List[Tuple[int, Item]] = [
+                    (src_id, item)
+                    for src_id, items in pending.items()
+                    if src_id in group_leaf_ids
+                    for item in items
+                ]
+                if not group_items:
+                    continue
+                bins = [
+                    Bin(key=node_id, capacity=capacity[node_id])
+                    for node_id in sorted(capacity)
+                    if node_id in group_leaf_ids and node_id not in pending
+                ]
+                if not bins:
+                    continue
+                result = ffdlr_pack([item for _src, item in group_items], bins)
+                src_of = {item.key: src_id for src_id, item in group_items}
+                for bin_ in result.bins:
+                    for item in bin_.contents:
+                        src_id = src_of[item.key]
+                        vm: VM = item.payload
+                        plan.moves.append(
+                            PlannedMove(
+                                vm=vm,
+                                src=servers[src_id].node,
+                                dst=servers[bin_.key].node,
+                            )
+                        )
+                        capacity[bin_.key] = max(
+                            capacity[bin_.key] - item.size, 0.0
+                        )
+                        pending[src_id] = [
+                            it for it in pending[src_id] if it.key != item.key
+                        ]
+                        if not pending[src_id]:
+                            del pending[src_id]
+
+        # Anything still pending found no surplus anywhere: drop it.
+        for src_id, items in pending.items():
+            for item in items:
+                plan.dropped.append((item.payload, servers[src_id].node))
+        return plan

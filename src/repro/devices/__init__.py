@@ -1,0 +1,26 @@
+"""Per-component power and thermal modelling.
+
+The paper's conclusion calls for a "more complete design [that can]
+measure power consumption and temperature of every component in the
+server including memory, NIC, hard disks etc. and make fine grained
+control decisions."  This subpackage implements that refinement:
+
+* :class:`~repro.devices.model.DeviceClass` -- one component type with
+  its own power share and thermal envelope;
+* :class:`~repro.devices.model.DeviceSet` -- a server's components; it
+  splits server power across devices, tracks per-device temperatures,
+  and derives the *binding* server-level power cap (the tightest
+  component constraint, translated back to server watts).
+
+``WillowConfig(device_classes=STANDARD_DEVICES)`` makes every server's
+hard cap device-aware; with ``None`` (default) the original
+server-level thermal model applies unchanged.
+"""
+
+from repro.devices.model import (
+    DeviceClass,
+    DeviceSet,
+    STANDARD_DEVICES,
+)
+
+__all__ = ["DeviceClass", "DeviceSet", "STANDARD_DEVICES"]

@@ -1,0 +1,201 @@
+"""Component-level power split and thermal envelopes.
+
+A server's wall power is split across its component classes in fixed
+proportions (the power-share vector); each component then obeys its own
+Eq. 1 thermal model.  The *server-level* power cap induced by component
+``d`` is ``cap_d / share_d`` -- the server power at which that component
+reaches its own limit -- and the binding component is the minimum over
+all of them.  With the paper's conservative window-reset reading, every
+component cap is a constant of its zone ambient, so the binding
+component is stable per zone (typically the disk, whose 60 C limit is
+the tightest envelope).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.thermal.model import (
+    ThermalParams,
+    power_cap,
+    temperature_after,
+    window_for_power_cap,
+)
+
+__all__ = ["DeviceClass", "DeviceSet", "STANDARD_DEVICES"]
+
+
+@dataclass(frozen=True)
+class DeviceClass:
+    """One component type inside a server.
+
+    Attributes
+    ----------
+    name:
+        Component label ("cpu", "dimm", ...).
+    power_share:
+        Fraction of the server's wall power dissipated in this
+        component; shares across a :class:`DeviceSet` must sum to 1.
+    thermal:
+        The component's own Eq. 1 envelope.  ``t_ambient`` here is the
+        *offset-free* baseline; the set applies the server's zone
+        ambient shift uniformly.
+    rated_power:
+        The component's nominal maximum dissipation (W), used to
+        calibrate its cap window the same way Fig. 4 calibrates the
+        server's.
+    """
+
+    name: str
+    power_share: float
+    thermal: ThermalParams
+    rated_power: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.power_share <= 1.0:
+            raise ValueError(
+                f"power_share must be in (0, 1], got {self.power_share}"
+            )
+        if self.rated_power <= 0:
+            raise ValueError(f"rated_power must be > 0, got {self.rated_power}")
+
+
+#: A contemporary dual-socket server's component split.  Limits follow
+#: component datasheet conventions: CPUs throttle at ~70 C junction
+#: proxy, DIMMs at ~85 C, NICs ~75 C, and disks are the fragile ones at
+#: ~60 C.  Shares sum to 1 over a 450 W envelope.
+STANDARD_DEVICES: Tuple[DeviceClass, ...] = (
+    DeviceClass(
+        "cpu",
+        power_share=0.55,
+        thermal=ThermalParams(c1=0.08, c2=0.05, t_ambient=25.0, t_limit=70.0),
+        rated_power=0.55 * 450.0,
+    ),
+    DeviceClass(
+        "dimm",
+        power_share=0.20,
+        thermal=ThermalParams(c1=0.16, c2=0.05, t_ambient=25.0, t_limit=85.0),
+        rated_power=0.20 * 450.0,
+    ),
+    DeviceClass(
+        "nic",
+        power_share=0.10,
+        thermal=ThermalParams(c1=0.28, c2=0.05, t_ambient=25.0, t_limit=75.0),
+        rated_power=0.10 * 450.0,
+    ),
+    DeviceClass(
+        "disk",
+        power_share=0.15,
+        thermal=ThermalParams(c1=0.13, c2=0.05, t_ambient=25.0, t_limit=60.0),
+        rated_power=0.15 * 450.0,
+    ),
+)
+
+
+class DeviceSet:
+    """One server's components: power split, temperatures, binding cap.
+
+    Parameters
+    ----------
+    classes:
+        The component classes; power shares must sum to 1.
+    t_ambient:
+        The server's zone ambient; applied as a shift relative to each
+        class's baseline 25 C ambient (a hot aisle heats every
+        component equally).
+    """
+
+    def __init__(
+        self,
+        classes: Sequence[DeviceClass] = STANDARD_DEVICES,
+        *,
+        t_ambient: float = 25.0,
+    ):
+        classes = tuple(classes)
+        if not classes:
+            raise ValueError("need at least one device class")
+        total_share = sum(d.power_share for d in classes)
+        if abs(total_share - 1.0) > 1e-6:
+            raise ValueError(
+                f"device power shares must sum to 1, got {total_share:.4f}"
+            )
+        names = [d.name for d in classes]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate device class names")
+        self.classes = classes
+        shift = t_ambient - 25.0
+        self._params: Dict[str, ThermalParams] = {}
+        self._windows: Dict[str, float] = {}
+        self.temperatures: Dict[str, float] = {}
+        for device in classes:
+            params = device.thermal.with_ambient(device.thermal.t_ambient + shift)
+            self._params[device.name] = params
+            self._windows[device.name] = window_for_power_cap(
+                device.thermal, device.rated_power  # calibrate at baseline
+            )
+            self.temperatures[device.name] = params.t_ambient
+        self.violations: Dict[str, int] = {d.name: 0 for d in classes}
+
+    # -- power split -----------------------------------------------------
+    def device_power(self, server_power: float) -> Dict[str, float]:
+        """Split server wall power across components."""
+        if server_power < 0:
+            raise ValueError("server_power must be non-negative")
+        return {d.name: d.power_share * server_power for d in self.classes}
+
+    # -- caps --------------------------------------------------------------
+    def device_caps(self) -> Dict[str, float]:
+        """Each component's own thermal power cap (window-reset, W)."""
+        caps = {}
+        for device in self.classes:
+            params = self._params[device.name]
+            caps[device.name] = power_cap(
+                params, params.t_ambient, self._windows[device.name]
+            )
+        return caps
+
+    def server_cap(self) -> float:
+        """The server-level cap induced by the tightest component."""
+        caps = self.device_caps()
+        return min(
+            caps[d.name] / d.power_share for d in self.classes
+        )
+
+    def binding_device(self) -> str:
+        """Name of the component whose envelope binds the server cap."""
+        caps = self.device_caps()
+        return min(
+            self.classes, key=lambda d: caps[d.name] / d.power_share
+        ).name
+
+    # -- temperatures ------------------------------------------------------
+    def update(self, server_power: float, window: float | None = None) -> Dict[str, float]:
+        """Window-reset temperature update for every component.
+
+        Each component re-derives its temperature from its zone ambient
+        at this window's power (the paper's conservative assumption,
+        applied per component).
+        """
+        split = self.device_power(server_power)
+        for device in self.classes:
+            params = self._params[device.name]
+            w = window if window is not None else self._windows[device.name]
+            temp = temperature_after(params, params.t_ambient, split[device.name], w)
+            self.temperatures[device.name] = temp
+            if temp > params.t_limit + 1e-9:
+                self.violations[device.name] += 1
+        return dict(self.temperatures)
+
+    def hottest_margin(self) -> Tuple[str, float]:
+        """Component with least headroom: (name, limit - temperature)."""
+        best_name, best_margin = None, float("inf")
+        for device in self.classes:
+            margin = (
+                self._params[device.name].t_limit
+                - self.temperatures[device.name]
+            )
+            if margin < best_margin:
+                best_name, best_margin = device.name, margin
+        assert best_name is not None
+        return best_name, best_margin

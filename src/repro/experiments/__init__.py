@@ -1,0 +1,33 @@
+"""Experiment harness: one module per paper figure/table.
+
+Every module exposes ``run(**params) -> ExperimentResult`` (pure, no
+printing) plus a ``main()`` that prints the result as the rows/series
+the paper reports.  ``python -m repro.experiments.runner all`` runs the
+whole evaluation.
+
+Index (see DESIGN.md for the full mapping):
+
+====================  =====================================================
+Module                Reproduces
+====================  =====================================================
+fig04_thermal         Fig. 4  -- setting the simulation thermal constants
+fig05_power           Fig. 5  -- avg server power vs utilization, hot/cold
+fig06_temperature     Fig. 6  -- avg server temperature vs utilization
+fig07_consolidation   Fig. 7  -- per-server consolidation power savings
+fig09_migration_mix   Fig. 9  -- demand- vs consolidation-driven migrations
+fig10_traffic         Fig. 10 -- normalised migration traffic vs utilization
+fig11_switch_power    Fig. 11 -- level-1 switch power vs utilization
+fig12_switch_cost     Fig. 12 -- migration cost in level-1 switches
+table1_power_model    Table I -- utilization vs power (testbed model)
+fig14_calibration     Fig. 14 -- experimental estimation of c1, c2
+fig15_16_deficit      Figs. 15+16 -- supply plunge trace + migration bursts
+fig17_18_temps        Figs. 17+18 -- testbed temperature series
+fig19_table3          Fig. 19 + Table III -- consolidation savings (~27.5%)
+table2_app_profiles   Table II -- application power profiles
+properties            Sec. V-A -- convergence, messages, stability, scaling
+====================  =====================================================
+"""
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["ExperimentResult"]

@@ -1,0 +1,82 @@
+"""Shared experiment infrastructure.
+
+:class:`ExperimentResult` is the uniform return type: a named table
+(headers + rows) for human consumption plus a raw ``data`` dict that
+tests and benchmarks assert against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+__all__ = [
+    "ExperimentResult",
+    "hot_zone_overrides",
+    "PAPER_UTILIZATIONS",
+    "HOT_SERVER_NAMES",
+    "COLD_SERVER_NAMES",
+]
+
+#: Utilization sweep used throughout Sec. V-B (fractions of capacity).
+PAPER_UTILIZATIONS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+#: Paper's hot zone: servers 15-18 at 40 C ambient (Sec. V-B3).
+HOT_SERVER_NAMES = tuple(f"server-{i}" for i in range(15, 19))
+COLD_SERVER_NAMES = tuple(f"server-{i}" for i in range(1, 15))
+
+
+def hot_zone_overrides(t_hot: float = 40.0) -> Dict[str, float]:
+    """Ambient override map for the Fig. 5-7 hot/cold zone split."""
+    return {name: t_hot for name in HOT_SERVER_NAMES}
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced figure/table.
+
+    Attributes
+    ----------
+    name:
+        Paper label, e.g. ``"Fig. 5"``.
+    headers / rows:
+        The printable table.
+    data:
+        Raw values (arrays, dicts) for programmatic assertions.
+    notes:
+        Reproduction caveats worth printing alongside the table.
+    """
+
+    name: str
+    headers: List[str]
+    rows: List[Sequence[Any]]
+    data: Dict[str, Any] = field(default_factory=dict)
+    notes: str = ""
+
+    def format(self) -> str:
+        """Render as a fixed-width ASCII table."""
+        columns = [str(h) for h in self.headers]
+        body = [[_fmt(cell) for cell in row] for row in self.rows]
+        widths = [
+            max(len(columns[i]), *(len(r[i]) for r in body)) if body else len(columns[i])
+            for i in range(len(columns))
+        ]
+        lines = [self.name]
+        lines.append("  ".join(c.rjust(w) for c, w in zip(columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if self.notes:
+            lines.append("")
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print(self.format())
+        print()
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

@@ -1,0 +1,57 @@
+"""Fig. 10 -- migration traffic normalised to maximum network traffic.
+
+"We see that ... the migrations are increasing with increase in
+utilization.  However at high utilization levels the migration traffic
+is decreasing ... at higher utilizations very less number of
+migrations occur since none of the servers has a surplus to
+accommodate the deficit that is arising in the other servers."
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.experiments.common import ExperimentResult, PAPER_UTILIZATIONS
+from repro.experiments.paper_sweep import run_sweep
+
+__all__ = ["run", "main"]
+
+
+def run(
+    utilizations: Tuple[float, ...] = PAPER_UTILIZATIONS,
+    n_ticks: int = 120,
+    seed: int = 11,
+) -> ExperimentResult:
+    points = run_sweep(tuple(utilizations), n_ticks=n_ticks, seed=seed)
+    headers = ["U (%)", "migration traffic (% of max)", "migrations"]
+    rows = []
+    for point in points:
+        rows.append(
+            [
+                point.utilization * 100,
+                point.migration_traffic_fraction * 100,
+                point.demand_migrations + point.consolidation_migrations,
+            ]
+        )
+    fractions = [p.migration_traffic_fraction for p in points]
+    return ExperimentResult(
+        name="Fig. 10 -- migration traffic normalised to max network traffic",
+        headers=headers,
+        rows=rows,
+        data={
+            "utilizations": list(utilizations),
+            "fractions": fractions,
+        },
+        notes=(
+            "expect: rising through mid utilizations, then falling at high "
+            "U where no surplus remains to migrate into"
+        ),
+    )
+
+
+def main() -> None:  # pragma: no cover - console entry
+    run().print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,49 @@
+"""Fig. 12 -- migration cost directly associated with level-1 switches.
+
+"Figure 12 shows the migration cost that is directly associated with
+the switches.  This corresponds to the trend in total number of
+migrations that are done at different utilizations as shown in
+Figure 10."
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.experiments.common import ExperimentResult, PAPER_UTILIZATIONS
+from repro.experiments.paper_sweep import run_sweep
+
+__all__ = ["run", "main"]
+
+
+def run(
+    utilizations: Tuple[float, ...] = PAPER_UTILIZATIONS,
+    n_ticks: int = 120,
+    seed: int = 11,
+) -> ExperimentResult:
+    points = run_sweep(tuple(utilizations), n_ticks=n_ticks, seed=seed)
+    headers = ["U (%)", "total cost (W*ticks)", "per-switch max"]
+    rows = []
+    totals = []
+    for point in points:
+        costs = list(point.switch_migration_cost_l1.values())
+        total = sum(costs)
+        totals.append(total)
+        rows.append(
+            [point.utilization * 100, total, max(costs) if costs else 0.0]
+        )
+    return ExperimentResult(
+        name="Fig. 12 -- migration cost in level-1 switches",
+        headers=headers,
+        rows=rows,
+        data={"utilizations": list(utilizations), "totals": totals},
+        notes="expect: tracks the Fig. 10 migration-traffic trend",
+    )
+
+
+def main() -> None:  # pragma: no cover - console entry
+    run().print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,58 @@
+"""Figs. 17 + 18 -- testbed temperature behaviour.
+
+Fig. 17: temperature time series of server A through the
+energy-deficient run (tracks its power as supply and placement change;
+dips during plunges when A sheds or throttles).
+Fig. 18: run-average temperature of each server.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.fig15_16_deficit import N_UNITS, run_deficit_scenario
+
+__all__ = ["run", "main"]
+
+
+def run(seed: int = 0) -> ExperimentResult:
+    controller, collector, config, _supply = run_deficit_scenario(seed)
+
+    names = ("server-A", "server-B", "server-C")
+    series = {}
+    means = {}
+    for name in names:
+        node = controller.tree.by_name(name)
+        temps = collector.server_series(node.node_id, "temperature")
+        series[name] = temps
+        means[name] = float(np.mean(temps))
+
+    # Fig. 17 table: server A temperature per time unit.
+    a_temps = series["server-A"].reshape(N_UNITS, config.eta1).mean(axis=1)
+    headers = ["time unit", "server A temp (C)"]
+    rows = [[unit, float(a_temps[unit])] for unit in range(N_UNITS)]
+    return ExperimentResult(
+        name="Figs. 17+18 -- testbed temperatures (deficit run)",
+        headers=headers,
+        rows=rows,
+        data={
+            "series": series,
+            "mean_temperature": means,
+            "a_per_unit": a_temps,
+            "t_limit": config.thermal.t_limit,
+        },
+        notes=(
+            "Fig. 18 averages: "
+            + ", ".join(f"{n[-1]}={means[n]:.1f}C" for n in names)
+            + " -- A (highest load) runs hottest; all below the 70C limit"
+        ),
+    )
+
+
+def main() -> None:  # pragma: no cover - console entry
+    run().print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,115 @@
+"""The Sec. V-B utilization sweep shared by Figs. 5, 6, 9, 10, 11, 12.
+
+One Willow run per utilization point on the paper's configuration
+(Fig. 3 topology, hot zone on servers 15-18, supply near the fleet's
+maximum power).  Results are memoised per-process since six figures
+read the same sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.controller import run_willow
+from repro.core.events import MigrationCause
+from repro.experiments.common import hot_zone_overrides
+from repro.network.traffic import (
+    migration_traffic_fraction,
+    switch_migration_cost,
+    switch_power_by_level,
+)
+from repro.power.switch import SIMULATION_SWITCH
+
+__all__ = ["SweepPoint", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Summary of one utilization point."""
+
+    utilization: float
+    mean_power: Tuple[float, ...]  # per server, paper order (1..18)
+    mean_temperature: Tuple[float, ...]
+    asleep_fraction: Tuple[float, ...]
+    energy: Tuple[float, ...]  # total W*ticks per server
+    demand_migrations: int
+    consolidation_migrations: int
+    migration_traffic_fraction: float
+    switch_power_l1: Dict[int, float]
+    switch_migration_cost_l1: Dict[int, float]
+    dropped_power: float
+
+    @property
+    def cold_mean_power(self) -> float:
+        return float(np.mean(self.mean_power[:14]))
+
+    @property
+    def hot_mean_power(self) -> float:
+        return float(np.mean(self.mean_power[14:]))
+
+    @property
+    def cold_mean_temperature(self) -> float:
+        return float(np.mean(self.mean_temperature[:14]))
+
+    @property
+    def hot_mean_temperature(self) -> float:
+        return float(np.mean(self.mean_temperature[14:]))
+
+
+@lru_cache(maxsize=None)
+def run_sweep(
+    utilizations: Tuple[float, ...],
+    n_ticks: int = 120,
+    seed: int = 11,
+    consolidation: bool = True,
+) -> Tuple[SweepPoint, ...]:
+    """Run the paper sweep; memoised on its full parameter tuple."""
+    from repro.core.config import WillowConfig
+
+    points = []
+    for utilization in utilizations:
+        config = WillowConfig(consolidation_enabled=consolidation)
+        controller, collector = run_willow(
+            config=config,
+            target_utilization=utilization,
+            n_ticks=n_ticks,
+            seed=seed,
+            ambient_overrides=hot_zone_overrides(),
+        )
+        server_ids = collector.server_ids()
+        points.append(
+            SweepPoint(
+                utilization=utilization,
+                mean_power=tuple(
+                    collector.mean_server(i, "power") for i in server_ids
+                ),
+                mean_temperature=tuple(
+                    collector.mean_server(i, "temperature") for i in server_ids
+                ),
+                asleep_fraction=tuple(
+                    float(np.mean(collector.server_series(i, "asleep")))
+                    for i in server_ids
+                ),
+                energy=tuple(
+                    float(collector.server_series(i, "power").sum())
+                    for i in server_ids
+                ),
+                demand_migrations=collector.migration_count(MigrationCause.DEMAND),
+                consolidation_migrations=collector.migration_count(
+                    MigrationCause.CONSOLIDATION
+                ),
+                migration_traffic_fraction=migration_traffic_fraction(
+                    collector, SIMULATION_SWITCH, level=1
+                ),
+                switch_power_l1=switch_power_by_level(collector, level=1),
+                switch_migration_cost_l1=switch_migration_cost(
+                    collector, SIMULATION_SWITCH, level=1
+                ),
+                dropped_power=collector.total_dropped_power(),
+            )
+        )
+    return tuple(points)

@@ -1,0 +1,127 @@
+"""Sec. V-A -- analytical properties, checked empirically.
+
+* **delta-convergence** (V-A1): update propagation delay through the
+  hierarchy and the recommended ``Delta_D``.
+* **Decision complexity** (V-A2): planner wall time across data-center
+  sizes; with a bounded branching factor the per-level work is
+  constant, so decisions scale with tree height, i.e. O(log n).
+* **Property 3**: <= 2 control messages per link per ``Delta_D``.
+* **Property 4 / ping-pong**: residence time of migrated demands under
+  steady demand.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.config import WillowConfig
+from repro.core.controller import run_willow
+from repro.experiments.common import ExperimentResult
+from repro.metrics.convergence import (
+    propagation_delay,
+    recommended_delta_d,
+)
+from repro.metrics.stability import count_ping_pongs, min_residence_time
+from repro.network.messages import max_messages_per_link, verify_message_bound
+from repro.topology.builders import build_balanced
+
+__all__ = ["run", "main"]
+
+
+def run(
+    heights: Sequence[int] = (2, 3, 4, 5),
+    per_level_latency_ms: float = 10.0,
+    n_ticks: int = 60,
+    seed: int = 5,
+) -> ExperimentResult:
+    rows = []
+    headers = ["check", "value", "expectation"]
+
+    # delta-convergence: h levels at <= 10 ms per level.
+    for height in heights:
+        delta = propagation_delay(height, per_level_latency_ms)
+        safe = recommended_delta_d(height, per_level_latency_ms)
+        rows.append(
+            [
+                f"delta-convergence h={height}",
+                f"delta={delta:.0f}ms, Delta_D>={safe:.0f}ms",
+                "delta<=50ms, Delta_D>=500ms for h<=5",
+            ]
+        )
+
+    # Property 3 + Property 4 on a live run.
+    controller, collector = run_willow(
+        config=WillowConfig(),
+        target_utilization=0.5,
+        n_ticks=n_ticks,
+        seed=seed,
+    )
+    bound_ok = verify_message_bound(collector, bound=2)
+    worst = max(max_messages_per_link(collector).values())
+    rows.append(
+        ["Property 3 messages/link/tick", f"max={worst}, ok={bound_ok}", "<= 2"]
+    )
+
+    ping_pongs = count_ping_pongs(controller.vms, window=10.0)
+    residence = min_residence_time(controller.vms, now=float(n_ticks))
+    rows.append(
+        [
+            "Property 4 stability",
+            f"min residence={residence:.1f} ticks, ping-pongs(10)={ping_pongs}",
+            "residence >= Delta_f under steady demand",
+        ]
+    )
+
+    # Decision-time scaling over balanced trees (branching factor 3).
+    from repro.metrics.convergence import decision_time_scaling
+
+    def build_and_plan(n_servers: int) -> None:
+        import math
+
+        depth = max(1, round(math.log(n_servers, 3)))
+        branching = [3] * depth
+        # Adjust the last factor so the product is close to n_servers.
+        tree = build_balanced(branching)
+        run_willow(
+            tree=tree,
+            config=WillowConfig(),
+            target_utilization=0.6,
+            n_ticks=5,
+            seed=seed,
+        )
+
+    timings = decision_time_scaling([9, 27, 81], build_and_plan, repeats=1)
+    per_server = [t / n for n, t in timings]
+    monotone_note = (
+        "per-server time flat-ish (work O(n log n) total => O(log n) per "
+        "decision level)"
+    )
+    rows.append(
+        [
+            "decision-time scaling",
+            ", ".join(f"n={n}: {t * 1e3:.0f}ms" for n, t in timings),
+            monotone_note,
+        ]
+    )
+
+    return ExperimentResult(
+        name="Sec. V-A -- convergence, complexity, stability properties",
+        headers=headers,
+        rows=rows,
+        data={
+            "message_bound_ok": bound_ok,
+            "worst_messages": worst,
+            "ping_pongs": ping_pongs,
+            "min_residence": residence,
+            "timings": timings,
+            "per_server_seconds": per_server,
+        },
+    )
+
+
+def main() -> None:  # pragma: no cover - console entry
+    run().print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,78 @@
+"""Generate a full evaluation report as one markdown document.
+
+``python -m repro.experiments.report [output.md] [names...]`` runs the
+selected experiments (default: all) and writes their tables plus notes
+into a single file -- a regenerable EXPERIMENTS appendix.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["generate_report", "main"]
+
+
+def _as_markdown(result: ExperimentResult) -> str:
+    lines = [f"## {result.name}", ""]
+    lines.append("| " + " | ".join(str(h) for h in result.headers) + " |")
+    lines.append("|" + "---|" * len(result.headers))
+    for row in result.rows:
+        cells = [
+            f"{cell:.2f}" if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        lines.append("| " + " | ".join(cells) + " |")
+    if result.notes:
+        lines.append("")
+        lines.append(f"*{result.notes}*")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def generate_report(
+    path,
+    names: Optional[Iterable[str]] = None,
+) -> Path:
+    """Run experiments and write the combined markdown report.
+
+    ``names`` selects experiments from the runner registry (default:
+    every registered experiment, in registry order).
+    """
+    from repro.experiments.runner import REGISTRY
+
+    names = list(names) if names is not None else list(REGISTRY)
+    unknown = [n for n in names if n not in REGISTRY]
+    if unknown:
+        raise KeyError(f"unknown experiment(s): {', '.join(unknown)}")
+
+    sections = [
+        "# Willow -- regenerated evaluation report",
+        "",
+        "Produced by `python -m repro.experiments.report`.",
+        "",
+    ]
+    for name in names:
+        result = REGISTRY[name]()
+        sections.append(_as_markdown(result))
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("\n".join(sections))
+    return path
+
+
+def main(argv=None) -> int:  # pragma: no cover - console entry
+    argv = list(sys.argv[1:] if argv is None else argv)
+    output = Path(argv[0]) if argv else Path("evaluation_report.md")
+    names = argv[1:] or None
+    written = generate_report(output, names)
+    print(f"wrote {written}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

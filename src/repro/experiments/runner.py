@@ -1,0 +1,79 @@
+"""CLI: regenerate every paper figure/table.
+
+Usage::
+
+    python -m repro.experiments.runner           # list experiments
+    python -m repro.experiments.runner all       # run everything
+    python -m repro.experiments.runner fig05 fig06
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict
+
+from repro.experiments import (
+    extensions,
+    imbalance,
+    fig04_thermal,
+    fig05_power,
+    fig06_temperature,
+    fig07_consolidation,
+    fig09_migration_mix,
+    fig10_traffic,
+    fig11_switch_power,
+    fig12_switch_cost,
+    fig14_calibration,
+    fig15_16_deficit,
+    fig17_18_temps,
+    fig19_table3,
+    properties,
+    table1_power_model,
+    table2_app_profiles,
+)
+
+__all__ = ["REGISTRY", "main"]
+
+REGISTRY: Dict[str, Callable] = {
+    "fig04": fig04_thermal.run,
+    "fig05": fig05_power.run,
+    "fig06": fig06_temperature.run,
+    "fig07": fig07_consolidation.run,
+    "fig09": fig09_migration_mix.run,
+    "fig10": fig10_traffic.run,
+    "fig11": fig11_switch_power.run,
+    "fig12": fig12_switch_cost.run,
+    "table1": table1_power_model.run,
+    "fig14": fig14_calibration.run,
+    "fig15_16": fig15_16_deficit.run,
+    "fig17_18": fig17_18_temps.run,
+    "fig19_table3": fig19_table3.run,
+    "table2": table2_app_profiles.run,
+    "properties": properties.run,
+    "extensions": extensions.run,
+    "imbalance": imbalance.run,
+}
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print("available experiments:")
+        for name in REGISTRY:
+            print(f"  {name}")
+        print("run with: python -m repro.experiments.runner all")
+        return 0
+    names = list(REGISTRY) if argv == ["all"] else argv
+    unknown = [n for n in names if n not in REGISTRY]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for name in names:
+        result = REGISTRY[name]()
+        print(result.format())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,177 @@
+"""Time-series collection for Willow runs.
+
+The collector is deliberately dumb: controllers append samples and
+events; analysis happens in :mod:`repro.metrics.summary` and the
+experiment modules.  All series convert to NumPy arrays on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.events import ControlMessage, Drop, Migration, MigrationCause
+
+__all__ = ["ServerSample", "SwitchSample", "MetricsCollector"]
+
+
+@dataclass(frozen=True)
+class ServerSample:
+    """One server's physical state at one tick."""
+
+    time: float
+    server_id: int
+    power: float  # wall watts drawn this tick
+    temperature: float  # deg C at end of tick
+    utilization: float  # fraction of dynamic range
+    demand: float  # wall watts wanted this tick
+    budget: float  # wall watts allocated
+    asleep: bool
+
+
+@dataclass(frozen=True)
+class SwitchSample:
+    """One switch's state at one tick."""
+
+    time: float
+    switch_id: int
+    level: int
+    base_traffic: float  # served-demand units
+    migration_traffic: float  # migration units
+    power: float  # watts
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates everything a Willow evaluation reports."""
+
+    server_samples: List[ServerSample] = field(default_factory=list)
+    switch_samples: List[SwitchSample] = field(default_factory=list)
+    migrations: List[Migration] = field(default_factory=list)
+    drops: List[Drop] = field(default_factory=list)
+    #: Deficit demand the matcher could not place (the VM stays on its
+    #: host and runs degraded; actual unserved watts appear in `drops`).
+    unmatched_deficits: List[Drop] = field(default_factory=list)
+    messages: List[ControlMessage] = field(default_factory=list)
+    imbalance: List[tuple] = field(default_factory=list)  # (time, watts)
+
+    # -- recording ---------------------------------------------------------
+    def record_server(self, sample: ServerSample) -> None:
+        self.server_samples.append(sample)
+
+    def record_switch(self, sample: SwitchSample) -> None:
+        self.switch_samples.append(sample)
+
+    def record_migration(self, migration: Migration) -> None:
+        self.migrations.append(migration)
+
+    def record_drop(self, drop: Drop) -> None:
+        self.drops.append(drop)
+
+    def record_unmatched(self, drop: Drop) -> None:
+        self.unmatched_deficits.append(drop)
+
+    def record_message(self, message: ControlMessage) -> None:
+        self.messages.append(message)
+
+    def record_imbalance(self, time: float, watts: float) -> None:
+        self.imbalance.append((time, watts))
+
+    # -- server series -------------------------------------------------------
+    def server_ids(self) -> List[int]:
+        """Distinct server ids, sorted."""
+        return sorted({s.server_id for s in self.server_samples})
+
+    def server_series(self, server_id: int, attribute: str) -> np.ndarray:
+        """Time-ordered values of ``attribute`` for one server."""
+        return np.array(
+            [
+                getattr(s, attribute)
+                for s in self.server_samples
+                if s.server_id == server_id
+            ]
+        )
+
+    def mean_server(self, server_id: int, attribute: str) -> float:
+        """Run-average of ``attribute`` for one server."""
+        series = self.server_series(server_id, attribute)
+        if series.size == 0:
+            raise ValueError(f"no samples for server {server_id}")
+        return float(series.mean())
+
+    def times(self) -> np.ndarray:
+        """Distinct sample times, sorted."""
+        return np.unique([s.time for s in self.server_samples])
+
+    def total_energy(self) -> float:
+        """Sum of server power over all samples (W * ticks)."""
+        return float(sum(s.power for s in self.server_samples))
+
+    # -- migrations ----------------------------------------------------------
+    def migrations_by_cause(self, cause: MigrationCause) -> List[Migration]:
+        return [m for m in self.migrations if m.cause is cause]
+
+    def migration_count(self, cause: Optional[MigrationCause] = None) -> int:
+        if cause is None:
+            return len(self.migrations)
+        return len(self.migrations_by_cause(cause))
+
+    def migration_times(self) -> np.ndarray:
+        return np.array([m.time for m in self.migrations])
+
+    def migrations_per_tick(self, horizon: float) -> np.ndarray:
+        """Histogram of migration counts per unit-time bucket."""
+        counts = np.zeros(int(np.ceil(horizon)), dtype=int)
+        for m in self.migrations:
+            index = int(m.time)
+            if 0 <= index < len(counts):
+                counts[index] += 1
+        return counts
+
+    def local_fraction(self) -> float:
+        """Fraction of migrations that stayed within the parent group."""
+        if not self.migrations:
+            return float("nan")
+        return sum(1 for m in self.migrations if m.local) / len(self.migrations)
+
+    # -- drops -----------------------------------------------------------------
+    def total_dropped_power(self) -> float:
+        return float(sum(d.power for d in self.drops))
+
+    # -- switches ----------------------------------------------------------------
+    def switch_ids(self, level: Optional[int] = None) -> List[int]:
+        ids = {
+            s.switch_id
+            for s in self.switch_samples
+            if level is None or s.level == level
+        }
+        return sorted(ids)
+
+    def switch_series(self, switch_id: int, attribute: str) -> np.ndarray:
+        return np.array(
+            [
+                getattr(s, attribute)
+                for s in self.switch_samples
+                if s.switch_id == switch_id
+            ]
+        )
+
+    def mean_switch(self, switch_id: int, attribute: str) -> float:
+        series = self.switch_series(switch_id, attribute)
+        if series.size == 0:
+            raise ValueError(f"no samples for switch {switch_id}")
+        return float(series.mean())
+
+    # -- messages -----------------------------------------------------------------
+    def messages_per_link_per_tick(self) -> Dict[tuple, int]:
+        """Max message count observed on any (link, tick) pair, per link."""
+        counts: Dict[tuple, int] = {}
+        for msg in self.messages:
+            key = (msg.link, msg.time)
+            counts[key] = counts.get(key, 0) + 1
+        worst: Dict[tuple, int] = {}
+        for (link, _time), count in counts.items():
+            worst[link] = max(worst.get(link, 0), count)
+        return worst

@@ -1,0 +1,93 @@
+"""Export recorded metrics to CSV / JSON for external analysis.
+
+The collector's in-memory series are handy inside Python; downstream
+users (plotting, spreadsheets, other languages) get flat files:
+
+* :func:`export_csv` -- one CSV per record type into a directory;
+* :func:`export_json` -- a single JSON document;
+* :func:`load_json` -- round-trip loader (returns plain dicts/lists).
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+from repro.metrics.collector import MetricsCollector
+
+__all__ = ["export_csv", "export_json", "load_json"]
+
+
+def _rows(records) -> list:
+    return [dataclasses.asdict(r) for r in records]
+
+
+def _normalise(record: Dict[str, Any]) -> Dict[str, Any]:
+    out = {}
+    for key, value in record.items():
+        if hasattr(value, "value"):  # enums
+            out[key] = value.value
+        else:
+            out[key] = value
+    return out
+
+
+def export_csv(collector: MetricsCollector, directory) -> Dict[str, Path]:
+    """Write one CSV per record type; returns the written paths.
+
+    Empty record types are skipped.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    tables = {
+        "servers": _rows(collector.server_samples),
+        "switches": _rows(collector.switch_samples),
+        "migrations": _rows(collector.migrations),
+        "drops": _rows(collector.drops),
+        "messages": _rows(collector.messages),
+    }
+    written: Dict[str, Path] = {}
+    for name, rows in tables.items():
+        if not rows:
+            continue
+        rows = [_normalise(r) for r in rows]
+        path = directory / f"{name}.csv"
+        with path.open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+            writer.writeheader()
+            writer.writerows(rows)
+        written[name] = path
+    if collector.imbalance:
+        path = directory / "imbalance.csv"
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["time", "imbalance_watts"])
+            writer.writerows(collector.imbalance)
+        written["imbalance"] = path
+    return written
+
+
+def export_json(collector: MetricsCollector, path) -> Path:
+    """Write the whole collector as one JSON document."""
+    path = Path(path)
+    document = {
+        "servers": [_normalise(r) for r in _rows(collector.server_samples)],
+        "switches": [_normalise(r) for r in _rows(collector.switch_samples)],
+        "migrations": [_normalise(r) for r in _rows(collector.migrations)],
+        "drops": [_normalise(r) for r in _rows(collector.drops)],
+        "messages": [_normalise(r) for r in _rows(collector.messages)],
+        "imbalance": [
+            {"time": t, "imbalance_watts": w} for t, w in collector.imbalance
+        ],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=1))
+    return path
+
+
+def load_json(path) -> Dict[str, Any]:
+    """Load a document written by :func:`export_json`."""
+    return json.loads(Path(path).read_text())

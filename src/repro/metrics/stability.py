@@ -1,0 +1,67 @@
+"""Decision-stability measurements (paper Sec. V-A, Property 4).
+
+"A demand that has migrated from node n1 to node n2 remains in node n2
+at least for time Delta_f" -- and the conclusion reports "no ping-pong
+migrations were observed at least for a time Delta_f < 50 Delta_D".
+
+A *ping-pong* is a VM returning to a host it left within a window; the
+residence time of a VM on a host is the gap between consecutive moves.
+Both are computed from the ``host_history`` each VM accumulates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.workload.vm import VM
+
+__all__ = ["residence_times", "min_residence_time", "count_ping_pongs"]
+
+
+def residence_times(vm: VM, now: float) -> List[float]:
+    """Time spent on each host the VM has occupied, including current.
+
+    The final (still open) residence is measured up to ``now``.
+    """
+    history = vm.host_history
+    times = []
+    for (t0, _host), (t1, _next) in zip(history, history[1:]):
+        times.append(t1 - t0)
+    times.append(now - history[-1][0])
+    return times
+
+
+def min_residence_time(vms: Iterable[VM], now: float) -> float:
+    """Smallest *completed* residence across all migrated VMs.
+
+    This is the empirical Delta_f of Property 4: once a demand moves it
+    stays put for at least this long.  Returns ``inf`` when no VM ever
+    completed a residency (i.e. at most one move happened per VM).
+    """
+    best = float("inf")
+    for vm in vms:
+        history = vm.host_history
+        # Every completed stay counts, including the initial placement.
+        for (t0, _h0), (t1, _h1) in zip(history, history[1:]):
+            best = min(best, t1 - t0)
+    return best
+
+
+def count_ping_pongs(vms: Iterable[VM], window: float) -> int:
+    """Number of A->B->A bounces completed within ``window`` time units.
+
+    A bounce is counted when a VM leaves host A, and returns to A with
+    the round trip (departure to return) taking at most ``window``.
+    """
+    if window < 0:
+        raise ValueError(f"window must be >= 0, got {window}")
+    bounces = 0
+    for vm in vms:
+        history = vm.host_history
+        for i in range(2, len(history)):
+            t_return, host = history[i]
+            t_depart, _previous_host = history[i - 1]
+            _t_origin, origin_host = history[i - 2]
+            if host == origin_host and (t_return - t_depart) <= window:
+                bounces += 1
+    return bounces

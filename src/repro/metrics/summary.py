@@ -1,0 +1,120 @@
+"""Aggregation helpers shared by experiments and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.events import MigrationCause
+from repro.metrics.collector import MetricsCollector
+
+__all__ = [
+    "RunSummary",
+    "mean_by_server",
+    "mean_by_switch_level",
+    "series_by_server",
+    "summarize_run",
+]
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """One-glance outcome of a controller run."""
+
+    n_servers: int
+    n_ticks: int
+    mean_fleet_power: float  # W, total across servers
+    peak_temperature: float  # deg C
+    demand_migrations: int
+    consolidation_migrations: int
+    local_migration_fraction: float
+    dropped_power: float  # W*ticks
+    asleep_fraction: float  # server-ticks asleep / total
+
+    def format(self) -> str:
+        lines = [
+            f"servers={self.n_servers} ticks={self.n_ticks}",
+            f"fleet power          : {self.mean_fleet_power:10.1f} W",
+            f"peak temperature     : {self.peak_temperature:10.1f} C",
+            f"migrations           : {self.demand_migrations} demand, "
+            f"{self.consolidation_migrations} consolidation "
+            f"({self.local_migration_fraction:.0%} local)",
+            f"dropped demand       : {self.dropped_power:10.1f} W*ticks",
+            f"server-ticks asleep  : {self.asleep_fraction:10.1%}",
+        ]
+        return "\n".join(lines)
+
+
+def summarize_run(collector: MetricsCollector) -> RunSummary:
+    """Aggregate a finished run into a :class:`RunSummary`."""
+    if not collector.server_samples:
+        raise ValueError("no server samples recorded")
+    times = collector.times()
+    n_ticks = len(times)
+    server_ids = collector.server_ids()
+    mean_fleet_power = float(
+        sum(collector.mean_server(i, "power") for i in server_ids)
+    )
+    peak_temperature = float(
+        max(s.temperature for s in collector.server_samples)
+    )
+    local_fraction = collector.local_fraction()
+    return RunSummary(
+        n_servers=len(server_ids),
+        n_ticks=n_ticks,
+        mean_fleet_power=mean_fleet_power,
+        peak_temperature=peak_temperature,
+        demand_migrations=collector.migration_count(MigrationCause.DEMAND),
+        consolidation_migrations=collector.migration_count(
+            MigrationCause.CONSOLIDATION
+        ),
+        local_migration_fraction=(
+            0.0 if np.isnan(local_fraction) else local_fraction
+        ),
+        dropped_power=collector.total_dropped_power(),
+        asleep_fraction=float(
+            np.mean([s.asleep for s in collector.server_samples])
+        ),
+    )
+
+
+def mean_by_server(
+    collector: MetricsCollector, attribute: str
+) -> Dict[int, float]:
+    """Run-average of one server attribute, keyed by server id."""
+    return {
+        server_id: collector.mean_server(server_id, attribute)
+        for server_id in collector.server_ids()
+    }
+
+
+def series_by_server(
+    collector: MetricsCollector, attribute: str
+) -> Dict[int, np.ndarray]:
+    """Full time series of one attribute per server."""
+    return {
+        server_id: collector.server_series(server_id, attribute)
+        for server_id in collector.server_ids()
+    }
+
+
+def mean_by_switch_level(
+    collector: MetricsCollector, level: int, attribute: str
+) -> Dict[int, float]:
+    """Run-average of one switch attribute over switches at ``level``."""
+    return {
+        switch_id: collector.mean_switch(switch_id, attribute)
+        for switch_id in collector.switch_ids(level=level)
+    }
+
+
+def fleet_mean(collector: MetricsCollector, attribute: str) -> float:
+    """Average of a server attribute over all servers and ticks."""
+    values: List[float] = [
+        getattr(s, attribute) for s in collector.server_samples
+    ]
+    if not values:
+        raise ValueError("no server samples recorded")
+    return float(np.mean(values))

@@ -1,0 +1,35 @@
+"""Network impact analysis (paper Sec. V-B4/V-B5 and Property 3).
+
+Willow's network story has three measurable pieces:
+
+* migration traffic, normalised against the network's maximum possible
+  utilization (Fig. 10);
+* switch power, static + traffic-proportional, equalised across
+  level-1 switches by the local-first migration policy (Fig. 11);
+* migration cost attributed to switches (Fig. 12);
+* the <= 2 control messages per tree link per ``Delta_D`` bound
+  (Property 3).
+
+All functions here are pure post-processing over a
+:class:`~repro.metrics.collector.MetricsCollector`.
+"""
+
+from repro.network.traffic import (
+    migration_traffic_fraction,
+    switch_migration_cost,
+    switch_power_by_level,
+)
+from repro.network.messages import (
+    max_messages_per_link,
+    verify_message_bound,
+)
+from repro.network.paths import migration_hop_histogram
+
+__all__ = [
+    "max_messages_per_link",
+    "migration_hop_histogram",
+    "migration_traffic_fraction",
+    "switch_migration_cost",
+    "switch_power_by_level",
+    "verify_message_bound",
+]

@@ -1,0 +1,36 @@
+"""Control-message accounting (paper Property 3).
+
+"The number of communication messages on any network link between a
+node at level l and a node at level l+1 in a period of Delta_Dl is at
+most 2 -- one on either direction in the link."
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.metrics.collector import MetricsCollector
+
+__all__ = ["max_messages_per_link", "verify_message_bound"]
+
+
+def max_messages_per_link(collector: MetricsCollector) -> Dict[int, int]:
+    """Worst per-tick message count observed on each tree link.
+
+    Links are identified by the child node's id (each non-root node has
+    exactly one upward link).
+    """
+    return collector.messages_per_link_per_tick()
+
+
+def verify_message_bound(collector: MetricsCollector, bound: int = 2) -> bool:
+    """True iff no link ever carried more than ``bound`` messages/tick."""
+    worst = max_messages_per_link(collector)
+    return all(count <= bound for count in worst.values())
+
+
+def messages_per_direction(collector: MetricsCollector) -> Dict[str, int]:
+    """Total upward (demand reports) vs downward (budget directives)."""
+    up = sum(1 for m in collector.messages if m.upward)
+    down = len(collector.messages) - up
+    return {"upward": up, "downward": down}

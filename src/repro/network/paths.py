@@ -1,0 +1,30 @@
+"""Migration path statistics.
+
+Local migrations (one hop through the shared parent switch) are
+preferred to non-local ones (Sec. IV-E); the hop histogram quantifies
+how well the locality preference worked.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.metrics.collector import MetricsCollector
+
+__all__ = ["migration_hop_histogram", "mean_migration_hops"]
+
+
+def migration_hop_histogram(collector: MetricsCollector) -> Dict[int, int]:
+    """Count of migrations by number of switch sites traversed."""
+    histogram: Dict[int, int] = {}
+    for migration in collector.migrations:
+        histogram[migration.hops] = histogram.get(migration.hops, 0) + 1
+    return dict(sorted(histogram.items()))
+
+
+def mean_migration_hops(collector: MetricsCollector) -> float:
+    """Average switch sites per migration (NaN when none happened)."""
+    if not collector.migrations:
+        return float("nan")
+    total = sum(m.hops for m in collector.migrations)
+    return total / len(collector.migrations)

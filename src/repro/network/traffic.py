@@ -1,0 +1,76 @@
+"""Traffic accounting over recorded switch samples.
+
+"Figure 10 shows the proportion of migration traffic normalized with
+respect to the maximum possible utilization of the network.  This
+normalization is necessary if we need to have an absolute picture of
+the migration overhead."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.metrics.collector import MetricsCollector
+from repro.power.switch import SwitchPowerModel
+
+__all__ = [
+    "migration_traffic_fraction",
+    "switch_power_by_level",
+    "switch_migration_cost",
+]
+
+
+def migration_traffic_fraction(
+    collector: MetricsCollector,
+    model: SwitchPowerModel,
+    *,
+    level: Optional[int] = 1,
+) -> float:
+    """Migration traffic as a fraction of maximum network capacity.
+
+    Sums migration traffic over all samples at ``level`` (or all
+    levels) and divides by the corresponding aggregate capacity, i.e.
+    ``capacity * n_switch_samples`` -- the paper's "maximum possible
+    utilization of the network" denominator.
+    """
+    samples = [
+        s
+        for s in collector.switch_samples
+        if level is None or s.level == level
+    ]
+    if not samples:
+        return 0.0
+    migration = sum(s.migration_traffic for s in samples)
+    max_possible = model.capacity * len(samples)
+    return migration / max_possible
+
+
+def switch_power_by_level(
+    collector: MetricsCollector, level: int
+) -> Dict[int, float]:
+    """Run-average power (W) per switch at the given level (Fig. 11)."""
+    result: Dict[int, list] = {}
+    for s in collector.switch_samples:
+        if s.level == level:
+            result.setdefault(s.switch_id, []).append(s.power)
+    return {sid: float(np.mean(vals)) for sid, vals in result.items()}
+
+
+def switch_migration_cost(
+    collector: MetricsCollector,
+    model: SwitchPowerModel,
+    level: int,
+) -> Dict[int, float]:
+    """Total migration-attributed switch energy per switch (Fig. 12).
+
+    The dynamic power a switch spent on migration traffic, summed over
+    the run (W * ticks).
+    """
+    result: Dict[int, float] = {}
+    for s in collector.switch_samples:
+        if s.level == level:
+            cost = model.watts_per_unit_traffic * s.migration_traffic
+            result[s.switch_id] = result.get(s.switch_id, 0.0) + cost
+    return result

@@ -1,0 +1,50 @@
+"""Power models, supply traces, demand smoothing, budget allocation.
+
+* :mod:`repro.power.server` -- server power as a function of utilization
+  (linear in the bottleneck resource; Sec. IV-C, Table I).
+* :mod:`repro.power.switch` -- static + traffic-proportional switch
+  power (Sec. V-B5).
+* :mod:`repro.power.supply` -- time-varying power-supply traces: the
+  Fig. 15 energy-deficient pattern, the Fig. 19 energy-plenty pattern,
+  renewable (solar-like) profiles, and generic step/constant traces.
+* :mod:`repro.power.smoothing` -- exponential demand smoothing (Eq. 4).
+* :mod:`repro.power.budget` -- demand-proportional budget division with
+  hard caps and the three-step surplus redistribution (Sec. IV-D).
+"""
+
+from repro.power.server import ServerPowerModel, SIMULATION_SERVER, TESTBED_SERVER
+from repro.power.switch import SwitchPowerModel, SIMULATION_SWITCH
+from repro.power.supply import (
+    SupplyTrace,
+    constant_supply,
+    deficit_supply_trace,
+    plenty_supply_trace,
+    renewable_supply,
+    step_supply,
+    supply_from_csv,
+)
+from repro.power.smoothing import ExponentialSmoother, HoltSmoother, smooth_series
+from repro.power.budget import allocate_proportional, redistribute_surplus
+from repro.power.battery import Battery, buffer_supply
+
+__all__ = [
+    "Battery",
+    "ExponentialSmoother",
+    "HoltSmoother",
+    "SIMULATION_SERVER",
+    "SIMULATION_SWITCH",
+    "ServerPowerModel",
+    "SupplyTrace",
+    "SwitchPowerModel",
+    "TESTBED_SERVER",
+    "allocate_proportional",
+    "buffer_supply",
+    "constant_supply",
+    "deficit_supply_trace",
+    "plenty_supply_trace",
+    "redistribute_surplus",
+    "renewable_supply",
+    "smooth_series",
+    "step_supply",
+    "supply_from_csv",
+]

@@ -1,0 +1,122 @@
+"""Battery-backed UPS buffering of the supply.
+
+Sec. IV-C grounds the supply-side time constants in energy storage:
+"Because of the presence of battery backed UPS and other energy
+storage devices, any temporary deficit in power supply in a data
+center is integrated out.  Hence the supply side time constants are
+assumed to be larger."
+
+:class:`Battery` models the storage; :func:`buffer_supply` runs a
+supply trace through it: the UPS targets a trailing-average delivery
+level, charging on surplus and discharging on deficit within its rate
+and capacity limits.  Short plunges vanish (exactly the integration
+the paper assumes); sustained deficits still reach the controller.
+Under-engineered UPS (the paper's "leaner design") = a small battery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.power.supply import SupplyTrace
+
+__all__ = ["Battery", "buffer_supply"]
+
+
+@dataclass
+class Battery:
+    """Energy storage with power-rate and capacity limits.
+
+    Attributes
+    ----------
+    capacity:
+        Usable energy (W * time-units).
+    max_rate:
+        Charge/discharge power limit (W).
+    efficiency:
+        Round-trip efficiency applied on charge (0 < eff <= 1).
+    charge:
+        Current stored energy; defaults to full.
+    """
+
+    capacity: float
+    max_rate: float
+    efficiency: float = 0.92
+    charge: float = -1.0  # sentinel: full
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {self.capacity}")
+        if self.max_rate <= 0:
+            raise ValueError(f"max_rate must be positive, got {self.max_rate}")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ValueError(
+                f"efficiency must be in (0, 1], got {self.efficiency}"
+            )
+        if self.charge < 0:
+            self.charge = self.capacity
+        if self.charge > self.capacity:
+            raise ValueError("charge cannot exceed capacity")
+
+    @property
+    def state_of_charge(self) -> float:
+        return self.charge / self.capacity
+
+    def absorb(self, surplus_power: float, dt: float) -> float:
+        """Charge from a surplus; returns the power actually absorbed."""
+        if surplus_power < 0:
+            raise ValueError("surplus_power must be non-negative")
+        room_limited = (self.capacity - self.charge) / (dt * self.efficiency)
+        accepted = min(surplus_power, self.max_rate, max(room_limited, 0.0))
+        self.charge = min(
+            self.charge + accepted * dt * self.efficiency, self.capacity
+        )
+        return accepted
+
+    def deliver(self, deficit_power: float, dt: float) -> float:
+        """Discharge to cover a deficit; returns the power delivered."""
+        if deficit_power < 0:
+            raise ValueError("deficit_power must be non-negative")
+        charge_limited = self.charge / dt
+        delivered = min(deficit_power, self.max_rate, max(charge_limited, 0.0))
+        self.charge = max(self.charge - delivered * dt, 0.0)
+        return delivered
+
+
+def buffer_supply(
+    trace: SupplyTrace,
+    battery: Battery,
+    *,
+    duration: float,
+    dt: float = 1.0,
+    horizon: float = 8.0,
+) -> SupplyTrace:
+    """Run ``trace`` through a UPS; returns the delivered supply trace.
+
+    The UPS targets the trailing mean of the raw supply over
+    ``horizon`` time units (its notion of the "real" supply level):
+    above target it charges, below target it discharges.  Surplus the
+    battery cannot absorb still flows through (never curtailed).
+
+    The battery object is mutated (its final charge reflects the run).
+    """
+    if duration <= 0 or dt <= 0:
+        raise ValueError("duration and dt must be positive")
+    if horizon < dt:
+        raise ValueError("horizon must be at least one step")
+    times = np.arange(0.0, duration, dt)
+    raw = trace.series(times)
+    window = max(int(round(horizon / dt)), 1)
+    delivered = np.empty_like(raw)
+    for i, supply in enumerate(raw):
+        lo = max(i - window + 1, 0)
+        target = float(np.mean(raw[lo : i + 1]))
+        if supply >= target:
+            absorbed = battery.absorb(supply - target, dt)
+            delivered[i] = supply - absorbed
+        else:
+            boost = battery.deliver(target - supply, dt)
+            delivered[i] = supply + boost
+    return SupplyTrace(tuple(times.tolist()), tuple(delivered.tolist()))

@@ -1,0 +1,153 @@
+"""Demand-proportional budget division with hard caps (paper Sec. IV-D).
+
+"The available power budget of any level l+1 is allocated among the
+nodes in level l proportional to their demands", subject to *hard*
+constraints (thermal cap from Eq. 3, circuit rating) and *soft*
+constraints (sibling shares).  When the parent's budget increases, three
+actions follow in order: (1) under-provisioned nodes are topped up to
+their demand, (2) surplus can be harnessed by bringing in workload
+(handled by the controller), (3) remaining surplus is spread over the
+children proportional to demand.
+
+The allocator below is a capped proportional waterfill.  It never
+exceeds a node's hard cap, never hands out more than the parent budget,
+and in a surplus regime guarantees every node at least
+``min(demand, cap)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["allocate_proportional", "redistribute_surplus"]
+
+_EPS = 1e-12
+
+
+def allocate_proportional(
+    total: float,
+    demands: Sequence[float],
+    caps: Sequence[float] | None = None,
+) -> Tuple[np.ndarray, float]:
+    """Divide ``total`` watts among children proportional to ``demands``.
+
+    Parameters
+    ----------
+    total:
+        Parent budget to divide (W).
+    demands:
+        Smoothed power demand of each child (W, non-negative).
+    caps:
+        Hard per-child limits (thermal and circuit); ``None`` means
+        unconstrained.
+
+    Returns
+    -------
+    (allocations, unallocated):
+        ``allocations[i]`` is child ``i``'s budget; ``unallocated`` is
+        the part of ``total`` no child could absorb (all children at
+        their caps, or zero demand everywhere).  Invariants::
+
+            allocations >= 0
+            allocations <= caps                 (elementwise)
+            allocations.sum() + unallocated == total   (within float eps)
+
+        In a surplus regime (``total >= sum(min(demand, cap))``) every
+        child additionally receives at least ``min(demand, cap)``.
+    """
+    demands = np.asarray(demands, dtype=float)
+    if demands.ndim != 1:
+        raise ValueError("demands must be 1-D")
+    if np.any(demands < 0):
+        raise ValueError("demands must be non-negative")
+    n = len(demands)
+    if caps is None:
+        caps = np.full(n, np.inf)
+    else:
+        caps = np.asarray(caps, dtype=float)
+        if caps.shape != demands.shape:
+            raise ValueError("caps must match demands in shape")
+        if np.any(caps < 0):
+            raise ValueError("caps must be non-negative")
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    if n == 0 or total == 0:
+        return np.zeros(n), float(total)
+
+    satisfiable = np.minimum(demands, caps)
+    need = satisfiable.sum()
+
+    if total <= need + _EPS:
+        # Deficit regime: waterfill `total` proportional to demand, no
+        # child receiving more than min(demand, cap).
+        alloc = _waterfill(total, weights=demands, limits=satisfiable)
+        return alloc, float(max(total - alloc.sum(), 0.0))
+
+    # Surplus regime: top everyone up to min(demand, cap) first...
+    alloc = satisfiable.copy()
+    leftover = total - need
+    # ...then spread the surplus proportional to demand within caps.
+    # A vanishing uniform weight floor implements the paper's step 2
+    # ("the available surplus can be harnessed by bringing in
+    # additional workload"): zero-demand children receive surplus only
+    # once every demand-weighted child has hit its cap, at which point
+    # the leftover flows to idle capacity instead of being stranded.
+    headroom = caps - alloc
+    floor = max(float(demands.sum()), 1.0) * 1e-9
+    extra = _waterfill(leftover, weights=demands + floor, limits=headroom)
+    alloc = alloc + extra
+    return alloc, float(max(total - alloc.sum(), 0.0))
+
+
+def redistribute_surplus(
+    allocations: Sequence[float],
+    demands: Sequence[float],
+    caps: Sequence[float],
+    surplus: float,
+) -> np.ndarray:
+    """Step-3 surplus redistribution on top of existing ``allocations``.
+
+    Adds ``surplus`` watts to the given allocations, proportional to
+    demand and limited by each node's remaining cap headroom.  Returns
+    the new allocation vector.
+    """
+    allocations = np.asarray(allocations, dtype=float)
+    demands = np.asarray(demands, dtype=float)
+    caps = np.asarray(caps, dtype=float)
+    if surplus < 0:
+        raise ValueError("surplus must be non-negative")
+    headroom = np.maximum(caps - allocations, 0.0)
+    extra = _waterfill(surplus, weights=demands, limits=headroom)
+    return allocations + extra
+
+
+def _waterfill(
+    amount: float, weights: np.ndarray, limits: np.ndarray
+) -> np.ndarray:
+    """Distribute ``amount`` proportional to ``weights`` under ``limits``.
+
+    Iteratively hands each unconstrained node its proportional share,
+    clips at the limit, and redistributes the excess among the rest.
+    Terminates in at most ``n`` rounds (each round saturates at least
+    one node or distributes everything).
+    """
+    n = len(weights)
+    alloc = np.zeros(n)
+    remaining = float(amount)
+    active = (weights > 0) & (limits > _EPS)
+    for _ in range(n + 1):
+        if remaining <= _EPS or not active.any():
+            break
+        weight_sum = weights[active].sum()
+        share = np.zeros(n)
+        share[active] = remaining * weights[active] / weight_sum
+        new_alloc = np.minimum(alloc + share, limits)
+        distributed = (new_alloc - alloc).sum()
+        alloc = new_alloc
+        remaining -= distributed
+        active = active & (alloc < limits - _EPS)
+        if distributed <= _EPS:
+            break
+    return alloc

@@ -1,0 +1,211 @@
+"""Time-varying power-supply traces.
+
+Willow's whole premise is a *varying* power budget at the root of the
+hierarchy: renewable sources, under-provisioned circuits, cooling
+deficits.  A :class:`SupplyTrace` maps simulation time to the total
+budget available to the data-center PMU.  Constructors reproduce the
+paper's experimental profiles:
+
+* :func:`deficit_supply_trace` -- the Fig. 15 energy-deficient pattern
+  with deep plunges at chosen instants (the paper's plunges sit at time
+  units 7, 12 and 25 with the first persisting until unit 10).
+* :func:`plenty_supply_trace` -- the Fig. 19 energy-plenty pattern with
+  the mean near the full-utilization draw of all servers (~750 W for
+  the 3-server testbed).
+* :func:`renewable_supply` -- a solar-like diurnal profile with cloud
+  noise, for the renewable-energy examples.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "SupplyTrace",
+    "constant_supply",
+    "step_supply",
+    "deficit_supply_trace",
+    "plenty_supply_trace",
+    "renewable_supply",
+]
+
+
+@dataclass(frozen=True)
+class SupplyTrace:
+    """Piecewise-constant total power budget over time.
+
+    ``times`` are the start instants of each segment (strictly
+    increasing, first entry 0); ``budgets`` the corresponding budgets in
+    watts.  The final budget holds forever.
+    """
+
+    times: tuple
+    budgets: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.budgets):
+            raise ValueError("times and budgets must have equal length")
+        if not self.times:
+            raise ValueError("trace must have at least one segment")
+        if self.times[0] != 0:
+            raise ValueError(f"first segment must start at 0, got {self.times[0]}")
+        if any(b < 0 for b in self.budgets):
+            raise ValueError("budgets must be non-negative")
+        if any(t1 >= t2 for t1, t2 in zip(self.times, self.times[1:])):
+            raise ValueError("times must be strictly increasing")
+
+    def at(self, time: float) -> float:
+        """Budget in force at simulation ``time``."""
+        if time < 0:
+            raise ValueError(f"time must be >= 0, got {time}")
+        index = bisect_right(self.times, time) - 1
+        return float(self.budgets[index])
+
+    def mean(self, horizon: float) -> float:
+        """Time-average budget over ``[0, horizon]``."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        total = 0.0
+        for i, (start, budget) in enumerate(zip(self.times, self.budgets)):
+            if start >= horizon:
+                break
+            end = self.times[i + 1] if i + 1 < len(self.times) else horizon
+            total += budget * (min(end, horizon) - start)
+        return total / horizon
+
+    def scaled(self, factor: float) -> "SupplyTrace":
+        """A copy with every budget multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return SupplyTrace(self.times, tuple(b * factor for b in self.budgets))
+
+    def series(self, times: Sequence[float]) -> np.ndarray:
+        """Vector of budgets sampled at each instant in ``times``."""
+        return np.array([self.at(t) for t in times])
+
+
+def constant_supply(budget: float) -> SupplyTrace:
+    """A flat budget."""
+    return SupplyTrace((0.0,), (float(budget),))
+
+
+def supply_from_csv(path) -> SupplyTrace:
+    """Load a trace from CSV with ``time,budget`` rows.
+
+    A single non-numeric header row is tolerated.  Times must start at
+    0 and increase strictly, as for :func:`step_supply`.
+    """
+    import csv as _csv
+    from pathlib import Path
+
+    segments = []
+    with Path(path).open(newline="") as handle:
+        for record in _csv.reader(handle):
+            if not record:
+                continue
+            try:
+                segments.append((float(record[0]), float(record[1])))
+            except (ValueError, IndexError):
+                if segments:
+                    raise ValueError(
+                        f"malformed row after data began: {record!r}"
+                    )
+                continue  # header
+    if not segments:
+        raise ValueError(f"no supply rows found in {path}")
+    return step_supply(segments)
+
+
+def step_supply(segments: Sequence[tuple]) -> SupplyTrace:
+    """Build a trace from explicit ``(start_time, budget)`` pairs."""
+    times = tuple(float(t) for t, _ in segments)
+    budgets = tuple(float(b) for _, b in segments)
+    return SupplyTrace(times, budgets)
+
+
+def deficit_supply_trace(
+    nominal: float,
+    *,
+    plunge_depth: float = 0.45,
+    plunges: Sequence[tuple] = ((7.0, 10.0), (12.0, 14.0), (25.0, 27.0)),
+    ripple: float = 0.05,
+    period: float = 30.0,
+    resolution: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> SupplyTrace:
+    """The Fig. 15 energy-deficient pattern.
+
+    ``nominal`` watts with small ripple, interrupted by deep plunges
+    (to ``(1 - plunge_depth) * nominal``) over the given
+    ``(start, end)`` windows.  Defaults place plunges at time units
+    7-10, 12-14 and 25-27 as read off Fig. 15/16.
+    """
+    if not 0.0 < plunge_depth < 1.0:
+        raise ValueError("plunge_depth must be in (0, 1)")
+    if rng is None:
+        rng = np.random.default_rng(2011)
+    times = np.arange(0.0, period, resolution)
+    budgets = np.full(len(times), nominal, dtype=float)
+    if ripple > 0:
+        budgets *= 1.0 + rng.uniform(-ripple, ripple, size=len(times))
+    for start, end in plunges:
+        mask = (times >= start) & (times < end)
+        budgets[mask] = nominal * (1.0 - plunge_depth)
+    return SupplyTrace(tuple(times.tolist()), tuple(budgets.tolist()))
+
+
+def plenty_supply_trace(
+    full_power: float,
+    *,
+    ripple: float = 0.06,
+    period: float = 30.0,
+    resolution: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> SupplyTrace:
+    """The Fig. 19 energy-plenty pattern.
+
+    Mean budget near ``full_power`` (the draw of all servers at 100 %
+    utilization; ~750 W for the testbed) with mild variation and no
+    sustained deficit.
+    """
+    if rng is None:
+        rng = np.random.default_rng(2019)
+    times = np.arange(0.0, period, resolution)
+    budgets = full_power * (1.0 + rng.uniform(-ripple, ripple, size=len(times)))
+    return SupplyTrace(tuple(times.tolist()), tuple(budgets.tolist()))
+
+
+def renewable_supply(
+    peak: float,
+    *,
+    base_fraction: float = 0.25,
+    day_length: float = 96.0,
+    cloud_noise: float = 0.15,
+    resolution: float = 1.0,
+    days: int = 1,
+    rng: np.random.Generator | None = None,
+) -> SupplyTrace:
+    """A solar-like diurnal budget: grid base plus a sinusoidal solar hump.
+
+    ``base_fraction * peak`` is always available (grid/UPS); the solar
+    contribution follows a half-sine over each day with multiplicative
+    cloud noise.  Used by the renewable-data-center example.
+    """
+    if not 0.0 <= base_fraction <= 1.0:
+        raise ValueError("base_fraction must be in [0, 1]")
+    if rng is None:
+        rng = np.random.default_rng(7)
+    times = np.arange(0.0, day_length * days, resolution)
+    phase = (times % day_length) / day_length  # 0..1 through the day
+    solar = np.clip(np.sin(np.pi * phase), 0.0, None)
+    if cloud_noise > 0:
+        solar = solar * np.clip(
+            1.0 + rng.normal(0.0, cloud_noise, size=len(times)), 0.0, None
+        )
+    budgets = peak * (base_fraction + (1.0 - base_fraction) * solar)
+    budgets = np.clip(budgets, 0.0, None)
+    return SupplyTrace(tuple(times.tolist()), tuple(budgets.tolist()))

@@ -1,0 +1,48 @@
+"""QoS classes, priority-aware service, and latency estimation.
+
+The paper defers multiple QoS classes to future work ("Dealing with
+multiple QoS classes is a future direction that we intend to pursue")
+and motivates Willow entirely by QoS preservation.  This subpackage
+implements that direction on top of the controller:
+
+* :mod:`repro.qos.classes` -- service classes (gold/silver/bronze) and
+  per-class application catalogs.
+* :mod:`repro.qos.latency` -- an M/M/1-style response-time model that
+  turns server utilization into latency and SLA-compliance figures.
+* :mod:`repro.qos.accounting` -- per-class served/dropped accounting
+  over a finished run.
+
+The controller itself serves VM demand in priority order whenever a
+budget forces throttling, so higher classes degrade last; these tools
+quantify the effect.
+"""
+
+from repro.qos.classes import (
+    BRONZE,
+    GOLD,
+    QoSClass,
+    SILVER,
+    STANDARD_CLASSES,
+    tiered_catalog,
+)
+from repro.qos.latency import (
+    LatencyModel,
+    sla_compliance,
+)
+from repro.qos.accounting import ClassReport, per_class_report
+from repro.qos.queueing import QueueStats, simulate_mm1
+
+__all__ = [
+    "BRONZE",
+    "ClassReport",
+    "GOLD",
+    "LatencyModel",
+    "QoSClass",
+    "QueueStats",
+    "simulate_mm1",
+    "SILVER",
+    "STANDARD_CLASSES",
+    "per_class_report",
+    "sla_compliance",
+    "tiered_catalog",
+]

@@ -1,0 +1,93 @@
+"""Per-class QoS accounting over a finished run.
+
+Works off the per-VM drop records the controller emits when budgets
+force throttling, plus each VM's demand history, to report how much of
+each service tier's demand was actually served.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence
+
+from repro.metrics.collector import MetricsCollector
+from repro.qos.classes import STANDARD_CLASSES, QoSClass
+from repro.workload.vm import VM
+
+__all__ = ["ClassReport", "per_class_report"]
+
+
+@dataclass(frozen=True)
+class ClassReport:
+    """Aggregate QoS outcome for one service tier."""
+
+    qos: QoSClass
+    offered: float  # W*ticks of demand offered
+    dropped: float  # W*ticks unserved
+
+    @property
+    def served(self) -> float:
+        return max(self.offered - self.dropped, 0.0)
+
+    @property
+    def loss_fraction(self) -> float:
+        """Fraction of offered demand that went unserved."""
+        if self.offered <= 0:
+            return 0.0
+        return min(self.dropped / self.offered, 1.0)
+
+
+def per_class_report(
+    collector: MetricsCollector,
+    vms: Iterable[VM],
+    *,
+    scale: float = 1.0,
+    offered_per_class: Dict[int, float] | None = None,
+    classes: Sequence[QoSClass] = STANDARD_CLASSES,
+) -> Dict[str, ClassReport]:
+    """Split dropped demand by service tier.
+
+    ``offered_per_class`` (priority -> W*ticks) should be accumulated by
+    the caller during the run; when omitted it is approximated from
+    each VM's mean demand times the number of recorded ticks, converted
+    to watts with the placement's ``scale`` (watts per catalog unit --
+    pass ``controller.placement.scale`` for generated workloads).
+    """
+    vms = list(vms)
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    priority_of_vm = {vm.vm_id: vm.app.priority for vm in vms}
+
+    dropped: Dict[int, float] = {qos.priority: 0.0 for qos in classes}
+    unattributed = 0.0
+    for drop in collector.drops:
+        if drop.vm_id is None or drop.vm_id not in priority_of_vm:
+            unattributed += drop.power
+            continue
+        priority = priority_of_vm[drop.vm_id]
+        dropped[priority] = dropped.get(priority, 0.0) + drop.power
+
+    if offered_per_class is None:
+        n_ticks = len(collector.times())
+        offered_per_class = {qos.priority: 0.0 for qos in classes}
+        for vm in vms:
+            priority = vm.app.priority
+            offered_per_class[priority] = (
+                offered_per_class.get(priority, 0.0)
+                + vm.app.mean_power * scale * n_ticks
+            )
+
+    # Spread any unattributed drops proportionally to offered demand,
+    # so totals stay conserved even for runs from older collectors.
+    total_offered = sum(offered_per_class.values()) or 1.0
+
+    reports: Dict[str, ClassReport] = {}
+    for qos in classes:
+        offered = offered_per_class.get(qos.priority, 0.0)
+        share = offered / total_offered
+        reports[qos.name] = ClassReport(
+            qos=qos,
+            offered=offered,
+            dropped=dropped.get(qos.priority, 0.0) + unattributed * share,
+        )
+    return reports

@@ -1,0 +1,94 @@
+"""Service classes.
+
+A :class:`QoSClass` bundles a scheduling priority (lower = served
+first when budgets force throttling) with a response-time SLA used by
+:mod:`repro.qos.latency`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.workload.applications import AppType
+
+__all__ = [
+    "QoSClass",
+    "GOLD",
+    "SILVER",
+    "BRONZE",
+    "STANDARD_CLASSES",
+    "tiered_catalog",
+]
+
+
+@dataclass(frozen=True)
+class QoSClass:
+    """One service tier.
+
+    Attributes
+    ----------
+    name:
+        Tier label.
+    priority:
+        Scheduling priority; lower values are served first.
+    latency_sla:
+        Maximum acceptable response time, as a multiple of the
+        zero-load service time (e.g. 2.0 = "at most twice the
+        unloaded latency").
+    """
+
+    name: str
+    priority: int
+    latency_sla: float
+
+    def __post_init__(self) -> None:
+        if self.priority < 0:
+            raise ValueError(f"priority must be >= 0, got {self.priority}")
+        if self.latency_sla <= 1.0:
+            raise ValueError(
+                f"latency_sla must exceed 1.0 (the unloaded latency), "
+                f"got {self.latency_sla}"
+            )
+
+
+GOLD = QoSClass("gold", priority=0, latency_sla=2.0)
+SILVER = QoSClass("silver", priority=1, latency_sla=4.0)
+BRONZE = QoSClass("bronze", priority=2, latency_sla=10.0)
+
+STANDARD_CLASSES: Tuple[QoSClass, ...] = (GOLD, SILVER, BRONZE)
+
+
+def tiered_catalog(
+    base_apps: Sequence[AppType],
+    classes: Sequence[QoSClass] = STANDARD_CLASSES,
+) -> List[AppType]:
+    """Cross a base application catalog with service tiers.
+
+    Each base app is replicated once per class with the class's
+    priority attached (``"app-5/gold"`` etc.), so random placement
+    spreads tiers across the fleet.
+    """
+    if not base_apps:
+        raise ValueError("need at least one base application")
+    if not classes:
+        raise ValueError("need at least one QoS class")
+    catalog: List[AppType] = []
+    for app in base_apps:
+        for qos in classes:
+            catalog.append(
+                AppType(
+                    name=f"{app.name}/{qos.name}",
+                    mean_power=app.mean_power,
+                    priority=qos.priority,
+                )
+            )
+    return catalog
+
+
+def class_of(app: AppType, classes: Sequence[QoSClass] = STANDARD_CLASSES) -> QoSClass:
+    """The service tier an application belongs to (by priority)."""
+    for qos in classes:
+        if qos.priority == app.priority:
+            return qos
+    raise KeyError(f"no QoS class with priority {app.priority}")

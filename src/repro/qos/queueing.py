@@ -1,0 +1,125 @@
+"""Query-level queueing simulation -- validates the latency model.
+
+The :class:`~repro.qos.latency.LatencyModel` asserts the M/M/1 relation
+``R/S = 1/(1 - rho)``.  Rather than take that on faith, this module
+*simulates* a single server at query granularity on the DES kernel
+(Poisson arrivals, exponential service, FIFO via
+:class:`repro.sim.Resource`) and measures the response time directly.
+The test suite checks simulation against formula across utilizations --
+the substrate validating the model that the QoS layer applies to whole
+servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.sim import Environment, RandomStreams, Resource
+
+__all__ = ["QueueStats", "simulate_mm1"]
+
+
+@dataclass(frozen=True)
+class QueueStats:
+    """Measured outcome of one queueing run."""
+
+    arrivals: int
+    completed: int
+    mean_response: float  # mean sojourn (wait + service)
+    mean_service: float
+    mean_wait: float
+    utilization: float  # measured busy fraction
+
+    @property
+    def response_multiple(self) -> float:
+        """Mean response as a multiple of the mean service time."""
+        if self.mean_service == 0:
+            return float("nan")
+        return self.mean_response / self.mean_service
+
+
+def simulate_mm1(
+    *,
+    arrival_rate: float,
+    service_rate: float,
+    horizon: float,
+    seed: int = 0,
+    warmup_fraction: float = 0.2,
+) -> QueueStats:
+    """Simulate an M/M/1 queue on the DES kernel.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Poisson arrival intensity (queries per time unit); must be
+        below ``service_rate`` for stability.
+    service_rate:
+        Exponential service intensity (queries per time unit).
+    horizon:
+        Simulated time.  Completions during the initial
+        ``warmup_fraction`` of the horizon are discarded.
+    """
+    if arrival_rate <= 0 or service_rate <= 0:
+        raise ValueError("rates must be positive")
+    if arrival_rate >= service_rate:
+        raise ValueError(
+            f"unstable queue: arrival_rate {arrival_rate} >= "
+            f"service_rate {service_rate}"
+        )
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError("warmup_fraction must be in [0, 1)")
+
+    env = Environment()
+    streams = RandomStreams(seed)
+    arrivals_rng = streams["mm1/arrivals"]
+    service_rng = streams["mm1/service"]
+    server = Resource(env, capacity=1)
+
+    warmup_end = warmup_fraction * horizon
+    responses: List[float] = []
+    services: List[float] = []
+    waits: List[float] = []
+    counters = {"arrivals": 0, "busy": 0.0}
+
+    def query(env, arrived_at: float, service_time: float):
+        request = server.request()
+        yield request
+        started = env.now
+        yield env.timeout(service_time)
+        request.release()
+        counters["busy"] += service_time
+        if arrived_at >= warmup_end:
+            responses.append(env.now - arrived_at)
+            services.append(service_time)
+            waits.append(started - arrived_at)
+
+    def source(env):
+        while True:
+            yield env.timeout(arrivals_rng.exponential(1.0 / arrival_rate))
+            if env.now >= horizon:
+                return
+            counters["arrivals"] += 1
+            env.process(
+                query(
+                    env,
+                    env.now,
+                    float(service_rng.exponential(1.0 / service_rate)),
+                )
+            )
+
+    env.process(source(env))
+    env.run(until=horizon * 1.5)  # let in-flight queries drain
+
+    completed = len(responses)
+    mean = lambda xs: sum(xs) / len(xs) if xs else 0.0  # noqa: E731
+    return QueueStats(
+        arrivals=counters["arrivals"],
+        completed=completed,
+        mean_response=mean(responses),
+        mean_service=mean(services),
+        mean_wait=mean(waits),
+        utilization=min(counters["busy"] / horizon, 1.0),
+    )

@@ -1,0 +1,161 @@
+"""The simulation environment: clock plus event loop.
+
+The :class:`Environment` maintains a priority queue of ``(time, order,
+event)`` entries.  ``order`` is a monotonically increasing counter so that
+events scheduled for the same instant fire in FIFO order, which makes runs
+fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+__all__ = ["Environment", "SimulationError"]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Environment:
+    """Discrete-event simulation environment.
+
+    Parameters
+    ----------
+    initial_time:
+        Simulation clock value at the start of the run (default ``0.0``).
+
+    Examples
+    --------
+    >>> env = Environment()
+    >>> log = []
+    >>> def proc(env):
+    ...     yield env.timeout(2.0)
+    ...     log.append(env.now)
+    >>> _ = env.process(proc(env))
+    >>> env.run()
+    >>> log
+    [2.0]
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._order = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new :class:`Process` running ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events) -> AllOf:
+        """Composite event firing when all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Composite event firing when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    def call_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback()`` at absolute simulation ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} which is before now={self._now}"
+            )
+        event = self.timeout(time - self._now)
+        event.add_callback(lambda _event: callback())
+        return event
+
+    def call_every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        *,
+        start: Optional[float] = None,
+    ) -> Process:
+        """Run ``callback()`` every ``interval`` time units.
+
+        The first call happens at ``start`` (default: one interval from
+        now).  Returns the driving :class:`Process`, which can be
+        interrupted to cancel the schedule.
+        """
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive, got {interval}")
+        first_delay = (start - self._now) if start is not None else interval
+        if first_delay < 0:
+            raise SimulationError("start time is in the past")
+
+        def _ticker():
+            yield self.timeout(first_delay)
+            callback()
+            while True:
+                yield self.timeout(interval)
+                callback()
+
+        return self.process(_ticker())
+
+    # -- scheduling (kernel internal) --------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        heapq.heappush(self._queue, (self._now + delay, self._order, event))
+        self._order += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        self._now, _, event = heapq.heappop(self._queue)
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if event._ok is False and not getattr(event, "_defused", False):
+            # An unhandled failure propagates out of the event loop.
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue empties or the clock reaches ``until``.
+
+        When ``until`` is given, the clock is advanced exactly to
+        ``until`` even if no event is scheduled at that instant.
+        """
+        if until is not None:
+            if until < self._now:
+                raise SimulationError(
+                    f"until={until} is before current time {self._now}"
+                )
+            while self._queue and self._queue[0][0] <= until:
+                self.step()
+            self._now = max(self._now, float(until))
+        else:
+            while self._queue:
+                self.step()

@@ -1,0 +1,189 @@
+"""Event primitives for the discrete-event kernel.
+
+An :class:`Event` is a one-shot occurrence.  It starts *pending*, may be
+*triggered* (scheduled to fire at a simulation time) and finally becomes
+*processed* once its callbacks have run.  Events can succeed with a value
+or fail with an exception; processes waiting on a failed event re-raise
+the exception at their ``yield`` site.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.sim.core import Environment
+
+__all__ = ["Event", "Timeout", "Interrupt", "AllOf", "AnyOf", "ConditionValue"]
+
+#: Sentinel for "no value yet"; distinguishes a pending event from one
+#: that succeeded with ``None``.
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Raised inside a process that was interrupted by another process.
+
+    The optional ``cause`` is available as ``exc.cause``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Parameters
+    ----------
+    env:
+        The owning environment.  The event is created pending; call
+        :meth:`succeed` or :meth:`fail` to trigger it.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have been run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise RuntimeError("event is not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event succeeded (or failed) with."""
+        if self._value is _PENDING:
+            raise RuntimeError("event is not yet triggered")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with ``value`` after ``delay``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event as failed; waiters re-raise ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        if self.triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, delay)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event fires.
+
+        If the event is already processed the callback runs immediately.
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed"
+            if self.processed
+            else ("triggered" if self.triggered else "pending")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after its creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class ConditionValue(dict):
+    """Mapping of event -> value for the events that fired in a condition."""
+
+
+class _Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf` composite events."""
+
+    def __init__(self, env: "Environment", events: Sequence[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._pending = 0
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("all events must belong to the same environment")
+        for event in self._events:
+            if event.processed:
+                self._on_fire(event)
+            else:
+                self._pending += 1
+                event.add_callback(self._on_fire)
+        self._check(initial=True)
+
+    def _on_fire(self, event: Event) -> None:
+        if event._ok is False and not self.triggered:
+            self.fail(event._value)
+            return
+        if not event.processed:
+            self._pending -= 1
+        self._check(initial=False)
+
+    def _collect(self) -> ConditionValue:
+        result = ConditionValue()
+        for event in self._events:
+            if event.processed and event._ok:
+                result[event] = event._value
+        return result
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _check(self, initial: bool) -> None:
+        if not self.triggered and self._satisfied():
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Fires once *all* the given events have fired.
+
+    "Fired" means processed: a scheduled-but-pending Timeout does not
+    count even though it is already *triggered*.
+    """
+
+    def _satisfied(self) -> bool:
+        return all(event.processed and event._ok for event in self._events)
+
+
+class AnyOf(_Condition):
+    """Fires once *any* of the given events has fired."""
+
+    def _satisfied(self) -> bool:
+        return any(event.processed and event._ok for event in self._events)

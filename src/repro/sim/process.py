@@ -1,0 +1,123 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` drives a generator: every value the generator yields
+must be an :class:`~repro.sim.events.Event`; the process suspends until
+the event fires and is resumed with the event's value (or the event's
+exception is thrown into it).  The process itself is an event that fires
+with the generator's return value, so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.sim.events import Event, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.sim.core import Environment
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """A coroutine scheduled on an :class:`~repro.sim.core.Environment`.
+
+    Do not instantiate directly; use :meth:`Environment.process`.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"process() requires a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Event | None = None
+        # Kick off the process immediately (at the current instant).
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env._schedule(init)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Event | None:
+        """The event this process is currently waiting on."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point."""
+        if not self.is_alive:
+            raise RuntimeError("cannot interrupt a finished process")
+        if self is self.env.active_process:
+            raise RuntimeError("a process cannot interrupt itself")
+        # Detach from whatever the process was waiting on, then resume it
+        # with a failing event carrying the Interrupt.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - already detached
+                pass
+        wakeup = Event(self.env)
+        wakeup._ok = False
+        wakeup._value = Interrupt(cause)
+        wakeup._defused = True
+        wakeup.callbacks.append(self._resume)
+        self.env._schedule(wakeup)
+
+    # -- generator driving --------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        self._target = None
+
+        # Drive the generator one step.  Invalid yields (non-events,
+        # foreign events) are thrown back in; a process that catches
+        # such an exception keeps running, so loop until a valid event
+        # is yielded or the generator finishes.
+        throw_in: BaseException | None = None
+        if event._ok:
+            send_value = event._value
+        else:
+            event._defused = True
+            throw_in = event._value
+        while True:
+            try:
+                if throw_in is not None:
+                    next_event = self._generator.throw(throw_in)
+                else:
+                    next_event = self._generator.send(send_value)
+            except StopIteration as stop:
+                self.env._active_process = None
+                self.succeed(stop.value)
+                return
+            except BaseException as error:
+                self.env._active_process = None
+                self.fail(error)
+                return
+            if not isinstance(next_event, Event):
+                throw_in = TypeError(
+                    f"process yielded a non-event: {next_event!r}"
+                )
+                continue
+            if next_event.env is not self.env:
+                throw_in = ValueError(
+                    "yielded event belongs to a different environment"
+                )
+                continue
+            break
+        self.env._active_process = None
+        if next_event.processed:
+            # Already fired: resume at the current instant.
+            relay = Event(self.env)
+            relay._ok = next_event._ok
+            relay._value = next_event._value
+            if not next_event._ok:
+                relay._defused = True
+            relay.callbacks.append(self._resume)
+            self.env._schedule(relay)
+        else:
+            self._target = next_event
+            next_event.add_callback(self._resume)

@@ -1,0 +1,189 @@
+"""Shared-resource primitives for the DES kernel.
+
+Standard discrete-event building blocks in the SimPy idiom:
+
+* :class:`Resource` -- a counted semaphore; processes ``yield
+  resource.request()``, hold a slot, and ``release`` it (or use the
+  request as a context manager).
+* :class:`Container` -- a continuous quantity (energy in a battery,
+  watts in a budget) with ``put``/``get`` that block until satisfiable.
+* :class:`Store` -- a FIFO of Python objects with blocking ``get``.
+
+These are used by the queueing examples and available to downstream
+users modelling, e.g., per-server admission queues or UPS batteries.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from repro.sim.core import Environment
+from repro.sim.events import Event
+
+__all__ = ["Resource", "Request", "Container", "Store"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot."""
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._grant_or_queue(self)
+
+    def release(self) -> None:
+        """Give the slot back (idempotent)."""
+        self.resource._release(self)
+
+    # Context-manager sugar: ``with resource.request() as req: yield req``
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class Resource:
+    """A counted semaphore with FIFO granting."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._holders: List[Request] = []
+        self._waiting: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Slots currently held."""
+        return len(self._holders)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event fires when granted."""
+        return Request(self)
+
+    def _grant_or_queue(self, request: Request) -> None:
+        if len(self._holders) < self.capacity:
+            self._holders.append(request)
+            request.succeed(request)
+        else:
+            self._waiting.append(request)
+
+    def _release(self, request: Request) -> None:
+        if request in self._holders:
+            self._holders.remove(request)
+        elif request in self._waiting:
+            self._waiting.remove(request)
+            return
+        else:
+            return  # already released
+        while self._waiting and len(self._holders) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._holders.append(nxt)
+            nxt.succeed(nxt)
+
+
+class Container:
+    """A continuous quantity with blocking put/get."""
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        initial: float = 0.0,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0.0 <= initial <= capacity:
+            raise ValueError("initial level must lie in [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self.level = float(initial)
+        self._getters: Deque[tuple] = deque()  # (amount, event)
+        self._putters: Deque[tuple] = deque()
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; fires once there is room."""
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        event = Event(self.env)
+        self._putters.append((amount, event))
+        self._settle()
+        return event
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; fires once available."""
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        event = Event(self.env)
+        self._getters.append((amount, event))
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                amount, event = self._putters[0]
+                if self.level + amount <= self.capacity + 1e-12:
+                    self._putters.popleft()
+                    self.level += amount
+                    event.succeed(amount)
+                    progressed = True
+            if self._getters:
+                amount, event = self._getters[0]
+                if amount <= self.level + 1e-12:
+                    self._getters.popleft()
+                    self.level -= amount
+                    event.succeed(amount)
+                    progressed = True
+
+
+class Store:
+    """A FIFO of arbitrary items with blocking ``get``."""
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()
+
+    def put(self, item: Any) -> Event:
+        """Append ``item``; fires once there is room."""
+        event = Event(self.env)
+        self._putters.append((item, event))
+        self._settle()
+        return event
+
+    def get(self) -> Event:
+        """Pop the oldest item; fires once one exists."""
+        event = Event(self.env)
+        self._getters.append(event)
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters and (
+                self.capacity is None or len(self.items) < self.capacity
+            ):
+                item, event = self._putters.popleft()
+                self.items.append(item)
+                event.succeed(item)
+                progressed = True
+            if self._getters and self.items:
+                event = self._getters.popleft()
+                event.succeed(self.items.popleft())
+                progressed = True

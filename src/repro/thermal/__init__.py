@@ -1,0 +1,46 @@
+"""First-order RC thermal model and calibration (paper Sec. III-A).
+
+The paper limits the power a component may draw from its temperature
+headroom:
+
+    dT/dt = c1 * P(t) - c2 * (T(t) - Ta)                         (Eq. 1)
+
+(the published equation writes ``+c2 (T - Ta)`` but its own closed-form
+solution and all reported constants correspond to a *decay* towards the
+ambient temperature ``Ta``, so the stable sign is used here).
+
+* :mod:`repro.thermal.model` -- closed-form temperature evolution,
+  per-window power caps (Eq. 3), and a step-wise integrator.
+* :mod:`repro.thermal.calibration` -- least-squares estimation of
+  ``(c1, c2)`` from power/temperature traces (Figs. 4 and 14).
+"""
+
+from repro.thermal.model import (
+    ThermalParams,
+    TemperatureIntegrator,
+    power_cap,
+    steady_state_temperature,
+    temperature_after,
+    time_to_limit,
+    window_for_power_cap,
+)
+from repro.thermal.calibration import (
+    CalibrationResult,
+    fit_constants,
+    generate_heating_trace,
+    power_cap_curve,
+)
+
+__all__ = [
+    "CalibrationResult",
+    "TemperatureIntegrator",
+    "ThermalParams",
+    "fit_constants",
+    "generate_heating_trace",
+    "power_cap",
+    "power_cap_curve",
+    "steady_state_temperature",
+    "temperature_after",
+    "time_to_limit",
+    "window_for_power_cap",
+]

@@ -1,0 +1,142 @@
+"""Estimating the thermal constants (paper Figs. 4 and 14).
+
+Two workflows are reproduced:
+
+* **Simulation setup (Fig. 4)** -- sweep candidate ``(c1, c2)`` pairs and
+  plot the power cap presented at different component temperatures; the
+  paper picks ``c1=0.08, c2=0.05`` because a node idling at ``Ta=25``
+  then presents a surplus close to the 450 W maximum device power while
+  a node at 70 deg C in a 45 deg C ambient presents almost none.
+  :func:`power_cap_curve` generates those series.
+
+* **Testbed estimation (Fig. 14)** -- record (power, temperature) time
+  series from a heating run and least-squares fit the discrete form of
+  Eq. 1.  :func:`generate_heating_trace` synthesises the testbed traces
+  (we have no Extech power analyzer; the substitution is documented in
+  DESIGN.md) and :func:`fit_constants` recovers ``(c1, c2)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.thermal.model import ThermalParams, temperature_after
+
+__all__ = [
+    "CalibrationResult",
+    "fit_constants",
+    "generate_heating_trace",
+    "power_cap_curve",
+]
+
+
+def power_cap_curve(
+    params: ThermalParams,
+    temperatures: Sequence[float],
+    delta_s: float,
+) -> np.ndarray:
+    """Power cap (Eq. 3) at each current temperature -- one Fig. 4 series.
+
+    Returns an array aligned with ``temperatures``.
+    """
+    from repro.thermal.model import power_cap
+
+    return np.asarray(power_cap(params, np.asarray(temperatures, float), delta_s))
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of a least-squares fit of the thermal constants."""
+
+    c1: float
+    c2: float
+    residual: float
+    n_samples: int
+
+    def as_params(self, t_ambient: float, t_limit: float) -> ThermalParams:
+        """Package the fit as :class:`ThermalParams`."""
+        return ThermalParams(
+            c1=self.c1, c2=self.c2, t_ambient=t_ambient, t_limit=t_limit
+        )
+
+
+def generate_heating_trace(
+    params: ThermalParams,
+    powers: Sequence[float],
+    dt: float,
+    *,
+    t0: float | None = None,
+    noise_std: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Synthesise a (power, temperature) trace for calibration runs.
+
+    Each entry of ``powers`` is held for ``dt`` seconds; the returned
+    temperature array has ``len(powers) + 1`` samples (including the
+    initial temperature).  Optional Gaussian measurement noise models the
+    ~2 Hz Extech power-analyzer sampling of the paper's testbed.
+    """
+    if dt <= 0:
+        raise ValueError(f"dt must be positive, got {dt}")
+    powers = np.asarray(powers, dtype=float)
+    if powers.ndim != 1 or len(powers) == 0:
+        raise ValueError("powers must be a non-empty 1-D sequence")
+    if np.any(powers < 0):
+        raise ValueError("powers must be non-negative")
+    temps = np.empty(len(powers) + 1)
+    temps[0] = params.t_ambient if t0 is None else float(t0)
+    for i, p in enumerate(powers):
+        temps[i + 1] = temperature_after(params, temps[i], p, dt)
+    if noise_std > 0.0:
+        if rng is None:
+            rng = np.random.default_rng(0)
+        temps = temps + rng.normal(0.0, noise_std, size=temps.shape)
+    return powers, temps
+
+
+def fit_constants(
+    powers: Sequence[float],
+    temperatures: Sequence[float],
+    dt: float,
+    t_ambient: float,
+) -> CalibrationResult:
+    """Least-squares estimate of ``(c1, c2)`` from a measured trace.
+
+    Uses the forward-difference discretisation of Eq. 1:
+
+        (T[k+1] - T[k]) / dt  ~=  c1 * P[k] - c2 * (T[k] - Ta)
+
+    which is linear in ``(c1, c2)`` and solved with ``numpy.linalg.lstsq``.
+
+    Parameters
+    ----------
+    powers:
+        Power drawn during each interval, length ``n``.
+    temperatures:
+        Temperature samples, length ``n + 1``.
+    dt:
+        Interval length in seconds.
+    t_ambient:
+        Ambient temperature during the run.
+    """
+    powers = np.asarray(powers, dtype=float)
+    temperatures = np.asarray(temperatures, dtype=float)
+    if len(temperatures) != len(powers) + 1:
+        raise ValueError(
+            f"need len(temperatures) == len(powers)+1, got "
+            f"{len(temperatures)} and {len(powers)}"
+        )
+    if len(powers) < 2:
+        raise ValueError("need at least 2 intervals to fit two constants")
+    if dt <= 0:
+        raise ValueError(f"dt must be positive, got {dt}")
+
+    dT = np.diff(temperatures) / dt
+    design = np.column_stack([powers, -(temperatures[:-1] - t_ambient)])
+    solution, residuals, _, _ = np.linalg.lstsq(design, dT, rcond=None)
+    c1, c2 = float(solution[0]), float(solution[1])
+    residual = float(residuals[0]) if residuals.size else 0.0
+    return CalibrationResult(c1=c1, c2=c2, residual=residual, n_samples=len(powers))

@@ -1,0 +1,216 @@
+"""Closed-form thermal model (paper Eqs. 1-3).
+
+With constant power ``P`` over an interval of length ``t`` the linear ODE
+
+    dT/dt = c1 * P - c2 * (T - Ta)
+
+has the exact solution
+
+    T(t) = Ta + (T0 - Ta) * exp(-c2 t) + (c1 P / c2) * (1 - exp(-c2 t))
+
+which Eq. 3 of the paper inverts: the largest constant power that keeps
+the temperature at or below ``T_limit`` for the next adjustment window of
+``delta_s`` seconds is
+
+    P_limit = (T_limit - Ta - (T0 - Ta) e^{-c2 ds}) * c2
+              / (c1 * (1 - e^{-c2 ds}))
+
+All functions accept scalars or NumPy arrays and broadcast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = [
+    "ThermalParams",
+    "temperature_after",
+    "steady_state_temperature",
+    "power_cap",
+    "window_for_power_cap",
+    "TemperatureIntegrator",
+]
+
+
+@dataclass(frozen=True)
+class ThermalParams:
+    """Thermal characteristics of one component.
+
+    Attributes
+    ----------
+    c1:
+        Heating coefficient, degrees per (watt * second).
+    c2:
+        Cooling rate towards ambient, 1/second.
+    t_ambient:
+        Ambient temperature ``Ta`` (deg C) right outside the component.
+    t_limit:
+        Maximum allowed component temperature (deg C).
+
+    Defaults are the paper's simulation values (Sec. V-B2, Fig. 4):
+    ``c1=0.08, c2=0.05, Ta=25, T_limit=70`` which put the thermal power
+    cap of a cool idle node near the assumed 450 W maximum device power.
+    """
+
+    c1: float = 0.08
+    c2: float = 0.05
+    t_ambient: float = 25.0
+    t_limit: float = 70.0
+
+    def __post_init__(self) -> None:
+        if self.c1 <= 0:
+            raise ValueError(f"c1 must be positive, got {self.c1}")
+        if self.c2 <= 0:
+            raise ValueError(f"c2 must be positive, got {self.c2}")
+        if self.t_limit <= self.t_ambient:
+            raise ValueError(
+                f"t_limit ({self.t_limit}) must exceed ambient ({self.t_ambient})"
+            )
+
+    def with_ambient(self, t_ambient: float) -> "ThermalParams":
+        """A copy of these parameters at a different ambient temperature."""
+        return replace(self, t_ambient=t_ambient)
+
+    @property
+    def headroom(self) -> float:
+        """Temperature headroom ``T_limit - Ta`` (deg C)."""
+        return self.t_limit - self.t_ambient
+
+
+def temperature_after(params: ThermalParams, t0, power, dt):
+    """Temperature after holding constant ``power`` for ``dt`` seconds.
+
+    Exact solution of Eq. 1; broadcasts over array inputs.
+    """
+    t0 = np.asarray(t0, dtype=float)
+    power = np.asarray(power, dtype=float)
+    dt = np.asarray(dt, dtype=float)
+    if np.any(dt < 0):
+        raise ValueError("dt must be non-negative")
+    decay = np.exp(-params.c2 * dt)
+    heating = (params.c1 * power / params.c2) * (1.0 - decay)
+    result = params.t_ambient + (t0 - params.t_ambient) * decay + heating
+    return float(result) if result.ndim == 0 else result
+
+
+def steady_state_temperature(params: ThermalParams, power):
+    """Limit temperature under constant ``power`` (t -> infinity)."""
+    power = np.asarray(power, dtype=float)
+    result = params.t_ambient + params.c1 * power / params.c2
+    return float(result) if result.ndim == 0 else result
+
+
+def power_cap(params: ThermalParams, t0, delta_s: float):
+    """Max constant power keeping ``T <= t_limit`` through the window (Eq. 3).
+
+    Parameters
+    ----------
+    t0:
+        Current component temperature (deg C); scalar or array.
+    delta_s:
+        Length of the next adjustment window in seconds.
+
+    Returns
+    -------
+    Power in watts, clipped below at 0 (a component already beyond its
+    limit gets a zero budget and must shed all load to cool).
+    """
+    if delta_s <= 0:
+        raise ValueError(f"delta_s must be positive, got {delta_s}")
+    t0 = np.asarray(t0, dtype=float)
+    decay = float(np.exp(-params.c2 * delta_s))
+    numerator = params.t_limit - params.t_ambient - (t0 - params.t_ambient) * decay
+    cap = numerator * params.c2 / (params.c1 * (1.0 - decay))
+    cap = np.maximum(cap, 0.0)
+    return float(cap) if cap.ndim == 0 else cap
+
+
+def window_for_power_cap(params: ThermalParams, max_power: float) -> float:
+    """Window length making the idle-at-ambient cap equal ``max_power``.
+
+    The paper (Fig. 4) chooses constants so that a node sitting at the
+    ambient temperature presents a thermal surplus approximately equal to
+    the node's maximum power rating (450 W).  Given ``(c1, c2)`` this
+    function solves Eq. 3 for the window length ``delta_s`` that realises
+    exactly that equality:
+
+        1 - e^{-c2 ds} = c2 (T_limit - Ta) / (c1 P_max)
+    """
+    if max_power <= 0:
+        raise ValueError(f"max_power must be positive, got {max_power}")
+    ratio = params.c2 * params.headroom / (params.c1 * max_power)
+    if not 0.0 < ratio < 1.0:
+        raise ValueError(
+            "no finite window: c2*(T_limit-Ta)/(c1*max_power) = "
+            f"{ratio:.4f} must lie in (0, 1)"
+        )
+    return float(-np.log(1.0 - ratio) / params.c2)
+
+
+def time_to_limit(params: ThermalParams, t0, power):
+    """How long a component can hold ``power`` before hitting ``t_limit``.
+
+    Inverts Eq. 2 in time.  Returns ``inf`` when the steady-state
+    temperature under ``power`` never reaches the limit, and ``0`` when
+    the component is already at or beyond it.  Broadcasts over arrays.
+
+    Useful for controllers that want *dynamic* adjustment windows: the
+    window within which Eq. 3's cap guarantee stays meaningful.
+    """
+    t0 = np.asarray(t0, dtype=float)
+    power = np.asarray(power, dtype=float)
+    if np.any(power < 0):
+        raise ValueError("power must be non-negative")
+    steady = params.t_ambient + params.c1 * power / params.c2
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = (steady - params.t_limit) / (steady - t0)
+        times = -np.log(ratio) / params.c2
+    result = np.where(
+        t0 >= params.t_limit,
+        0.0,
+        np.where(steady <= params.t_limit, np.inf, times),
+    )
+    return float(result) if result.ndim == 0 else result
+
+
+class TemperatureIntegrator:
+    """Step-wise exact integrator for one component's temperature.
+
+    Holds the current temperature and advances it with
+    :func:`temperature_after` given the (piecewise-constant) power drawn
+    during each simulation tick.
+    """
+
+    def __init__(self, params: ThermalParams, t0: float | None = None):
+        self.params = params
+        self.temperature = float(params.t_ambient if t0 is None else t0)
+        self.peak = self.temperature
+        self.violations = 0
+
+    def step(self, power: float, dt: float) -> float:
+        """Advance ``dt`` seconds at constant ``power``; return new temp."""
+        if power < 0:
+            raise ValueError(f"power must be non-negative, got {power}")
+        self.temperature = temperature_after(
+            self.params, self.temperature, power, dt
+        )
+        if self.temperature > self.peak:
+            self.peak = self.temperature
+        # Tolerate float fuzz right at the limit.
+        if self.temperature > self.params.t_limit + 1e-9:
+            self.violations += 1
+        return self.temperature
+
+    def power_cap(self, delta_s: float) -> float:
+        """Thermal power cap for the next window of ``delta_s`` seconds."""
+        return power_cap(self.params, self.temperature, delta_s)
+
+    def reset(self, t0: float | None = None) -> None:
+        """Reset to ``t0`` (default: ambient) and clear statistics."""
+        self.temperature = float(
+            self.params.t_ambient if t0 is None else t0
+        )
+        self.peak = self.temperature
+        self.violations = 0

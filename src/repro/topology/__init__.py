@@ -1,0 +1,29 @@
+"""Data-center topology: the hierarchical power-control tree (Figs. 1, 3)
+and the mirrored switch fabric (Fig. 8).
+
+* :mod:`repro.topology.tree` -- generic multi-level tree of
+  :class:`~repro.topology.tree.Node` objects with level/sibling queries.
+* :mod:`repro.topology.builders` -- the paper's simulation configuration
+  (4 levels, 18 servers), the 3-server experimental testbed, and a
+  generic builder for arbitrary branching.
+* :mod:`repro.topology.switches` -- switch fabric mirroring the power
+  hierarchy, path computation, and redundant-path load splitting.
+"""
+
+from repro.topology.tree import Node, NodeKind, Tree
+from repro.topology.builders import (
+    build_balanced,
+    build_paper_simulation,
+    build_testbed,
+)
+from repro.topology.switches import SwitchFabric
+
+__all__ = [
+    "Node",
+    "NodeKind",
+    "SwitchFabric",
+    "Tree",
+    "build_balanced",
+    "build_paper_simulation",
+    "build_testbed",
+]

@@ -1,0 +1,112 @@
+"""Canonical topologies from the paper.
+
+* :func:`build_paper_simulation` -- the Fig. 3 simulation configuration:
+  a four-level power-control hierarchy with 18 server nodes.  The figure
+  itself is not machine-readable in the available text; we use the
+  documented facts (4 levels, 18 servers) with the balanced layout
+  root -> 2 racks -> 3 enclosures each -> 3 servers each (2*3*3 = 18).
+* :func:`build_testbed` -- the Sec. V-C experimental testbed: three ESX
+  servers under a two-level switch/power hierarchy (two level-1 groups,
+  one level-2 root).
+* :func:`build_balanced` -- arbitrary balanced trees for scaling studies
+  (the O(log n) decision-time property in Sec. V-A2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.topology.tree import NodeKind, Tree
+
+__all__ = ["build_paper_simulation", "build_testbed", "build_balanced"]
+
+#: Index (0-based) of the first hot-zone server in the Fig. 5-7 setup;
+#: the paper places servers 15-18 (1-based) in the 40 deg C zone.
+PAPER_HOT_ZONE_START = 14
+PAPER_NUM_SERVERS = 18
+
+
+def build_paper_simulation() -> Tree:
+    """The Fig. 3 hierarchy: 4 levels, 18 servers.
+
+    Level 3: data-center PMU (root).
+    Level 2: 2 racks.
+    Level 1: 3 enclosures per rack.
+    Level 0: 3 servers per enclosure (18 total, named ``server-1`` ..
+    ``server-18`` to match the paper's 1-based figures).
+    """
+    tree = Tree(root_name="datacenter", root_level=3)
+    server_index = 1
+    for r in range(2):
+        rack = tree.add_child(tree.root, f"rack-{r}", NodeKind.RACK)
+        for e in range(3):
+            enclosure = tree.add_child(rack, f"rack-{r}/enclosure-{e}", NodeKind.ENCLOSURE)
+            for _ in range(3):
+                tree.add_child(enclosure, f"server-{server_index}", NodeKind.SERVER)
+                server_index += 1
+    tree.validate()
+    assert len(tree.servers()) == PAPER_NUM_SERVERS
+    return tree
+
+
+def build_testbed() -> Tree:
+    """The Sec. V-C testbed: 3 servers, two level-1 groups, one root.
+
+    Figure 13 shows three Dell/ESX servers managed by a remote control
+    plane simulating a two-level hierarchy: two switches at level 1 and
+    one at level 2.  We attach servers A and B to the first level-1
+    group and server C to the second.
+    """
+    tree = Tree(root_name="testbed", root_level=2)
+    group0 = tree.add_child(tree.root, "group-0", NodeKind.ENCLOSURE)
+    group1 = tree.add_child(tree.root, "group-1", NodeKind.ENCLOSURE)
+    tree.add_child(group0, "server-A", NodeKind.SERVER)
+    tree.add_child(group0, "server-B", NodeKind.SERVER)
+    tree.add_child(group1, "server-C", NodeKind.SERVER)
+    tree.validate()
+    return tree
+
+
+def build_balanced(branching: Sequence[int]) -> Tree:
+    """A balanced tree with the given per-level branching factors.
+
+    ``branching[0]`` is the number of children of the root; the last
+    entry is the number of servers per lowest internal node.  The total
+    number of servers is the product of all factors.
+
+    Examples
+    --------
+    >>> tree = build_balanced([2, 3, 3])
+    >>> len(tree.servers())
+    18
+    """
+    branching = list(branching)
+    if not branching:
+        raise ValueError("need at least one branching factor")
+    if any(b < 1 for b in branching):
+        raise ValueError(f"branching factors must be >= 1, got {branching}")
+    tree = Tree(root_name="datacenter", root_level=len(branching))
+    frontier = [tree.root]
+    kinds = _level_kinds(len(branching))
+    for depth, fanout in enumerate(branching):
+        new_frontier = []
+        for parent in frontier:
+            for i in range(fanout):
+                name = f"{parent.name}/{kinds[depth].value}-{i}"
+                if depth == len(branching) - 1:
+                    name = f"server-{len(new_frontier) + 1}"
+                child = tree.add_child(parent, name, kinds[depth])
+                new_frontier.append(child)
+        frontier = new_frontier
+    tree.validate()
+    return tree
+
+
+def _level_kinds(depth: int) -> list[NodeKind]:
+    """Node kinds for each depth below the root, leaves last."""
+    inner = [NodeKind.RACK, NodeKind.ENCLOSURE]
+    kinds = []
+    for d in range(depth - 1):
+        kinds.append(inner[min(d, len(inner) - 1)])
+    kinds.append(NodeKind.SERVER)
+    return kinds

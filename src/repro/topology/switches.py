@@ -1,0 +1,130 @@
+"""Switch fabric mirroring the power-control hierarchy (paper Fig. 8).
+
+The paper places one switch alongside each internal node of the power
+hierarchy: level-1 switches sit with the servers, level-2 switches with
+the racks, and so on.  A migration between two servers traverses the
+switches on the tree path between them (up to the lowest common ancestor
+and back down).  Optionally a level can use *redundant pairs* of
+switches, in which case traffic is split evenly across the pair
+("we assume that in the presence of redundant paths with two switches,
+the load is balanced evenly between the switches").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.topology.tree import Node, Tree
+
+__all__ = ["Switch", "SwitchFabric"]
+
+
+@dataclass
+class Switch:
+    """One switch in the fabric.
+
+    ``site`` is the power-hierarchy node the switch is attached to; its
+    ``level`` equals the site's level.  ``redundant_group`` lists all
+    switches (including this one) sharing the same site when redundancy
+    is enabled.
+    """
+
+    switch_id: int
+    name: str
+    site: Node
+    redundant_group: List["Switch"] = field(default_factory=list, repr=False)
+
+    @property
+    def level(self) -> int:
+        return self.site.level
+
+    @property
+    def redundancy(self) -> int:
+        """Number of switches sharing this site (>= 1)."""
+        return max(1, len(self.redundant_group))
+
+
+class SwitchFabric:
+    """The set of switches serving a hierarchy, with path computation."""
+
+    def __init__(self, tree: Tree, *, redundancy: int = 1):
+        if redundancy < 1:
+            raise ValueError(f"redundancy must be >= 1, got {redundancy}")
+        self.tree = tree
+        self.redundancy = redundancy
+        self._switches: List[Switch] = []
+        self._by_site: Dict[int, List[Switch]] = {}
+        next_id = 0
+        for node in tree:
+            if node.is_leaf:
+                continue
+            group: List[Switch] = []
+            for r in range(redundancy):
+                suffix = f"+{r}" if redundancy > 1 else ""
+                switch = Switch(next_id, f"switch[{node.name}]{suffix}", node)
+                next_id += 1
+                group.append(switch)
+                self._switches.append(switch)
+            for switch in group:
+                switch.redundant_group = group
+            self._by_site[node.node_id] = group
+
+    @property
+    def switches(self) -> List[Switch]:
+        """All switches, in deterministic creation order."""
+        return list(self._switches)
+
+    def at_level(self, level: int) -> List[Switch]:
+        """All switches whose site is at ``level``."""
+        return [s for s in self._switches if s.level == level]
+
+    def at_site(self, node: Node) -> List[Switch]:
+        """The (possibly redundant) switch group serving ``node``."""
+        return list(self._by_site[node.node_id])
+
+    def serving(self, server: Node) -> List[Switch]:
+        """The level-1 switch group a server hangs off (its parent's)."""
+        if server.parent is None:
+            raise ValueError("root has no serving switch")
+        return self.at_site(server.parent)
+
+    def path(self, src: Node, dst: Node) -> List[Tuple[Switch, float]]:
+        """Switches traversed by traffic from ``src`` to ``dst``.
+
+        Returns ``(switch, share)`` pairs where ``share`` is the fraction
+        of the flow crossing that switch (1/redundancy when a redundant
+        pair splits the load).  The path climbs from ``src`` to the LCA
+        and descends to ``dst``; each internal node on the path
+        contributes its switch group once.
+        """
+        if src is dst:
+            return []
+        lca = self.tree.lca(src, dst)
+        sites: List[Node] = []
+        node = src.parent
+        while node is not None and node.level <= lca.level:
+            sites.append(node)
+            if node is lca:
+                break
+            node = node.parent
+        down: List[Node] = []
+        node = dst.parent
+        while node is not None and node is not lca and node.level < lca.level:
+            down.append(node)
+            node = node.parent
+        sites.extend(reversed(down))
+        result: List[Tuple[Switch, float]] = []
+        for site in sites:
+            group = self._by_site[site.node_id]
+            share = 1.0 / len(group)
+            for switch in group:
+                result.append((switch, share))
+        return result
+
+    def hop_count(self, src: Node, dst: Node) -> int:
+        """Number of switch *sites* on the src->dst path."""
+        seen = set()
+        for switch, _ in self.path(src, dst):
+            seen.add(switch.site.node_id)
+        return len(seen)

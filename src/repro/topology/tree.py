@@ -1,0 +1,199 @@
+"""Generic hierarchy tree for the multi-level power-control model.
+
+Levels follow the paper's convention (Fig. 1): the data-center PMU sits
+at the highest level, racks below it, server/switch PMUs at level 1, and
+individual servers (the leaves that actually host workload) at level 0.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Iterator, List, Optional
+
+__all__ = ["NodeKind", "Node", "Tree"]
+
+
+class NodeKind(enum.Enum):
+    """Role a tree node plays in the data center."""
+
+    DATACENTER = "datacenter"
+    RACK = "rack"
+    ENCLOSURE = "enclosure"
+    SERVER = "server"
+    SWITCH = "switch"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Node:
+    """One vertex in the power-control hierarchy.
+
+    Attributes
+    ----------
+    node_id:
+        Unique integer id within its :class:`Tree`.
+    name:
+        Human-readable label (``"rack-0"``, ``"server-17"``...).
+    kind:
+        The node's :class:`NodeKind`.
+    level:
+        Hierarchy level; leaves are level 0, the root has the highest.
+    parent / children:
+        Tree links.  The root's parent is ``None``.
+    """
+
+    __slots__ = ("node_id", "name", "kind", "level", "parent", "children")
+
+    def __init__(
+        self,
+        node_id: int,
+        name: str,
+        kind: NodeKind,
+        level: int,
+        parent: Optional["Node"] = None,
+    ):
+        self.node_id = node_id
+        self.name = name
+        self.kind = kind
+        self.level = level
+        self.parent = parent
+        self.children: List[Node] = []
+        if parent is not None:
+            parent.children.append(self)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def siblings(self) -> List["Node"]:
+        """Other children of this node's parent."""
+        if self.parent is None:
+            return []
+        return [c for c in self.parent.children if c is not self]
+
+    def ancestors(self) -> Iterator["Node"]:
+        """Parent, grandparent, ... up to and including the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def descendants(self) -> Iterator["Node"]:
+        """All nodes strictly below this one, depth-first."""
+        for child in self.children:
+            yield child
+            yield from child.descendants()
+
+    def leaves(self) -> List["Node"]:
+        """All leaf nodes in this node's subtree (itself if a leaf)."""
+        if self.is_leaf:
+            return [self]
+        return [leaf for child in self.children for leaf in child.leaves()]
+
+    def path_to_root(self) -> List["Node"]:
+        """This node followed by its ancestors, ending at the root."""
+        return [self, *self.ancestors()]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.name} ({self.kind}) level={self.level}>"
+
+
+class Tree:
+    """Container indexing a hierarchy of :class:`Node` objects."""
+
+    def __init__(self, root_name: str = "datacenter", root_level: int = 1):
+        if root_level < 1:
+            raise ValueError("root must be at level >= 1 (leaves are level 0)")
+        self._next_id = 0
+        self.root = Node(
+            self._take_id(), root_name, NodeKind.DATACENTER, root_level
+        )
+        self._by_id: Dict[int, Node] = {self.root.node_id: self.root}
+        self._by_name: Dict[str, Node] = {self.root.name: self.root}
+
+    def _take_id(self) -> int:
+        node_id, self._next_id = self._next_id, self._next_id + 1
+        return node_id
+
+    def add_child(self, parent: Node, name: str, kind: NodeKind) -> Node:
+        """Create a child one level below ``parent``."""
+        if self._by_id.get(parent.node_id) is not parent:
+            raise ValueError(f"parent {parent.name!r} is not in this tree")
+        if name in self._by_name:
+            raise ValueError(f"duplicate node name {name!r}")
+        if parent.level == 0:
+            raise ValueError(f"cannot add children below leaf-level node {parent.name!r}")
+        node = Node(self._take_id(), name, kind, parent.level - 1, parent)
+        self._by_id[node.node_id] = node
+        self._by_name[name] = node
+        return node
+
+    # -- lookups -----------------------------------------------------------
+    def node(self, node_id: int) -> Node:
+        return self._by_id[node_id]
+
+    def by_name(self, name: str) -> Node:
+        return self._by_name[name]
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._by_id.values())
+
+    def nodes_at_level(self, level: int) -> List[Node]:
+        """All nodes at the given level, in creation order."""
+        return [n for n in self._by_id.values() if n.level == level]
+
+    def servers(self) -> List[Node]:
+        """All server leaves, in creation order."""
+        return [
+            n
+            for n in self._by_id.values()
+            if n.kind is NodeKind.SERVER and n.is_leaf
+        ]
+
+    @property
+    def height(self) -> int:
+        """Number of levels, counting leaves as level 0."""
+        return self.root.level + 1
+
+    def lca(self, a: Node, b: Node) -> Node:
+        """Lowest common ancestor of two nodes."""
+        ancestors_a = set(id(n) for n in a.path_to_root())
+        for node in b.path_to_root():
+            if id(node) in ancestors_a:
+                return node
+        raise ValueError("nodes do not share a root")  # pragma: no cover
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on breakage."""
+        seen = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            seen += 1
+            for child in node.children:
+                if child.parent is not node:
+                    raise ValueError(f"broken parent link at {child.name!r}")
+                if child.level != node.level - 1:
+                    raise ValueError(
+                        f"level mismatch: {child.name!r} is level {child.level} "
+                        f"under level {node.level}"
+                    )
+                stack.append(child)
+        if seen != len(self._by_id):
+            raise ValueError("tree index out of sync with structure")
+
+    def walk(self, visit: Callable[[Node], None]) -> None:
+        """Depth-first pre-order traversal applying ``visit``."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            visit(node)
+            stack.extend(reversed(node.children))

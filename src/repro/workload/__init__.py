@@ -1,0 +1,42 @@
+"""Workloads: applications, virtual machines, demand generation.
+
+The paper evaluates transactional (query-driven) workloads hosted in
+VMs.  The simulation places "a random mix of 4 different application
+types that have a relative average power requirement of 1, 2, 5 and 9"
+on each server, with Poisson-distributed power demand (Sec. V-B1).  The
+testbed runs three CPU-bound applications A1/A2/A3 adding 8/10/15 W
+(Table II).
+"""
+
+from repro.workload.applications import (
+    AppType,
+    SIMULATION_APPS,
+    TESTBED_APPS,
+)
+from repro.workload.vm import VM, VMState
+from repro.workload.generator import (
+    BurstyDemandGenerator,
+    DemandGenerator,
+    DiurnalDemandGenerator,
+    PlacementPlan,
+    random_placement,
+    scale_for_target_utilization,
+)
+from repro.workload.trace import DemandTrace, TraceDemandSource, replay_trace
+
+__all__ = [
+    "AppType",
+    "BurstyDemandGenerator",
+    "DemandGenerator",
+    "DiurnalDemandGenerator",
+    "DemandTrace",
+    "PlacementPlan",
+    "SIMULATION_APPS",
+    "TraceDemandSource",
+    "TESTBED_APPS",
+    "VM",
+    "VMState",
+    "random_placement",
+    "replay_trace",
+    "scale_for_target_utilization",
+]

@@ -1,0 +1,134 @@
+"""Inter-VM communication (IPC) affinity.
+
+The paper restricts its evaluation to workloads with "minimum or no
+interaction between servers" and flags IPC-heavy workloads as future
+work ("we would also like to analyze the performance of Willow under
+more complex workloads where there is excessive IPC traffic among the
+servers").  This module supplies that workload model:
+
+* :class:`AffinityGraph` -- a weighted graph of VM pairs; the weight is
+  the communication rate (traffic units per tick) between them.
+* builders for the two canonical shapes: tightly-coupled *clusters*
+  (e.g. a 3-tier app's VMs) and a *ring* (pipeline stages).
+
+When a graph is passed to the controller (``ipc_graph=``), every tick
+each edge whose endpoints sit on different servers contributes its rate
+to the switches on the path between the hosts -- so migrations that
+split a chatty pair show up as network cost, and consolidation that
+reunites one shows up as savings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.workload.vm import VM
+
+__all__ = ["AffinityGraph", "clustered_affinity", "ring_affinity"]
+
+
+class AffinityGraph:
+    """Weighted, undirected VM communication graph."""
+
+    def __init__(self):
+        self._edges: Dict[Tuple[int, int], float] = {}
+
+    @staticmethod
+    def _key(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a < b else (b, a)
+
+    def add_edge(self, vm_a: int, vm_b: int, rate: float) -> None:
+        """Set the communication rate between two VMs."""
+        if vm_a == vm_b:
+            raise ValueError("a VM does not IPC with itself over the network")
+        if rate < 0:
+            raise ValueError(f"rate must be non-negative, got {rate}")
+        if rate == 0:
+            self._edges.pop(self._key(vm_a, vm_b), None)
+        else:
+            self._edges[self._key(vm_a, vm_b)] = float(rate)
+
+    def rate(self, vm_a: int, vm_b: int) -> float:
+        return self._edges.get(self._key(vm_a, vm_b), 0.0)
+
+    def edges(self) -> Iterable[Tuple[int, int, float]]:
+        """All ``(vm_a, vm_b, rate)`` triples, deterministic order."""
+        for (a, b), rate in sorted(self._edges.items()):
+            yield a, b, rate
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def total_rate(self) -> float:
+        return sum(self._edges.values())
+
+    def neighbours(self, vm_id: int) -> List[Tuple[int, float]]:
+        """Peers of one VM with their rates."""
+        result = []
+        for (a, b), rate in self._edges.items():
+            if a == vm_id:
+                result.append((b, rate))
+            elif b == vm_id:
+                result.append((a, rate))
+        return sorted(result)
+
+    # -- placement analysis --------------------------------------------------
+    def remote_rate(self, vms: Sequence[VM]) -> float:
+        """Total rate crossing server boundaries under the placement."""
+        host_of = {vm.vm_id: vm.host_id for vm in vms}
+        total = 0.0
+        for a, b, rate in self.edges():
+            if host_of.get(a) != host_of.get(b):
+                total += rate
+        return total
+
+    def colocated_fraction(self, vms: Sequence[VM]) -> float:
+        """Fraction of the total rate kept on-box by the placement."""
+        total = self.total_rate()
+        if total == 0:
+            return 1.0
+        return 1.0 - self.remote_rate(vms) / total
+
+
+def clustered_affinity(
+    vms: Sequence[VM],
+    *,
+    cluster_size: int,
+    in_rate: float,
+    out_rate: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> AffinityGraph:
+    """Group VMs into communication clusters (3-tier-app style).
+
+    Consecutive ``cluster_size`` VMs form a clique with pairwise
+    ``in_rate``; each cluster additionally talks to the next cluster's
+    first member at ``out_rate`` (a service-dependency chain).
+    """
+    if cluster_size < 2:
+        raise ValueError(f"cluster_size must be >= 2, got {cluster_size}")
+    graph = AffinityGraph()
+    ids = [vm.vm_id for vm in vms]
+    clusters = [
+        ids[i : i + cluster_size] for i in range(0, len(ids), cluster_size)
+    ]
+    for index, cluster in enumerate(clusters):
+        for i, a in enumerate(cluster):
+            for b in cluster[i + 1 :]:
+                graph.add_edge(a, b, in_rate)
+        if out_rate > 0 and index + 1 < len(clusters):
+            graph.add_edge(cluster[0], clusters[index + 1][0], out_rate)
+    return graph
+
+
+def ring_affinity(vms: Sequence[VM], rate: float) -> AffinityGraph:
+    """A pipeline: each VM talks to the next, last wraps to first."""
+    graph = AffinityGraph()
+    ids = [vm.vm_id for vm in vms]
+    if len(ids) < 2:
+        return graph
+    for a, b in zip(ids, ids[1:] + ids[:1]):
+        if a != b:
+            graph.add_edge(a, b, rate)
+    return graph

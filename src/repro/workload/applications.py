@@ -1,0 +1,64 @@
+"""Application catalog.
+
+An :class:`AppType` describes one hosted application class by its mean
+power demand.  Demands are expressed directly in watts of bottleneck-
+resource power (the paper's power-linear-in-utilization assumption
+makes "power demand" and "load" interchangeable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["AppType", "SIMULATION_APPS", "TESTBED_APPS"]
+
+
+@dataclass(frozen=True)
+class AppType:
+    """One application class.
+
+    Attributes
+    ----------
+    name:
+        Catalog label.
+    mean_power:
+        Mean dynamic power demand in watts (or relative units for the
+        simulation catalog before scaling).
+    priority:
+        Lower value = higher priority.  Willow itself does not treat
+        priorities specially (the paper defers low-priority shutdown to
+        future work) but the drop policy sheds lowest priority first.
+    """
+
+    name: str
+    mean_power: float
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mean_power <= 0:
+            raise ValueError(f"mean_power must be positive, got {self.mean_power}")
+
+    def scaled(self, factor: float) -> "AppType":
+        """A copy with ``mean_power`` multiplied by ``factor``."""
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        return AppType(self.name, self.mean_power * factor, self.priority)
+
+
+#: Simulation catalog (Sec. V-B1): relative average power requirements
+#: of 1, 2, 5 and 9.
+SIMULATION_APPS: Tuple[AppType, ...] = (
+    AppType("app-1", 1.0),
+    AppType("app-2", 2.0),
+    AppType("app-5", 5.0),
+    AppType("app-9", 9.0),
+)
+
+#: Testbed catalog (Table II): CPU-bound web applications adding
+#: 8, 10 and 15 W respectively.
+TESTBED_APPS: Tuple[AppType, ...] = (
+    AppType("A1", 8.0),
+    AppType("A2", 10.0),
+    AppType("A3", 15.0),
+)

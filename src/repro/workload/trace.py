@@ -1,0 +1,151 @@
+"""Deterministic demand traces.
+
+For experiments that need exactly reproducible demand (the testbed runs
+of Sec. V-C, regression tests, A/B controller comparisons) a
+:class:`DemandTrace` holds a pre-computed ``(ticks, vms)`` demand matrix
+that can be replayed instead of sampling live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence
+
+import numpy as np
+
+from repro.workload.vm import VM
+
+__all__ = ["DemandTrace", "replay_trace"]
+
+
+@dataclass(frozen=True)
+class DemandTrace:
+    """A ``(n_ticks, n_vms)`` matrix of per-tick VM power demands (W)."""
+
+    demands: np.ndarray  # shape (n_ticks, n_vms)
+
+    def __post_init__(self) -> None:
+        demands = np.asarray(self.demands, dtype=float)
+        if demands.ndim != 2:
+            raise ValueError("demands must be a 2-D (ticks, vms) array")
+        if np.any(demands < 0):
+            raise ValueError("demands must be non-negative")
+        object.__setattr__(self, "demands", demands)
+
+    @property
+    def n_ticks(self) -> int:
+        return self.demands.shape[0]
+
+    @property
+    def n_vms(self) -> int:
+        return self.demands.shape[1]
+
+    def tick(self, index: int) -> np.ndarray:
+        """Demand vector (one entry per VM) at tick ``index``."""
+        return self.demands[index]
+
+    @staticmethod
+    def constant(levels: Sequence[float], n_ticks: int) -> "DemandTrace":
+        """Every VM holds a constant demand for the whole run."""
+        if n_ticks < 1:
+            raise ValueError("n_ticks must be >= 1")
+        row = np.asarray(levels, dtype=float)
+        return DemandTrace(np.tile(row, (n_ticks, 1)))
+
+    @staticmethod
+    def from_samples(samples: Sequence[Sequence[float]]) -> "DemandTrace":
+        """Build from an explicit list of per-tick demand rows."""
+        return DemandTrace(np.asarray(samples, dtype=float))
+
+    @staticmethod
+    def from_csv(path) -> "DemandTrace":
+        """Load a trace from CSV: one row per tick, one column per VM.
+
+        A single header row of non-numeric labels is tolerated (and
+        ignored), so spreadsheets round-trip cleanly.
+        """
+        import csv as _csv
+        from pathlib import Path
+
+        rows = []
+        with Path(path).open(newline="") as handle:
+            for record in _csv.reader(handle):
+                if not record:
+                    continue
+                try:
+                    rows.append([float(cell) for cell in record])
+                except ValueError:
+                    if rows:
+                        raise ValueError(
+                            f"non-numeric row after data began: {record!r}"
+                        )
+                    continue  # header
+        if not rows:
+            raise ValueError(f"no demand rows found in {path}")
+        return DemandTrace.from_samples(rows)
+
+    def to_csv(self, path, header: Sequence[str] | None = None) -> None:
+        """Write the trace as CSV (optionally with a header row)."""
+        import csv as _csv
+        from pathlib import Path
+
+        with Path(path).open("w", newline="") as handle:
+            writer = _csv.writer(handle)
+            if header is not None:
+                if len(header) != self.n_vms:
+                    raise ValueError(
+                        f"header has {len(header)} labels for "
+                        f"{self.n_vms} VM columns"
+                    )
+                writer.writerow(header)
+            writer.writerows(self.demands.tolist())
+
+
+class TraceDemandSource:
+    """Adapter exposing a :class:`DemandTrace` as a controller demand
+    source (the :class:`~repro.core.controller.DemandSource` protocol).
+
+    Ticks beyond the trace length repeat the final row, so short traces
+    can drive arbitrarily long runs.
+    """
+
+    def __init__(self, trace: DemandTrace, vms: List[VM]):
+        if len(vms) != trace.n_vms:
+            raise ValueError(
+                f"trace has {trace.n_vms} VM columns but {len(vms)} VMs given"
+            )
+        self.trace = trace
+        self.vms = list(vms)
+        self._tick = 0
+
+    def sample_tick(self) -> Dict[int, float]:
+        index = min(self._tick, self.trace.n_ticks - 1)
+        row = self.trace.tick(index)
+        self._tick += 1
+        per_host: Dict[int, float] = {}
+        for vm, demand in zip(self.vms, row):
+            vm.current_demand = float(demand)
+            per_host[vm.host_id] = per_host.get(vm.host_id, 0.0) + float(demand)
+        return per_host
+
+
+def replay_trace(
+    trace: DemandTrace, vms: List[VM]
+) -> Iterator[Dict[int, float]]:
+    """Yield per-host aggregate demand for each tick of ``trace``.
+
+    Updates ``vm.current_demand`` in place each tick, mirroring
+    :meth:`repro.workload.generator.DemandGenerator.sample_tick`.
+    VM order must match the trace's column order.
+    """
+    if len(vms) != trace.n_vms:
+        raise ValueError(
+            f"trace has {trace.n_vms} VM columns but {len(vms)} VMs given"
+        )
+    for tick_index in range(trace.n_ticks):
+        row = trace.tick(tick_index)
+        per_host: Dict[int, float] = {}
+        for vm, demand in zip(vms, row):
+            vm.current_demand = float(demand)
+            per_host[vm.host_id] = per_host.get(vm.host_id, 0.0) + float(demand)
+        yield per_host

@@ -1,0 +1,89 @@
+"""Virtual machines: the unit of migration.
+
+"The applications are hosted by one or more virtual machines (VMs) and
+the demand is migrated between nodes by migrating these virtual
+machines ... migrations are done at the application level and hence the
+demand is not split between multiple nodes" (Sec. IV-E).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.workload.applications import AppType
+
+__all__ = ["VMState", "VM"]
+
+
+class VMState(enum.Enum):
+    """Lifecycle of a VM."""
+
+    RUNNING = "running"
+    MIGRATING = "migrating"
+    DROPPED = "dropped"  # shed to stay within budget (QoS loss)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class VM:
+    """One virtual machine hosting a single application.
+
+    Attributes
+    ----------
+    vm_id:
+        Unique id within a simulation run.
+    app:
+        The hosted :class:`AppType`.
+    host_id:
+        ``node_id`` of the server currently hosting the VM.
+    current_demand:
+        Power demand (W) sampled for the current tick.
+    state:
+        Lifecycle state.
+    host_history:
+        Chronological ``(time, host_id)`` records of every placement,
+        used by the ping-pong/stability checks (paper Property 4).
+    """
+
+    vm_id: int
+    app: AppType
+    host_id: int
+    current_demand: float = 0.0
+    state: VMState = VMState.RUNNING
+    host_history: List[tuple] = field(default_factory=list)
+    last_migration_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.current_demand < 0:
+            raise ValueError("current_demand must be non-negative")
+        if not self.host_history:
+            self.host_history.append((0.0, self.host_id))
+
+    @property
+    def mean_demand(self) -> float:
+        """Long-run mean demand of the hosted application (W)."""
+        return self.app.mean_power
+
+    def place(self, host_id: int, time: float) -> None:
+        """Record a migration to ``host_id`` at simulation ``time``."""
+        if host_id == self.host_id:
+            raise ValueError(f"VM {self.vm_id} is already on host {host_id}")
+        self.host_id = host_id
+        self.last_migration_time = time
+        self.host_history.append((time, host_id))
+
+    def residence_time(self, now: float) -> float:
+        """Time since the VM last moved (or since t=0 if it never has)."""
+        if self.last_migration_time is None:
+            return now - self.host_history[0][0]
+        return now - self.last_migration_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<VM {self.vm_id} app={self.app.name} host={self.host_id} "
+            f"demand={self.current_demand:.1f}W {self.state}>"
+        )

@@ -1,0 +1,211 @@
+"""Tests for IPC affinity graphs and their controller integration."""
+
+import numpy as np
+import pytest
+
+from repro.core import WillowConfig, WillowController
+from repro.power import constant_supply
+from repro.sim import RandomStreams
+from repro.topology import build_paper_simulation
+from repro.workload import (
+    SIMULATION_APPS,
+    random_placement,
+    scale_for_target_utilization,
+)
+from repro.workload.affinity import (
+    AffinityGraph,
+    clustered_affinity,
+    ring_affinity,
+)
+from repro.workload.vm import VM
+from repro.workload.applications import AppType
+
+
+def make_vms(n, host=1):
+    app = AppType("a", 1.0)
+    return [VM(vm_id=i, app=app, host_id=host) for i in range(n)]
+
+
+class TestAffinityGraph:
+    def test_edges_symmetric(self):
+        graph = AffinityGraph()
+        graph.add_edge(1, 2, 5.0)
+        assert graph.rate(1, 2) == 5.0
+        assert graph.rate(2, 1) == 5.0
+
+    def test_self_edge_rejected(self):
+        with pytest.raises(ValueError):
+            AffinityGraph().add_edge(1, 1, 5.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            AffinityGraph().add_edge(1, 2, -1.0)
+
+    def test_zero_rate_removes_edge(self):
+        graph = AffinityGraph()
+        graph.add_edge(1, 2, 5.0)
+        graph.add_edge(1, 2, 0.0)
+        assert len(graph) == 0
+
+    def test_neighbours(self):
+        graph = AffinityGraph()
+        graph.add_edge(1, 2, 5.0)
+        graph.add_edge(1, 3, 2.0)
+        assert graph.neighbours(1) == [(2, 5.0), (3, 2.0)]
+
+    def test_remote_rate_and_colocated_fraction(self):
+        vms = make_vms(3, host=1)
+        vms[2].host_id = 2
+        graph = AffinityGraph()
+        graph.add_edge(0, 1, 4.0)  # same host
+        graph.add_edge(1, 2, 6.0)  # cross host
+        assert graph.remote_rate(vms) == 6.0
+        assert graph.colocated_fraction(vms) == pytest.approx(0.4)
+
+    def test_empty_graph_is_fully_colocated(self):
+        assert AffinityGraph().colocated_fraction(make_vms(2)) == 1.0
+
+
+class TestBuilders:
+    def test_clustered_clique_rates(self):
+        vms = make_vms(6)
+        graph = clustered_affinity(vms, cluster_size=3, in_rate=2.0)
+        # Two cliques of 3 -> 3 edges each.
+        assert len(graph) == 6
+        assert graph.rate(0, 1) == 2.0
+        assert graph.rate(0, 3) == 0.0  # across clusters, no out_rate
+
+    def test_clustered_chain(self):
+        vms = make_vms(6)
+        graph = clustered_affinity(
+            vms, cluster_size=3, in_rate=2.0, out_rate=1.0
+        )
+        assert graph.rate(0, 3) == 1.0
+
+    def test_cluster_size_validated(self):
+        with pytest.raises(ValueError):
+            clustered_affinity(make_vms(4), cluster_size=1, in_rate=1.0)
+
+    def test_ring(self):
+        vms = make_vms(4)
+        graph = ring_affinity(vms, rate=3.0)
+        assert len(graph) == 4
+        assert graph.rate(0, 1) == 3.0
+        assert graph.rate(3, 0) == 3.0
+
+    def test_tiny_ring(self):
+        assert len(ring_affinity(make_vms(1), 1.0)) == 0
+
+
+class TestControllerIntegration:
+    def _run(self, ipc_graph_factory=None, seed=9):
+        tree = build_paper_simulation()
+        config = WillowConfig(consolidation_enabled=False)
+        streams = RandomStreams(seed)
+        placement = random_placement(
+            [s.node_id for s in tree.servers()],
+            SIMULATION_APPS,
+            streams["placement"],
+        )
+        scale_for_target_utilization(placement, config.server_model.slope, 0.4)
+        graph = ipc_graph_factory(placement.vms) if ipc_graph_factory else None
+        controller = WillowController(
+            tree,
+            config,
+            constant_supply(18 * 450.0),
+            placement,
+            seed=seed,
+            ipc_graph=graph,
+        )
+        return controller, controller.run(30)
+
+    def test_cross_host_ipc_loads_switches(self):
+        _, without = self._run(None)
+        _, with_ipc = self._run(
+            lambda vms: clustered_affinity(vms, cluster_size=4, in_rate=10.0)
+        )
+        base_without = sum(s.base_traffic for s in without.switch_samples)
+        base_with = sum(s.base_traffic for s in with_ipc.switch_samples)
+        # Initial placement puts each 4-VM cluster on one server, so the
+        # clique traffic stays on-box; the chain-less graph adds nothing
+        # until migrations split clusters.  Use a ring to force remote.
+        _, ring = self._run(lambda vms: ring_affinity(vms, rate=10.0))
+        base_ring = sum(s.base_traffic for s in ring.switch_samples)
+        assert base_ring > base_without
+        assert base_with >= base_without  # never reduces traffic
+
+    def test_colocated_clusters_add_no_network_traffic_until_split(self):
+        controller, collector = self._run(
+            lambda vms: clustered_affinity(vms, cluster_size=4, in_rate=10.0)
+        )
+        graph = controller.ipc_graph
+        # Whatever migrations did, remote rate equals what the final
+        # placement implies.
+        expected_remote = graph.remote_rate(controller.vms)
+        assert expected_remote >= 0.0
+
+    def test_ring_remote_fraction_reported(self):
+        controller, _ = self._run(lambda vms: ring_affinity(vms, rate=5.0))
+        graph = controller.ipc_graph
+        # VM ids are dense per server (4 per host), so a ring crosses a
+        # host boundary roughly once per server: some remote traffic,
+        # but most edges stay on-box.
+        assert graph.remote_rate(controller.vms) > 0
+        assert 0.4 < graph.colocated_fraction(controller.vms) < 1.0
+
+
+class TestAffinityAwarePlanner:
+    def _run(self, affinity_aware: bool, seed=37):
+        from repro.power import step_supply
+        from repro.workload.affinity import clustered_affinity
+
+        tree = build_paper_simulation()
+        config = WillowConfig(affinity_aware=affinity_aware)
+        streams = RandomStreams(seed)
+        placement = random_placement(
+            [s.node_id for s in tree.servers()],
+            SIMULATION_APPS,
+            streams["placement"],
+        )
+        scale_for_target_utilization(placement, config.server_model.slope, 0.6)
+        graph = clustered_affinity(placement.vms, cluster_size=4, in_rate=8.0)
+        supply = step_supply([(0.0, 18 * 450.0), (25.0, 0.75 * 18 * 450.0)])
+        controller = WillowController(
+            tree, config, supply, placement, seed=seed, ipc_graph=graph
+        )
+        collector = controller.run(70)
+        return controller, collector, graph
+
+    def test_affinity_awareness_keeps_clusters_together(self):
+        _, _, _ = self._run(False)  # warm path; ensures both variants run
+        ctrl_off, col_off, graph_off = self._run(False)
+        ctrl_on, col_on, graph_on = self._run(True)
+        frac_off = graph_off.colocated_fraction(ctrl_off.vms)
+        frac_on = graph_on.colocated_fraction(ctrl_on.vms)
+        assert frac_on > frac_off
+
+    def test_affinity_awareness_respects_capacity(self):
+        ctrl, collector, _graph = self._run(True)
+        # Invariants still hold: no thermal violations, VMs conserved.
+        assert (
+            sum(s.thermal.violations for s in ctrl.servers.values()) == 0
+        )
+        hosted = sorted(
+            vm.vm_id for s in ctrl.servers.values() for vm in s.vms.values()
+        )
+        assert hosted == sorted(vm.vm_id for vm in ctrl.vms)
+
+    def test_affinity_flag_without_graph_is_noop(self):
+        tree = build_paper_simulation()
+        config = WillowConfig(affinity_aware=True)
+        streams = RandomStreams(3)
+        placement = random_placement(
+            [s.node_id for s in tree.servers()],
+            SIMULATION_APPS,
+            streams["placement"],
+        )
+        scale_for_target_utilization(placement, config.server_model.slope, 0.5)
+        controller = WillowController(
+            tree, config, constant_supply(18 * 450.0), placement, seed=3
+        )
+        controller.run(10)  # must not raise

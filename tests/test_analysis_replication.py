@@ -1,0 +1,121 @@
+"""Tests for replication/sweep analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compare, mean_ci, replicate
+
+
+class TestReplicate:
+    def test_collects_metrics_per_seed(self):
+        result = replicate(lambda seed: {"x": seed * 2.0}, seeds=[1, 2, 3])
+        assert np.array_equal(result.metric("x"), [2.0, 4.0, 6.0])
+        assert result.mean("x") == 4.0
+
+    def test_duplicate_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(lambda s: {"x": 1.0}, seeds=[1, 1])
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(lambda s: {"x": 1.0}, seeds=[])
+
+    def test_inconsistent_keys_rejected(self):
+        def run(seed):
+            return {"x": 1.0} if seed == 1 else {"y": 1.0}
+
+        with pytest.raises(ValueError):
+            replicate(run, seeds=[1, 2])
+
+    def test_no_metrics_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(lambda s: {}, seeds=[1])
+
+
+class TestMeanCI:
+    def test_basic_interval(self):
+        mean, half = mean_ci([10.0, 12.0, 8.0, 10.0])
+        assert mean == pytest.approx(10.0)
+        assert half > 0
+
+    def test_zero_variance(self):
+        mean, half = mean_ci([5.0, 5.0, 5.0])
+        assert mean == 5.0
+        assert half == 0.0
+
+    def test_interval_narrows_with_more_samples(self):
+        rng = np.random.default_rng(1)
+        few = rng.normal(0, 1, 5)
+        many = rng.normal(0, 1, 50)
+        _, half_few = mean_ci(few)
+        _, half_many = mean_ci(many)
+        assert half_many < half_few
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_ci([1.0])
+        with pytest.raises(ValueError):
+            mean_ci([1.0, 2.0], confidence=1.5)
+
+    def test_nonstandard_confidence_uses_scipy(self):
+        mean, half95 = mean_ci([1.0, 2.0, 3.0], confidence=0.95)
+        _, half80 = mean_ci([1.0, 2.0, 3.0], confidence=0.80)
+        assert half80 < half95
+
+
+class TestCompare:
+    def test_paired_comparison(self):
+        comparison = compare(
+            run_a=lambda s: {"drops": 10.0 + s},
+            run_b=lambda s: {"drops": 20.0 + s},
+            seeds=[1, 2, 3],
+            metric="drops",
+        )
+        assert comparison.mean_difference == pytest.approx(-10.0)
+        assert comparison.a_wins_everywhere(smaller_is_better=True)
+        assert comparison.sign_consistency == 1.0
+
+    def test_mixed_signs(self):
+        comparison = compare(
+            run_a=lambda s: {"m": float(s)},
+            run_b=lambda s: {"m": 2.0},
+            seeds=[1, 2, 3],
+            metric="m",
+        )
+        # diffs: -1, 0, +1 -> no majority either way; consistency 0.5.
+        assert comparison.sign_consistency == 0.5
+        assert not comparison.a_wins_everywhere()
+
+    def test_missing_metric_rejected(self):
+        with pytest.raises(KeyError):
+            compare(
+                lambda s: {"x": 1.0},
+                lambda s: {"x": 1.0},
+                seeds=[1, 2],
+                metric="y",
+            )
+
+
+class TestWillowReplication:
+    def test_hot_zone_claim_holds_across_seeds(self):
+        """Fig. 5's headline survives seed variation."""
+        from repro.core import run_willow
+
+        hot = {f"server-{i}": 40.0 for i in range(15, 19)}
+
+        def run(seed):
+            _, collector = run_willow(
+                target_utilization=0.6,
+                n_ticks=30,
+                seed=seed,
+                ambient_overrides=hot,
+            )
+            ids = collector.server_ids()
+            cold = np.mean([collector.mean_server(i, "power") for i in ids[:14]])
+            hot_mean = np.mean(
+                [collector.mean_server(i, "power") for i in ids[14:]]
+            )
+            return {"cold": cold, "hot": hot_mean}
+
+        result = replicate(run, seeds=[1, 2, 3, 4])
+        assert np.all(result.metric("hot") < result.metric("cold"))

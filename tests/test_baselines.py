@@ -1,0 +1,140 @@
+"""Tests for the comparator policies and Willow-vs-baseline claims."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    build_flat_tree,
+    run_centralized,
+    run_independent,
+    run_no_thermal,
+)
+from repro.core import WillowConfig, WillowController
+from repro.power import constant_supply
+from repro.sim import RandomStreams
+from repro.topology import build_paper_simulation
+from repro.workload import (
+    SIMULATION_APPS,
+    random_placement,
+    scale_for_target_utilization,
+)
+
+HOT = {f"server-{i}": 40.0 for i in range(15, 19)}
+
+
+def make_inputs(utilization=0.5, seed=3, config=None):
+    tree = build_paper_simulation()
+    config = config or WillowConfig()
+    streams = RandomStreams(seed)
+    placement = random_placement(
+        [s.node_id for s in tree.servers()], SIMULATION_APPS, streams["placement"]
+    )
+    scale_for_target_utilization(placement, config.server_model.slope, utilization)
+    supply = constant_supply(18 * 450.0)
+    return tree, config, supply, placement
+
+
+class TestIndependent:
+    def test_runs_and_never_migrates(self):
+        tree, config, supply, placement = make_inputs()
+        collector = run_independent(
+            tree, config, supply, placement, n_ticks=30, seed=3
+        )
+        assert collector.migrations == []
+        assert len(collector.server_samples) == 30 * 18
+
+    def test_willow_drops_less_than_independent_under_hot_zone(self):
+        # Same seed/placement; the hot zone throttles the uncoordinated
+        # fleet while Willow migrates the load away.
+        tree, config, supply, placement = make_inputs(utilization=0.6, seed=8)
+        independent = run_independent(
+            tree,
+            config,
+            supply,
+            placement,
+            n_ticks=40,
+            seed=8,
+            ambient_overrides=HOT,
+        )
+        tree2, config2, supply2, placement2 = make_inputs(utilization=0.6, seed=8)
+        willow = WillowController(
+            tree2, config2, supply2, placement2, ambient_overrides=HOT, seed=8
+        ).run(40)
+        assert willow.total_dropped_power() < independent.total_dropped_power()
+
+    def test_n_ticks_validated(self):
+        tree, config, supply, placement = make_inputs()
+        with pytest.raises(ValueError):
+            run_independent(tree, config, supply, placement, n_ticks=0)
+
+
+class TestCentralized:
+    def test_flat_tree_shape(self):
+        tree = build_flat_tree(18)
+        assert tree.height == 2
+        assert len(tree.servers()) == 18
+        with pytest.raises(ValueError):
+            build_flat_tree(0)
+
+    def test_runs_with_translated_placement(self):
+        tree, config, supply, placement = make_inputs()
+        collector = run_centralized(
+            tree, config, supply, placement, n_ticks=20, seed=3
+        )
+        assert len(collector.server_samples) == 20 * 18
+
+    def test_message_load_on_root_links_exceeds_willow(self):
+        # 18 direct children = 18 upward messages into the root per tick
+        # versus 2 per link in the hierarchy.
+        tree, config, supply, placement = make_inputs()
+        centralized = run_centralized(
+            tree, config, supply, placement, n_ticks=10, seed=3
+        )
+        per_tick = sum(1 for m in centralized.messages if m.upward) / 10
+        assert per_tick == 18
+
+    def test_ambient_overrides_carry_over_by_name(self):
+        tree, config, supply, placement = make_inputs(utilization=0.7)
+        collector = run_centralized(
+            tree,
+            config,
+            supply,
+            placement,
+            n_ticks=30,
+            seed=3,
+            ambient_overrides=HOT,
+        )
+        ids = collector.server_ids()
+        hot_power = np.mean([collector.mean_server(i, "power") for i in ids[14:]])
+        cold_power = np.mean([collector.mean_server(i, "power") for i in ids[:14]])
+        assert hot_power < cold_power
+
+
+class TestNoThermal:
+    def test_thermal_blind_violates_where_willow_does_not(self):
+        tree, config, supply, placement = make_inputs(utilization=0.8, seed=4)
+        _, violations = run_no_thermal(
+            tree,
+            config,
+            supply,
+            placement,
+            n_ticks=40,
+            seed=4,
+            ambient_overrides=HOT,
+        )
+        assert violations > 0
+
+        tree2, config2, supply2, placement2 = make_inputs(utilization=0.8, seed=4)
+        willow = WillowController(
+            tree2, config2, supply2, placement2, ambient_overrides=HOT, seed=4
+        )
+        willow.run(40)
+        assert sum(s.thermal.violations for s in willow.servers.values()) == 0
+
+    def test_returns_collector_and_count(self):
+        tree, config, supply, placement = make_inputs()
+        collector, violations = run_no_thermal(
+            tree, config, supply, placement, n_ticks=10, seed=3
+        )
+        assert violations >= 0
+        assert len(collector.server_samples) == 10 * 18

@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_default_run(capsys):
+    assert main(["--ticks", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "18 servers" in out
+    assert "fleet power" in out
+
+
+def test_hot_zone_flag(capsys):
+    assert main(["--ticks", "5", "--hot", "4"]) == 0
+    assert "hot zone on last 4" in capsys.readouterr().out
+
+
+def test_custom_branching(capsys):
+    assert main(["--ticks", "3", "--branching", "3,3"]) == 0
+    assert "9 servers" in capsys.readouterr().out
+
+
+def test_supply_dip_runs(capsys):
+    assert main(
+        ["--ticks", "12", "--supply-dip", "0.4", "--dip-at", "6"]
+    ) == 0
+
+
+def test_export_json(tmp_path, capsys):
+    target = tmp_path / "run.json"
+    assert main(["--ticks", "4", "--export-json", str(target)]) == 0
+    document = json.loads(target.read_text())
+    assert len(document["servers"]) == 4 * 18
+
+
+def test_export_csv(tmp_path, capsys):
+    assert main(["--ticks", "4", "--export-csv", str(tmp_path)]) == 0
+    assert (tmp_path / "servers.csv").exists()
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["--utilization", "0"],
+        ["--utilization", "1.5"],
+        ["--ticks", "0"],
+        ["--supply-dip", "1.0"],
+        ["--branching", "3,x"],
+        ["--hot", "99"],
+    ],
+)
+def test_invalid_arguments_rejected(argv, capsys):
+    assert main(argv) == 2
+
+
+def test_thermal_time_to_limit_exposed():
+    # The CLI story relies on the calibrated window; sanity-check the
+    # new thermal utility agrees with it end to end.
+    from repro.core import WillowConfig
+    from repro.thermal import ThermalParams, time_to_limit
+
+    config = WillowConfig()
+    window = config.resolved_thermal_window()
+    t = time_to_limit(ThermalParams(), 25.0, 450.0)
+    assert t == pytest.approx(window, rel=1e-9)
+
+
+def test_time_to_limit_properties():
+    import numpy as np
+
+    from repro.thermal import ThermalParams, temperature_after, time_to_limit
+
+    params = ThermalParams()
+    # Monotone: more power, less time.
+    times = time_to_limit(params, 30.0, np.array([100.0, 200.0, 400.0]))
+    finite = times[np.isfinite(times)]
+    assert np.all(np.diff(finite) < 0)
+    # Inversion: T(time_to_limit) == T_limit when finite.
+    t = time_to_limit(params, 30.0, 400.0)
+    assert temperature_after(params, 30.0, 400.0, t) == pytest.approx(70.0)
+    # Sustainable power never reaches the limit.
+    assert time_to_limit(params, 30.0, 10.0) == float("inf")
+    # Already over the limit.
+    assert time_to_limit(params, 75.0, 100.0) == 0.0
+    with pytest.raises(ValueError):
+        time_to_limit(params, 25.0, -1.0)
+
+
+def test_supply_csv_option(tmp_path, capsys):
+    csv_path = tmp_path / "supply.csv"
+    csv_path.write_text("time,budget\n0,8100\n5,4000\n")
+    assert main(["--ticks", "10", "--supply-csv", str(csv_path)]) == 0
+
+
+def test_supply_csv_missing_file(tmp_path, capsys):
+    assert main(["--ticks", "3", "--supply-csv", str(tmp_path / "nope.csv")]) == 2

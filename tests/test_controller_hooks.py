@@ -1,0 +1,115 @@
+"""Tests for controller observer hooks and the diurnal generator."""
+
+import numpy as np
+import pytest
+
+from repro.core import WillowConfig, WillowController
+from repro.power import constant_supply, step_supply
+from repro.sim import RandomStreams
+from repro.topology import build_paper_simulation
+from repro.workload import (
+    DiurnalDemandGenerator,
+    SIMULATION_APPS,
+    random_placement,
+    scale_for_target_utilization,
+)
+
+
+def make_controller(supply=None, seed=8, demand_source=None, utilization=0.6):
+    tree = build_paper_simulation()
+    config = WillowConfig()
+    streams = RandomStreams(seed)
+    placement = random_placement(
+        [s.node_id for s in tree.servers()], SIMULATION_APPS, streams["placement"]
+    )
+    scale_for_target_utilization(placement, config.server_model.slope, utilization)
+    if demand_source == "diurnal":
+        demand_source = DiurnalDemandGenerator(placement, streams, day_length=24.0)
+    return WillowController(
+        tree,
+        config,
+        supply or constant_supply(18 * 450.0),
+        placement,
+        demand_source=demand_source,
+        seed=seed,
+    )
+
+
+class TestHooks:
+    def test_on_tick_runs_every_tick(self):
+        controller = make_controller()
+        calls = []
+        controller.on_tick.append(lambda c, i, t: calls.append((i, t)))
+        controller.run(7)
+        assert [i for i, _t in calls] == list(range(7))
+        assert calls[-1][1] == 6.0
+
+    def test_on_migration_sees_each_record(self):
+        controller = make_controller(
+            supply=step_supply([(0.0, 18 * 450.0), (8.0, 0.7 * 18 * 450.0)])
+        )
+        seen = []
+        controller.on_migration.append(lambda c, m: seen.append(m))
+        collector = controller.run(20)
+        assert len(seen) == collector.migration_count()
+        assert all(m in collector.migrations for m in seen)
+
+    def test_hook_can_read_live_state(self):
+        controller = make_controller()
+        temps = []
+        controller.on_tick.append(
+            lambda c, i, t: temps.append(
+                max(s.temperature for s in c.servers.values())
+            )
+        )
+        controller.run(5)
+        assert len(temps) == 5
+        assert all(25.0 <= t <= 70.0 + 1e-6 for t in temps)
+
+
+class TestDiurnalGenerator:
+    def test_validation(self):
+        tree = build_paper_simulation()
+        streams = RandomStreams(0)
+        placement = random_placement(
+            [s.node_id for s in tree.servers()], SIMULATION_APPS, streams["placement"]
+        )
+        with pytest.raises(ValueError):
+            DiurnalDemandGenerator(placement, streams, day_length=0.0)
+        with pytest.raises(ValueError):
+            DiurnalDemandGenerator(placement, streams, base=1.0, peak=0.5)
+
+    def test_profile_peaks_midday_troughs_midnight(self):
+        tree = build_paper_simulation()
+        streams = RandomStreams(0)
+        placement = random_placement(
+            [s.node_id for s in tree.servers()], SIMULATION_APPS, streams["placement"]
+        )
+        generator = DiurnalDemandGenerator(
+            placement, streams, day_length=24.0, base=0.3, peak=1.5
+        )
+        assert generator.profile(0.0) == pytest.approx(0.3, abs=1e-9)
+        assert generator.profile(12.0) == pytest.approx(1.5, abs=1e-9)
+        assert generator.profile(24.0) == pytest.approx(0.3, abs=1e-9)
+
+    def test_demand_follows_the_day(self):
+        controller = make_controller(demand_source="diurnal", utilization=0.5)
+        collector = controller.run(48)  # two 24-tick days
+        per_tick = {
+            t: sum(s.demand for s in collector.server_samples if s.time == t)
+            for t in collector.times()
+        }
+        midnights = [per_tick[0.0], per_tick[24.0]]
+        middays = [per_tick[12.0], per_tick[36.0]]
+        assert min(middays) > max(midnights)
+
+    def test_invariants_hold_under_diurnal_demand(self):
+        controller = make_controller(demand_source="diurnal")
+        controller.run(48)
+        assert (
+            sum(s.thermal.violations for s in controller.servers.values()) == 0
+        )
+        hosted = sorted(
+            vm.vm_id for s in controller.servers.values() for vm in s.vms.values()
+        )
+        assert hosted == sorted(vm.vm_id for vm in controller.vms)

@@ -1,0 +1,160 @@
+"""Property-based tests over the whole controller.
+
+Randomised seeds, utilizations and control parameters; the invariants
+of DESIGN.md must hold for every combination.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import WillowConfig, WillowController
+from repro.network import verify_message_bound
+from repro.power import constant_supply, step_supply
+from repro.sim import RandomStreams
+from repro.topology import build_paper_simulation
+from repro.workload import (
+    SIMULATION_APPS,
+    random_placement,
+    scale_for_target_utilization,
+)
+
+HOT = {f"server-{i}": 40.0 for i in range(15, 19)}
+
+
+def build_and_run(
+    seed: int,
+    utilization: float,
+    p_min: float,
+    alpha: float,
+    supply_factor: float,
+    n_ticks: int = 15,
+):
+    tree = build_paper_simulation()
+    config = WillowConfig(p_min=p_min, alpha=alpha)
+    streams = RandomStreams(seed)
+    placement = random_placement(
+        [s.node_id for s in tree.servers()], SIMULATION_APPS, streams["placement"]
+    )
+    scale_for_target_utilization(placement, config.server_model.slope, utilization)
+    supply = constant_supply(supply_factor * 18 * 450.0)
+    controller = WillowController(
+        tree, config, supply, placement, ambient_overrides=HOT, seed=seed
+    )
+    collector = controller.run(n_ticks)
+    return controller, collector
+
+
+controller_cases = st.tuples(
+    st.integers(0, 10_000),  # seed
+    st.floats(0.05, 0.95),  # utilization
+    st.floats(0.0, 50.0),  # p_min
+    st.floats(0.1, 1.0),  # alpha
+    st.floats(0.2, 1.2),  # supply factor
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(case=controller_cases)
+def test_invariants_hold_for_any_configuration(case):
+    seed, utilization, p_min, alpha, supply_factor = case
+    controller, collector = build_and_run(
+        seed, utilization, p_min, alpha, supply_factor
+    )
+
+    # 1. VM conservation: never lost, never duplicated.
+    hosted = sorted(
+        vm.vm_id for s in controller.servers.values() for vm in s.vms.values()
+    )
+    assert hosted == sorted(vm.vm_id for vm in controller.vms)
+
+    # 2. Thermal safety with caps on.
+    assert sum(s.thermal.violations for s in controller.servers.values()) == 0
+
+    # 3. Message bound (Property 3).
+    assert verify_message_bound(collector, bound=2)
+
+    # 4. Budget hierarchy: children never exceed the parent.
+    for node in controller.tree:
+        if node.is_leaf:
+            continue
+        parent_budget = controller.internals[node.node_id].budget
+        child_total = sum(
+            controller.servers[c.node_id].budget
+            if c.is_leaf
+            else controller.internals[c.node_id].budget
+            for c in node.children
+        )
+        assert child_total <= parent_budget + 1e-6
+
+    # 5. Power within budget for awake servers -- modulo the physically
+    # unavoidable static floor (a starved server draws its idle floor
+    # until the next consolidation round drains and sleeps it).
+    floor = controller.config.server_model.static_power
+    for sample in collector.server_samples:
+        if not sample.asleep:
+            assert sample.power <= max(sample.budget, floor) + 1e-6
+
+    # 6. Sleeping servers host nothing and draw standby only.
+    for server in controller.servers.values():
+        if not server.is_awake:
+            assert not server.vms
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    drop_at=st.integers(3, 10),
+)
+def test_migration_records_match_vm_histories(seed, drop_at):
+    """Every recorded migration appears in its VM's host history."""
+    tree = build_paper_simulation()
+    config = WillowConfig()
+    streams = RandomStreams(seed)
+    placement = random_placement(
+        [s.node_id for s in tree.servers()], SIMULATION_APPS, streams["placement"]
+    )
+    scale_for_target_utilization(placement, config.server_model.slope, 0.6)
+    supply = step_supply(
+        [(0.0, 18 * 450.0), (float(drop_at), 0.6 * 18 * 450.0)]
+    )
+    controller = WillowController(
+        tree, config, supply, placement, ambient_overrides=HOT, seed=seed
+    )
+    collector = controller.run(15)
+    vm_by_id = {vm.vm_id: vm for vm in controller.vms}
+    for migration in collector.migrations:
+        history = vm_by_id[migration.vm_id].host_history
+        assert (migration.time, migration.dst_id) in history
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_steady_demand_means_no_ping_pong(seed):
+    """With constant demands, decisions are stable: zero ping-pongs."""
+    from repro.metrics import count_ping_pongs
+    from repro.workload import DemandTrace, TraceDemandSource
+
+    tree = build_paper_simulation()
+    config = WillowConfig()
+    streams = RandomStreams(seed)
+    placement = random_placement(
+        [s.node_id for s in tree.servers()], SIMULATION_APPS, streams["placement"]
+    )
+    scale_for_target_utilization(placement, config.server_model.slope, 0.6)
+    demands = [vm.app.mean_power * placement.scale for vm in placement.vms]
+    trace = DemandTrace.constant(demands, n_ticks=1)
+    source = TraceDemandSource(trace, placement.vms)
+    supply = step_supply([(0.0, 18 * 450.0), (8.0, 0.75 * 18 * 450.0)])
+    controller = WillowController(
+        tree,
+        config,
+        supply,
+        placement,
+        demand_source=source,
+        ambient_overrides=HOT,
+        seed=seed,
+    )
+    controller.run(30)
+    assert count_ping_pongs(controller.vms, window=30.0) == 0

@@ -1,0 +1,106 @@
+"""Tests for the cooling-infrastructure model."""
+
+import numpy as np
+import pytest
+
+from repro.cooling import (
+    CoolingModel,
+    effective_it_budget,
+    facility_report,
+)
+from repro.core import run_willow
+
+
+class TestCoolingModel:
+    def test_economizer_regime(self):
+        model = CoolingModel()
+        assert model.cop(10.0) == model.economizer_cop
+        assert model.cop(18.0) == model.economizer_cop
+
+    def test_chiller_degrades_with_heat(self):
+        model = CoolingModel()
+        temps = np.array([20.0, 25.0, 30.0, 35.0])
+        cops = model.cop(temps)
+        assert np.all(np.diff(cops) < 0)
+
+    def test_cop_floor(self):
+        model = CoolingModel(min_cop=1.5)
+        assert model.cop(200.0) == 1.5
+
+    def test_cooling_power(self):
+        model = CoolingModel()
+        assert model.cooling_power(800.0, 10.0) == pytest.approx(100.0)
+
+    def test_negative_it_power_rejected(self):
+        with pytest.raises(ValueError):
+            CoolingModel().cooling_power(-1.0, 10.0)
+
+    def test_pue(self):
+        model = CoolingModel(economizer_cop=4.0)
+        assert model.pue(10.0) == pytest.approx(1.25)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(economizer_cop=0.0),
+            dict(min_cop=0.0),
+            dict(cop_slope=-1.0),
+            dict(chiller_cop_at_limit=10.0),  # above economizer COP
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            CoolingModel(**kwargs)
+
+
+class TestEffectiveBudget:
+    def test_solves_holistic_division(self):
+        model = CoolingModel(economizer_cop=4.0)
+        it = effective_it_budget(1000.0, model, outside_temp=10.0)
+        # IT + IT/COP must equal the facility supply.
+        assert it + it / 4.0 == pytest.approx(1000.0)
+
+    def test_hotter_outside_means_less_it_budget(self):
+        model = CoolingModel()
+        cool_day = effective_it_budget(1000.0, model, 10.0)
+        hot_day = effective_it_budget(1000.0, model, 35.0)
+        assert hot_day < cool_day
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            effective_it_budget(-1.0, CoolingModel(), 10.0)
+
+
+class TestFacilityReport:
+    def test_report_over_real_run(self):
+        _, collector = run_willow(target_utilization=0.4, n_ticks=20, seed=2)
+        model = CoolingModel()
+        report = facility_report(collector, model, outside_temp=25.0)
+        assert report.it_energy > 0
+        assert report.cooling_energy > 0
+        assert report.total_energy == pytest.approx(
+            report.it_energy + report.cooling_energy
+        )
+        # PUE consistent with the fixed outside temperature.
+        assert report.mean_pue == pytest.approx(model.pue(25.0))
+
+    def test_consolidation_reduces_facility_energy_too(self):
+        from repro.core import WillowConfig
+
+        base = dict(target_utilization=0.2, n_ticks=40, seed=2)
+        _, with_consolidation = run_willow(config=WillowConfig(), **base)
+        _, without = run_willow(
+            config=WillowConfig(consolidation_enabled=False), **base
+        )
+        model = CoolingModel()
+        on = facility_report(with_consolidation, model, 30.0)
+        off = facility_report(without, model, 30.0)
+        assert on.total_energy < off.total_energy
+        # Cooling savings scale with the IT savings (same COP).
+        assert on.cooling_energy < off.cooling_energy
+
+    def test_empty_collector_rejected(self):
+        from repro.metrics import MetricsCollector
+
+        with pytest.raises(ValueError):
+            facility_report(MetricsCollector(), CoolingModel(), 20.0)

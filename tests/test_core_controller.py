@@ -1,0 +1,250 @@
+"""Integration tests: the full Willow control loop and its invariants."""
+
+import numpy as np
+import pytest
+
+from repro.core import MigrationCause, WillowConfig, WillowController, run_willow
+from repro.core.state import SleepState
+from repro.network import verify_message_bound
+from repro.power import constant_supply, step_supply
+from repro.sim import RandomStreams
+from repro.topology import build_paper_simulation
+from repro.workload import (
+    SIMULATION_APPS,
+    random_placement,
+    scale_for_target_utilization,
+)
+
+HOT = {f"server-{i}": 40.0 for i in range(15, 19)}
+
+
+@pytest.fixture(scope="module")
+def medium_run():
+    """One shared 60-tick run at 50% utilization with a hot zone."""
+    controller, collector = run_willow(
+        target_utilization=0.5, n_ticks=60, seed=21, ambient_overrides=HOT
+    )
+    return controller, collector
+
+
+class TestStructure:
+    def test_run_returns_samples_for_every_server_every_tick(self, medium_run):
+        controller, collector = medium_run
+        n_servers = len(controller.servers)
+        assert len(collector.server_samples) == 60 * n_servers
+        assert len(collector.times()) == 60
+
+    def test_switch_samples_for_every_switch_every_tick(self, medium_run):
+        controller, collector = medium_run
+        assert len(collector.switch_samples) == 60 * len(
+            controller.fabric.switches
+        )
+
+    def test_n_ticks_validated(self):
+        controller, _ = run_willow(n_ticks=1, seed=0)
+        with pytest.raises(ValueError):
+            controller.run(0)
+
+
+class TestBudgetInvariants:
+    def test_children_budgets_never_exceed_parent(self, medium_run):
+        controller, _ = medium_run
+        for node in controller.tree:
+            if node.is_leaf:
+                continue
+            parent_budget = controller.internals[node.node_id].budget
+            child_total = 0.0
+            for child in node.children:
+                if child.is_leaf:
+                    child_total += controller.servers[child.node_id].budget
+                else:
+                    child_total += controller.internals[child.node_id].budget
+            assert child_total <= parent_budget + 1e-6
+
+    def test_no_server_budget_exceeds_hard_cap(self, medium_run):
+        controller, collector = medium_run
+        for server in controller.servers.values():
+            cap = server.hard_cap()
+            samples = collector.server_series(server.node.node_id, "budget")
+            assert np.all(samples <= cap + 1e-6)
+
+    def test_served_power_within_budget(self, medium_run):
+        _, collector = medium_run
+        for sample in collector.server_samples:
+            assert sample.power <= max(sample.budget, 0.0) + 1e-6 or sample.asleep
+
+
+class TestThermalSafety:
+    def test_no_thermal_violations_with_caps_on(self, medium_run):
+        controller, _ = medium_run
+        assert sum(s.thermal.violations for s in controller.servers.values()) == 0
+
+    def test_temperatures_never_exceed_limit(self, medium_run):
+        controller, collector = medium_run
+        for server in controller.servers.values():
+            temps = collector.server_series(server.node.node_id, "temperature")
+            assert np.all(temps <= server.thermal_params.t_limit + 1e-6)
+
+    def test_hot_zone_capped_below_cold(self, medium_run):
+        controller, collector = medium_run
+        hot = [controller.tree.by_name(n).node_id for n in HOT]
+        cold = [
+            s.node.node_id
+            for s in controller.servers.values()
+            if s.node.name not in HOT
+        ]
+        hot_mean = np.mean([collector.mean_server(i, "power") for i in hot])
+        cold_mean = np.mean([collector.mean_server(i, "power") for i in cold])
+        assert hot_mean < cold_mean
+
+
+class TestDemandConservation:
+    def test_vms_never_lost_or_duplicated(self, medium_run):
+        controller, _ = medium_run
+        hosted = [vm.vm_id for s in controller.servers.values() for vm in s.vms.values()]
+        assert sorted(hosted) == sorted(vm.vm_id for vm in controller.vms)
+
+    def test_vm_host_field_consistent_with_server_maps(self, medium_run):
+        controller, _ = medium_run
+        for server in controller.servers.values():
+            for vm in server.vms.values():
+                assert vm.host_id == server.node.node_id
+
+    def test_sleeping_servers_host_nothing(self, medium_run):
+        controller, _ = medium_run
+        for server in controller.servers.values():
+            if server.sleep_state is SleepState.ASLEEP:
+                assert not server.vms
+
+
+class TestMessages:
+    def test_property3_bound(self, medium_run):
+        _, collector = medium_run
+        assert verify_message_bound(collector, bound=2)
+
+    def test_upward_reports_every_tick(self, medium_run):
+        controller, collector = medium_run
+        n_links = len(controller.tree) - 1
+        upward = sum(1 for m in collector.messages if m.upward)
+        assert upward == 60 * n_links
+
+    def test_downward_only_at_supply_events(self, medium_run):
+        controller, collector = medium_run
+        n_links = len(controller.tree) - 1
+        supply_events = len(
+            [t for t in range(60) if t % controller.config.eta1 == 0]
+        )
+        downward = sum(1 for m in collector.messages if not m.upward)
+        assert downward == supply_events * n_links
+
+
+class TestMigrations:
+    def test_migration_records_consistent(self, medium_run):
+        controller, collector = medium_run
+        ids = {s.node.node_id for s in controller.servers.values()}
+        for migration in collector.migrations:
+            assert migration.src_id in ids
+            assert migration.dst_id in ids
+            assert migration.src_id != migration.dst_id
+            assert migration.hops >= 1
+
+    def test_local_migrations_have_one_hop(self, medium_run):
+        _, collector = medium_run
+        for migration in collector.migrations:
+            if migration.local:
+                assert migration.hops == 1
+            else:
+                assert migration.hops >= 3
+
+    def test_both_causes_occur_at_mid_utilization(self, medium_run):
+        _, collector = medium_run
+        assert collector.migration_count(MigrationCause.DEMAND) > 0
+        assert collector.migration_count(MigrationCause.CONSOLIDATION) > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self):
+        runs = []
+        for _ in range(2):
+            _, collector = run_willow(
+                target_utilization=0.4, n_ticks=25, seed=99, ambient_overrides=HOT
+            )
+            runs.append(
+                (
+                    collector.total_energy(),
+                    collector.migration_count(),
+                    collector.total_dropped_power(),
+                )
+            )
+        assert runs[0] == runs[1]
+
+    def test_different_seed_different_results(self):
+        energies = set()
+        for seed in (1, 2, 3):
+            _, collector = run_willow(
+                target_utilization=0.4, n_ticks=25, seed=seed
+            )
+            energies.add(round(collector.total_energy(), 3))
+        assert len(energies) > 1
+
+
+class TestSupplyResponse:
+    def _make(self, supply, config=None, seed=5):
+        tree = build_paper_simulation()
+        config = config or WillowConfig()
+        streams = RandomStreams(seed)
+        placement = random_placement(
+            [s.node_id for s in tree.servers()],
+            SIMULATION_APPS,
+            streams["placement"],
+        )
+        scale_for_target_utilization(placement, config.server_model.slope, 0.5)
+        return WillowController(tree, config, supply, placement, seed=seed)
+
+    def test_supply_cut_reduces_fleet_power(self):
+        full = self._make(constant_supply(18 * 450.0))
+        full_metrics = full.run(40)
+        starved = self._make(
+            step_supply([(0.0, 18 * 450.0), (20.0, 18 * 150.0)])
+        )
+        starved_metrics = starved.run(40)
+        # After the cut the starved fleet must draw much less power.
+        full_tail = [
+            s.power for s in full_metrics.server_samples if s.time >= 25
+        ]
+        starved_tail = [
+            s.power for s in starved_metrics.server_samples if s.time >= 25
+        ]
+        assert np.sum(starved_tail) < 0.75 * np.sum(full_tail)
+
+    def test_supply_cut_causes_drops(self):
+        starved = self._make(
+            step_supply([(0.0, 18 * 450.0), (20.0, 18 * 100.0)])
+        )
+        metrics = starved.run(40)
+        dropped_late = [d for d in metrics.drops if d.time >= 20]
+        assert dropped_late
+
+    def test_zero_supply_fleet_draws_nothing_dynamic(self):
+        starved = self._make(step_supply([(0.0, 18 * 450.0), (20.0, 0.0)]))
+        metrics = starved.run(40)
+        for sample in metrics.server_samples:
+            if sample.time >= 25 and not sample.asleep:
+                # Only the unavoidable static floor remains.
+                assert sample.power <= 30.0 + 1e-6
+
+
+class TestWindowResetThermalModel:
+    def test_temperature_is_ambient_plus_scaled_power(self, medium_run):
+        controller, collector = medium_run
+        for server in controller.servers.values():
+            params = server.thermal_params
+            powers = collector.server_series(server.node.node_id, "power")
+            temps = collector.server_series(server.node.node_id, "temperature")
+            k = (params.t_limit - params.t_ambient) / 450.0
+            # cap for this zone: cold 450, hot 300 -> k*power relation
+            cap = server.hard_cap()
+            expected = params.t_ambient + (
+                params.t_limit - params.t_ambient
+            ) * powers / cap
+            assert np.allclose(temps, expected, atol=1e-6)

@@ -1,0 +1,78 @@
+"""Tests for Eqs. 5-9 (deficit / surplus / imbalance)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import power_deficit, power_imbalance, power_surplus
+from repro.core.deficits import (
+    deficits_and_surpluses,
+    level_deficit,
+    level_surplus,
+)
+
+
+def test_deficit_positive_part():
+    assert power_deficit(100.0, 80.0) == 20.0
+    assert power_deficit(80.0, 100.0) == 0.0
+
+
+def test_surplus_positive_part():
+    assert power_surplus(80.0, 100.0) == 20.0
+    assert power_surplus(100.0, 80.0) == 0.0
+
+
+def test_vectorised_matches_scalar():
+    demands = [100.0, 50.0, 75.0]
+    budgets = [80.0, 60.0, 75.0]
+    deficits, surpluses = deficits_and_surpluses(demands, budgets)
+    assert deficits.tolist() == [20.0, 0.0, 0.0]
+    assert surpluses.tolist() == [0.0, 10.0, 0.0]
+
+
+def test_level_aggregates_are_maxima():
+    demands = [100.0, 50.0]
+    budgets = [80.0, 90.0]
+    assert level_deficit(demands, budgets) == 20.0
+    assert level_surplus(demands, budgets) == 40.0
+
+
+def test_imbalance_eq9():
+    # P_imb = P_def + min(P_def, P_sur)
+    demands = [100.0, 50.0]
+    budgets = [80.0, 90.0]
+    assert power_imbalance(demands, budgets) == 20.0 + min(20.0, 40.0)
+
+
+def test_imbalance_zero_when_balanced():
+    assert power_imbalance([50.0, 50.0], [50.0, 50.0]) == 0.0
+
+
+def test_imbalance_pure_deficit():
+    # No surplus anywhere: imbalance equals the worst deficit.
+    assert power_imbalance([100.0, 100.0], [80.0, 90.0]) == 20.0
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        deficits_and_surpluses([1.0], [1.0, 2.0])
+
+
+@given(
+    values=st.lists(
+        st.tuples(st.floats(0, 1000), st.floats(0, 1000)),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_deficit_surplus_exclusive_per_node(values):
+    demands = [d for d, _ in values]
+    budgets = [b for _, b in values]
+    deficits, surpluses = deficits_and_surpluses(demands, budgets)
+    # A node never has both a deficit and a surplus.
+    assert np.all((deficits == 0) | (surpluses == 0))
+    # And their difference reconstructs demand - budget.
+    assert np.allclose(
+        deficits - surpluses, np.array(demands) - np.array(budgets)
+    )

@@ -1,0 +1,177 @@
+"""Tests for per-node runtime state."""
+
+import pytest
+
+from repro.core import NodeRuntime, ServerRuntime, SleepState, WillowConfig
+from repro.topology import NodeKind, Tree
+from repro.workload import TESTBED_APPS, VM
+
+
+@pytest.fixture
+def server():
+    tree = Tree(root_name="dc", root_level=1)
+    leaf = tree.add_child(tree.root, "s", NodeKind.SERVER)
+    return ServerRuntime(leaf, WillowConfig())
+
+
+def _add_vm(server, vm_id=0, demand=50.0):
+    vm = VM(vm_id=vm_id, app=TESTBED_APPS[0], host_id=server.node.node_id)
+    vm.current_demand = demand
+    server.vms[vm_id] = vm
+    return vm
+
+
+class TestDemand:
+    def test_awake_wall_demand_includes_static(self, server):
+        _add_vm(server, demand=100.0)
+        server.observe_demand()
+        assert server.raw_demand == pytest.approx(
+            server.model.static_power + 100.0
+        )
+
+    def test_asleep_demand_is_standby(self, server):
+        server.sleep()
+        server.observe_demand()
+        assert server.raw_demand == server.model.standby_power
+
+    def test_smoothing_applies_eq4(self, server):
+        _add_vm(server, demand=100.0)
+        first = server.observe_demand()
+        server.vms[0].current_demand = 200.0
+        second = server.observe_demand()
+        alpha = server.config.alpha
+        expected = alpha * (server.model.static_power + 200.0) + (
+            1 - alpha
+        ) * first
+        assert second == pytest.approx(expected)
+
+    def test_waking_reports_frozen_forecast(self, server):
+        server.sleep()
+        server.begin_wake()
+        server.smoother.reset(initial=333.0)
+        server.smoothed_demand = 333.0
+        assert server.observe_demand() == 333.0
+        assert server.raw_demand == server.model.static_power
+
+
+class TestMigrationCosts:
+    def test_cost_expires_after_ticks(self, server):
+        server.charge_migration_cost(5.0, ticks=2)
+        assert server.migration_cost_demand == 5.0
+        server.expire_costs()
+        assert server.migration_cost_demand == 5.0
+        server.expire_costs()
+        assert server.migration_cost_demand == 0.0
+
+    def test_costs_accumulate(self, server):
+        server.charge_migration_cost(5.0, ticks=1)
+        server.charge_migration_cost(3.0, ticks=1)
+        assert server.migration_cost_demand == 8.0
+
+    def test_zero_cost_noop(self, server):
+        server.charge_migration_cost(0.0, ticks=3)
+        assert server.migration_cost_demand == 0.0
+
+
+class TestBudget:
+    def test_budget_reduction_flag(self, server):
+        server.set_budget(100.0)
+        assert not server.budget_reduced
+        server.set_budget(90.0)
+        assert server.budget_reduced
+        server.set_budget(95.0)
+        assert not server.budget_reduced
+
+    def test_hard_cap_respects_circuit(self, server):
+        assert server.hard_cap() <= server.config.circuit_limit
+
+    def test_hard_cap_hot_zone_is_300(self):
+        tree = Tree(root_name="dc", root_level=1)
+        leaf = tree.add_child(tree.root, "s", NodeKind.SERVER)
+        config = WillowConfig()
+        hot = ServerRuntime(leaf, config, config.thermal.with_ambient(40.0))
+        assert hot.hard_cap() == pytest.approx(300.0)
+
+    def test_hard_cap_thermal_disabled(self):
+        tree = Tree(root_name="dc", root_level=1)
+        leaf = tree.add_child(tree.root, "s", NodeKind.SERVER)
+        config = WillowConfig(thermal_enabled=False)
+        hot = ServerRuntime(leaf, config, config.thermal.with_ambient(40.0))
+        assert hot.hard_cap() == config.circuit_limit
+
+
+class TestPowerAndTemperature:
+    def test_actual_power_awake(self, server):
+        server.served_power = 120.0
+        assert server.actual_power() == server.model.static_power + 120.0
+
+    def test_actual_power_asleep(self, server):
+        server.sleep()
+        assert server.actual_power() == server.model.standby_power
+
+    def test_window_reset_temperature_tracks_power(self, server):
+        # T = Ta + headroom * (P / cap) with the calibrated window.
+        temp = server.update_temperature(450.0, dt=1.0)
+        assert temp == pytest.approx(70.0)
+        temp = server.update_temperature(225.0, dt=1.0)
+        assert temp == pytest.approx(47.5)
+
+    def test_integrated_mode_accumulates(self):
+        tree = Tree(root_name="dc", root_level=1)
+        leaf = tree.add_child(tree.root, "s", NodeKind.SERVER)
+        config = WillowConfig(thermal_mode="integrated")
+        server = ServerRuntime(leaf, config)
+        t1 = server.update_temperature(100.0, dt=1.0)
+        t2 = server.update_temperature(100.0, dt=1.0)
+        assert t2 > t1  # keeps heating, unlike window_reset
+
+    def test_utilization(self, server):
+        server.served_power = server.model.slope / 2
+        assert server.utilization == pytest.approx(0.5)
+        server.sleep_state = SleepState.ASLEEP
+        assert server.utilization == 0.0
+
+
+class TestSleep:
+    def test_sleep_requires_empty(self, server):
+        _add_vm(server)
+        with pytest.raises(RuntimeError):
+            server.sleep()
+
+    def test_wake_cycle(self, server):
+        server.sleep()
+        assert server.sleep_state is SleepState.ASLEEP
+        server.begin_wake()
+        assert server.sleep_state is SleepState.WAKING
+        for _ in range(server.config.wake_latency_ticks):
+            server.tick_wake()
+        assert server.sleep_state is SleepState.AWAKE
+
+    def test_zero_latency_wake_is_instant(self):
+        tree = Tree(root_name="dc", root_level=1)
+        leaf = tree.add_child(tree.root, "s", NodeKind.SERVER)
+        server = ServerRuntime(leaf, WillowConfig(wake_latency_ticks=0))
+        server.sleep()
+        server.begin_wake()
+        assert server.sleep_state is SleepState.AWAKE
+
+    def test_wake_requires_asleep(self, server):
+        with pytest.raises(RuntimeError):
+            server.begin_wake()
+
+    def test_asleep_ticks_counted(self, server):
+        server.sleep()
+        server.tick_wake()
+        server.tick_wake()
+        assert server.asleep_ticks == 2
+
+
+class TestNodeRuntime:
+    def test_observe_and_budget(self):
+        tree = Tree(root_name="dc", root_level=1)
+        runtime = NodeRuntime(tree.root, WillowConfig())
+        runtime.observe_demand(100.0)
+        assert runtime.smoothed_demand == 100.0
+        runtime.set_budget(50.0)
+        runtime.set_budget(40.0)
+        assert runtime.budget_reduced

@@ -1,0 +1,122 @@
+"""Tests for per-component power/thermal modelling (repro.devices)."""
+
+import pytest
+
+from repro.core import WillowConfig, run_willow
+from repro.devices import DeviceClass, DeviceSet, STANDARD_DEVICES
+from repro.thermal import ThermalParams
+
+
+class TestDeviceClass:
+    def test_standard_shares_sum_to_one(self):
+        assert sum(d.power_share for d in STANDARD_DEVICES) == pytest.approx(1.0)
+
+    def test_validation(self):
+        thermal = ThermalParams()
+        with pytest.raises(ValueError):
+            DeviceClass("x", power_share=0.0, thermal=thermal, rated_power=10.0)
+        with pytest.raises(ValueError):
+            DeviceClass("x", power_share=0.5, thermal=thermal, rated_power=0.0)
+
+
+class TestDeviceSet:
+    def test_share_sum_enforced(self):
+        thermal = ThermalParams()
+        broken = (
+            DeviceClass("a", 0.5, thermal, 100.0),
+            DeviceClass("b", 0.4, thermal, 100.0),
+        )
+        with pytest.raises(ValueError):
+            DeviceSet(broken)
+
+    def test_duplicate_names_rejected(self):
+        thermal = ThermalParams()
+        broken = (
+            DeviceClass("a", 0.5, thermal, 100.0),
+            DeviceClass("a", 0.5, thermal, 100.0),
+        )
+        with pytest.raises(ValueError):
+            DeviceSet(broken)
+
+    def test_power_split(self):
+        devices = DeviceSet()
+        split = devices.device_power(400.0)
+        assert split["cpu"] == pytest.approx(0.55 * 400.0)
+        assert sum(split.values()) == pytest.approx(400.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceSet().device_power(-1.0)
+
+    def test_baseline_server_cap_is_450(self):
+        # Every component is calibrated so its cap equals its share of
+        # the 450 W envelope at the 25 C baseline.
+        devices = DeviceSet()
+        assert devices.server_cap() == pytest.approx(450.0, rel=1e-6)
+
+    def test_hot_zone_binding_component_is_disk(self):
+        # In a 40 C aisle the disk's 60 C limit has the least relative
+        # headroom: (60-40)/(60-25) < (70-40)/(70-25) etc.
+        devices = DeviceSet(t_ambient=40.0)
+        assert devices.binding_device() == "disk"
+        # And the induced cap is tighter than the CPU-only 300 W.
+        assert devices.server_cap() < 300.0
+
+    def test_temperatures_track_power(self):
+        devices = DeviceSet()
+        cold = devices.update(100.0)
+        hot = devices.update(400.0)
+        for name in cold:
+            assert hot[name] > cold[name]
+
+    def test_no_violations_at_or_below_cap(self):
+        devices = DeviceSet(t_ambient=40.0)
+        devices.update(devices.server_cap())
+        assert all(v == 0 for v in devices.violations.values())
+
+    def test_violation_counted_beyond_cap(self):
+        devices = DeviceSet(t_ambient=40.0)
+        devices.update(devices.server_cap() * 1.3)
+        assert devices.violations["disk"] >= 1
+
+    def test_hottest_margin_names_binding_component_at_cap(self):
+        devices = DeviceSet(t_ambient=40.0)
+        devices.update(devices.server_cap())
+        name, margin = devices.hottest_margin()
+        assert name == "disk"
+        assert margin == pytest.approx(0.0, abs=1e-6)
+
+
+class TestControllerIntegration:
+    def test_device_aware_run_keeps_every_component_safe(self):
+        config = WillowConfig(device_classes=STANDARD_DEVICES)
+        hot = {f"server-{i}": 40.0 for i in range(15, 19)}
+        controller, collector = run_willow(
+            config=config,
+            target_utilization=0.7,
+            n_ticks=40,
+            seed=6,
+            ambient_overrides=hot,
+        )
+        for server in controller.servers.values():
+            assert server.devices is not None
+            assert all(v == 0 for v in server.devices.violations.values())
+
+    def test_device_cap_tightens_hot_zone_budget(self):
+        config = WillowConfig(device_classes=STANDARD_DEVICES)
+        hot = {f"server-{i}": 40.0 for i in range(15, 19)}
+        controller, _ = run_willow(
+            config=config,
+            target_utilization=0.7,
+            n_ticks=10,
+            seed=6,
+            ambient_overrides=hot,
+        )
+        hot_server = controller.server_by_name("server-15")
+        cold_server = controller.server_by_name("server-1")
+        assert hot_server.hard_cap() < 300.0  # tighter than CPU-only
+        assert cold_server.hard_cap() == pytest.approx(450.0, rel=1e-6)
+
+    def test_default_config_has_no_devices(self):
+        controller, _ = run_willow(n_ticks=2, seed=0)
+        assert all(s.devices is None for s in controller.servers.values())

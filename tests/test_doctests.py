@@ -1,0 +1,25 @@
+"""Run the executable examples embedded in docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.power.budget
+import repro.sim.core
+import repro.sim.rng
+import repro.topology.builders
+
+MODULES = [
+    repro.sim.core,
+    repro.sim.rng,
+    repro.topology.builders,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    failures, attempted = doctest.testmod(
+        module, verbose=False, raise_on_error=False
+    ).failed, doctest.testmod(module, verbose=False).attempted
+    assert attempted > 0, f"{module.__name__} has no doctests to run"
+    assert failures == 0

@@ -1,0 +1,57 @@
+"""Smoke tests: every example script runs cleanly end-to-end.
+
+Examples are the adoption surface; they must never rot.  Each is
+executed in-process (import + ``main()``) with stdout captured.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_populated():
+    assert len(EXAMPLES) >= 10
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    assert hasattr(module, "main"), f"{name} lacks a main()"
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} printed nothing"
+
+
+def test_quickstart_reports_core_metrics(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "migrations" in out
+    assert "thermal violations" in out
+
+
+def test_consolidation_savings_mentions_paper_number(capsys):
+    load_example("consolidation_savings").main()
+    out = capsys.readouterr().out
+    assert "27.5%" in out
+
+
+def test_python_dash_m_repro(capsys):
+    from repro.__main__ import main
+
+    assert main(["--no-demo"]) == 0
+    out = capsys.readouterr().out
+    assert "Willow" in out and "experiments.runner" in out

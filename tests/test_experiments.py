@@ -1,0 +1,320 @@
+"""Shape tests for every reproduced figure/table.
+
+These assert the *qualitative* claims of the paper's evaluation -- who
+wins, what rises and falls, where the hot zone sits -- using reduced
+tick counts so the suite stays fast.  The benchmarks run the full
+configurations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig04_thermal,
+    fig05_power,
+    fig06_temperature,
+    fig07_consolidation,
+    fig09_migration_mix,
+    fig10_traffic,
+    fig11_switch_power,
+    fig12_switch_cost,
+    fig14_calibration,
+    fig15_16_deficit,
+    fig17_18_temps,
+    fig19_table3,
+    properties,
+    table1_power_model,
+    table2_app_profiles,
+)
+from repro.experiments.common import PAPER_UTILIZATIONS
+from repro.experiments.runner import REGISTRY
+
+SWEEP_KW = dict(n_ticks=60, seed=11)
+
+
+class TestFig04:
+    def test_chosen_constants_hit_paper_checkpoints(self):
+        data = fig04_thermal.run().data
+        assert data["cap_idle_cool"] == pytest.approx(450.0)
+        assert data["cap_at_limit_hot"] < 25.0
+
+    def test_curves_decrease_with_temperature(self):
+        data = fig04_thermal.run().data
+        for curve in data["curves"].values():
+            assert np.all(np.diff(curve) < 0)
+
+
+class TestFig05:
+    def test_hot_zone_below_cold_at_every_utilization(self):
+        data = fig05_power.run(**SWEEP_KW).data
+        for cold, hot in zip(data["cold"], data["hot"]):
+            assert hot < cold or cold < 150.0  # hot may match at very low U
+
+    def test_cold_power_rises_with_utilization(self):
+        data = fig05_power.run(**SWEEP_KW).data
+        cold = data["cold"]
+        assert cold[-1] > cold[0]
+        # Broadly monotone: each point above the running max of 3 back.
+        assert cold[-1] > 2.0 * cold[1]
+
+    def test_hot_power_saturates_near_thermal_cap(self):
+        data = fig05_power.run(**SWEEP_KW).data
+        assert max(data["hot"]) < 310.0  # 300 W zone cap + fuzz
+
+
+class TestFig06:
+    def test_gap_shrinks_with_utilization(self):
+        data = fig06_temperature.run(**SWEEP_KW).data
+        gaps = data["gap"]
+        assert np.mean(gaps[:3]) > np.mean(gaps[-3:])
+
+    def test_hot_zone_pinned_near_ambient_at_low_utilization(self):
+        data = fig06_temperature.run(**SWEEP_KW).data
+        assert data["hot"][0] >= 39.0
+        assert data["cold"][0] < 35.0
+
+    def test_never_exceeds_limit(self):
+        data = fig06_temperature.run(**SWEEP_KW).data
+        for temps in data["per_server"]:
+            assert max(temps) <= 70.0 + 1e-6
+
+
+class TestFig07:
+    def test_consolidation_saves_power_overall(self):
+        data = fig07_consolidation.run(n_ticks=60, seed=11).data
+        assert sum(data["savings"]) > 0
+
+    def test_hot_zone_saves_most(self):
+        data = fig07_consolidation.run(n_ticks=60, seed=11).data
+        assert data["hot_mean_saving"] > data["cold_mean_saving"]
+
+    def test_hot_zone_sleeps_more(self):
+        data = fig07_consolidation.run(n_ticks=60, seed=11).data
+        asleep = data["asleep_fraction"]
+        assert np.mean(asleep[14:]) > np.mean(asleep[:14])
+
+
+class TestFig09:
+    def test_consolidation_dominates_low_utilization(self):
+        data = fig09_migration_mix.run(**SWEEP_KW).data
+        assert data["consolidation"][0] > data["demand"][0]
+
+    def test_demand_dominates_high_utilization(self):
+        data = fig09_migration_mix.run(**SWEEP_KW).data
+        assert data["demand"][-2] > data["consolidation"][-2]
+
+    def test_consolidation_declines_with_utilization(self):
+        data = fig09_migration_mix.run(**SWEEP_KW).data
+        consolidation = data["consolidation"]
+        assert np.mean(consolidation[:3]) > np.mean(consolidation[-3:])
+
+
+class TestFig10:
+    def test_traffic_rises_then_falls(self):
+        data = fig10_traffic.run(**SWEEP_KW).data
+        fractions = data["fractions"]
+        peak = int(np.argmax(fractions))
+        assert 0 < peak < len(fractions) - 1  # interior peak
+        assert fractions[peak] > fractions[-1]
+
+    def test_fractions_are_small(self):
+        # Migration traffic is an overhead, not the dominant traffic.
+        data = fig10_traffic.run(**SWEEP_KW).data
+        assert max(data["fractions"]) < 0.25
+
+
+class TestFig11:
+    def test_power_spread_across_switches_is_even(self):
+        data = fig11_switch_power.run(**SWEEP_KW).data
+        # Coefficient of variation stays modest at moderate+ load.
+        for u, cv in zip(data["utilizations"], data["cv"]):
+            if u >= 0.4:
+                assert cv < 0.45
+
+    def test_switch_power_rises_with_utilization(self):
+        data = fig11_switch_power.run(**SWEEP_KW).data
+        mean_power = [float(np.mean(row)) for row in data["per_switch"]]
+        assert mean_power[-1] > mean_power[0]
+
+
+class TestFig12:
+    def test_cost_tracks_traffic_trend(self):
+        traffic = fig10_traffic.run(**SWEEP_KW).data["fractions"]
+        costs = fig12_switch_cost.run(**SWEEP_KW).data["totals"]
+        # Same interior-peak shape.
+        assert int(np.argmax(costs)) not in (0,)
+        # Correlated series.
+        assert np.corrcoef(traffic, costs)[0, 1] > 0.8
+
+
+class TestTable1:
+    def test_anchor_values(self):
+        data = table1_power_model.run().data
+        powers = dict(zip(data["utilizations"], data["powers"]))
+        assert powers[0.0] == pytest.approx(159.5)
+        assert powers[1.0] == pytest.approx(232.0)
+
+    def test_sec_vc5_arithmetic(self):
+        data = table1_power_model.run().data
+        p = dict(zip(data["utilizations"], data["powers"]))
+        assert p[0.8] + p[0.4] + p[0.2] == pytest.approx(580.0)
+
+
+class TestFig14:
+    def test_constants_recovered(self):
+        data = fig14_calibration.run().data
+        assert data["fit_c1"] == pytest.approx(data["true_c1"], rel=0.05)
+        assert data["fit_c2"] == pytest.approx(data["true_c2"], rel=0.25)
+
+    def test_cap_linear_in_headroom(self):
+        data = fig14_calibration.run().data
+        caps = np.asarray(data["caps"], dtype=float)
+        assert np.allclose(np.diff(caps, n=2), 0.0, atol=1e-6)
+        assert caps[-1] == pytest.approx(232.0)
+
+
+class TestFig15_16:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return fig15_16_deficit.run().data
+
+    def test_burst_at_every_plunge(self, data):
+        for start, count in data["bursts"].items():
+            assert count >= 1, f"no migration burst at plunge unit {start}"
+
+    def test_quiet_during_plunge_persistence(self, data):
+        assert data["migrations_during_persistence"] == 0
+
+    def test_quiet_at_recovery(self, data):
+        assert data["migrations_at_recovery"] == 0
+
+    def test_off_plunge_activity_bounded(self, data):
+        assert data["off_plunge_migrations"] <= 4
+
+
+class TestFig17_18:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return fig17_18_temps.run().data
+
+    def test_server_a_hottest_on_average(self, data):
+        means = data["mean_temperature"]
+        assert means["server-A"] >= means["server-B"] >= means["server-C"] - 1.0
+
+    def test_all_below_limit(self, data):
+        for series in data["series"].values():
+            assert np.max(series) <= data["t_limit"] + 1e-6
+
+    def test_temperature_dips_during_first_plunge(self, data):
+        a = data["a_per_unit"]
+        assert np.mean(a[7:10]) < np.mean(a[4:7])
+
+
+class TestFig19Table3:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return fig19_table3.run().data
+
+    def test_server_c_drained_to_zero(self, data):
+        assert data["c_final"] == pytest.approx(0.0, abs=1e-6)
+
+    def test_savings_near_paper_27_5_percent(self, data):
+        assert 0.15 <= data["savings"] <= 0.35
+
+    def test_baseline_power_near_580(self, data):
+        assert data["baseline_power"] == pytest.approx(580.0, abs=30.0)
+
+    def test_survivors_absorb_c_load(self, data):
+        absorbed = (
+            data["final"]["server-A"]
+            + data["final"]["server-B"]
+            - data["initial"]["server-A"]
+            - data["initial"]["server-B"]
+        )
+        assert absorbed > 0.1  # C's ~20 % moved onto A/B
+
+
+class TestTable2:
+    def test_measured_matches_rated(self):
+        data = table2_app_profiles.run().data
+        assert data["measured"]["A1"] == pytest.approx(8.0, abs=0.5)
+        assert data["measured"]["A2"] == pytest.approx(10.0, abs=0.5)
+        assert data["measured"]["A3"] == pytest.approx(15.0, abs=0.5)
+
+
+class TestProperties:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return properties.run(n_ticks=40).data
+
+    def test_message_bound_holds(self, data):
+        assert data["message_bound_ok"]
+        assert data["worst_messages"] <= 2
+
+    def test_residence_and_ping_pong_reported(self, data):
+        assert data["min_residence"] > 0
+        assert data["ping_pongs"] >= 0
+
+
+class TestExtensions:
+    def test_extension_summary_headlines(self):
+        from repro.experiments import extensions
+
+        data = extensions.run().data
+        # The QoS ladder, the disk-bound hot zone, and the UPS lift.
+        assert data["qos_loss"]["gold"] <= data["qos_loss"]["bronze"]
+        assert data["hot_binding"] == "disk"
+        assert data["hot_server_cap"] < 300.0
+        assert data["buffered_min_supply"] > data["raw_min_supply"]
+        assert data["colocated_aware"] > data["colocated_plain"]
+
+
+class TestRunner:
+    def test_registry_complete(self):
+        expected = {
+            "fig04", "fig05", "fig06", "fig07", "fig09", "fig10", "fig11",
+            "fig12", "table1", "fig14", "fig15_16", "fig17_18",
+            "fig19_table3", "table2", "properties", "extensions",
+            "imbalance",
+        }
+        assert set(REGISTRY) == expected
+
+    def test_main_rejects_unknown(self):
+        from repro.experiments.runner import main
+
+        assert main(["nope"]) == 2
+
+    def test_main_lists_without_args(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main([]) == 0
+        assert "fig05" in capsys.readouterr().out
+
+    def test_main_runs_single(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_result_format_renders_table(self):
+        result = table1_power_model.run()
+        text = result.format()
+        assert "Utilization" in text
+        assert "159.50" in text
+
+
+class TestReport:
+    def test_generate_report_subset(self, tmp_path):
+        from repro.experiments.report import generate_report
+
+        path = generate_report(tmp_path / "report.md", ["table1", "fig04"])
+        text = path.read_text()
+        assert "Table I" in text
+        assert "Fig. 4" in text
+        assert text.startswith("# Willow")
+
+    def test_generate_report_rejects_unknown(self, tmp_path):
+        from repro.experiments.report import generate_report
+
+        with pytest.raises(KeyError):
+            generate_report(tmp_path / "r.md", ["bogus"])

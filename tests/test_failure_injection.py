@@ -1,0 +1,220 @@
+"""Failure-injection and edge-case tests for the full controller.
+
+These drive the controller through pathological conditions -- total
+blackout, supply flapping, impossible workloads, degenerate trees --
+and assert it neither crashes nor violates its invariants.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import WillowConfig, WillowController, run_willow
+from repro.power import constant_supply, step_supply
+from repro.sim import RandomStreams
+from repro.topology import NodeKind, Tree, build_balanced, build_paper_simulation
+from repro.workload import (
+    SIMULATION_APPS,
+    AppType,
+    PlacementPlan,
+    VM,
+    random_placement,
+    scale_for_target_utilization,
+)
+
+
+def make_controller(tree, config, supply, utilization=0.5, seed=1, **kw):
+    streams = RandomStreams(seed)
+    placement = random_placement(
+        [s.node_id for s in tree.servers()], SIMULATION_APPS, streams["placement"]
+    )
+    scale_for_target_utilization(placement, config.server_model.slope, utilization)
+    return WillowController(tree, config, supply, placement, seed=seed, **kw)
+
+
+class TestBlackouts:
+    def test_zero_supply_from_start(self):
+        tree = build_paper_simulation()
+        controller = make_controller(tree, WillowConfig(), constant_supply(0.0))
+        collector = controller.run(20)
+        # Nothing served, everything dropped, no crash, no negatives.
+        for sample in collector.server_samples:
+            assert sample.budget == 0.0
+            assert sample.power >= 0.0
+        assert collector.total_dropped_power() > 0
+
+    def test_supply_flapping_every_window(self):
+        tree = build_paper_simulation()
+        segments = [
+            (float(4 * i), 18 * 450.0 if i % 2 == 0 else 18 * 100.0)
+            for i in range(10)
+        ]
+        controller = make_controller(
+            tree, WillowConfig(), step_supply(segments)
+        )
+        collector = controller.run(40)
+        # Invariants survive the flapping.
+        from repro.network import verify_message_bound
+
+        assert verify_message_bound(collector, bound=2)
+        assert (
+            sum(s.thermal.violations for s in controller.servers.values()) == 0
+        )
+
+    def test_recovery_after_blackout(self):
+        tree = build_paper_simulation()
+        supply = step_supply([(0.0, 18 * 450.0), (10.0, 0.0), (20.0, 18 * 450.0)])
+        controller = make_controller(tree, WillowConfig(), supply)
+        collector = controller.run(40)
+        tail = [s for s in collector.server_samples if s.time >= 30]
+        served_tail = sum(s.power for s in tail)
+        blackout = [s for s in collector.server_samples if 12 <= s.time < 20]
+        served_blackout = sum(s.power for s in blackout)
+        assert served_tail > served_blackout
+
+
+class TestImpossibleWorkloads:
+    def test_vm_larger_than_any_budget_is_throttled_not_lost(self):
+        tree = Tree(root_name="dc", root_level=1)
+        tree.add_child(tree.root, "s1", NodeKind.SERVER)
+        tree.add_child(tree.root, "s2", NodeKind.SERVER)
+        config = WillowConfig()
+        monster = AppType("monster", 5000.0)
+        vms = [VM(vm_id=0, app=monster, host_id=tree.servers()[0].node_id)]
+        placement = PlacementPlan(vms=vms, scale=1.0)
+        controller = WillowController(
+            tree, config, constant_supply(900.0), placement, seed=0
+        )
+        collector = controller.run(10)
+        # The VM still exists on some server and was served up to caps.
+        assert sum(len(s.vms) for s in controller.servers.values()) == 1
+        assert collector.total_dropped_power() > 0
+
+    def test_all_servers_in_hot_zone(self):
+        tree = build_paper_simulation()
+        hot = {f"server-{i}": 40.0 for i in range(1, 19)}
+        controller = make_controller(
+            tree,
+            WillowConfig(),
+            constant_supply(18 * 450.0),
+            utilization=0.8,
+            ambient_overrides=hot,
+        )
+        collector = controller.run(30)
+        # Everyone capped at 300 W: temperatures pinned at/below 70.
+        for server in controller.servers.values():
+            assert server.hard_cap() == pytest.approx(300.0)
+        temps = [s.temperature for s in collector.server_samples]
+        assert max(temps) <= 70.0 + 1e-6
+
+    def test_zero_demand_workload(self):
+        tree = build_paper_simulation()
+        config = WillowConfig()
+        app = AppType("idle", 1e-9)
+        vms = [
+            VM(vm_id=i, app=app, host_id=s.node_id)
+            for i, s in enumerate(tree.servers())
+        ]
+        placement = PlacementPlan(vms=vms, scale=1.0)
+        controller = WillowController(
+            tree, config, constant_supply(18 * 450.0), placement, seed=0
+        )
+        collector = controller.run(20)
+        # Fleet idles; consolidation puts almost everything to sleep.
+        asleep = [s for s in collector.server_samples if s.time > 15 and s.asleep]
+        assert asleep
+
+
+class TestDegenerateTopologies:
+    def test_single_server_tree(self):
+        tree = Tree(root_name="dc", root_level=1)
+        tree.add_child(tree.root, "only", NodeKind.SERVER)
+        config = WillowConfig()
+        streams = RandomStreams(0)
+        placement = random_placement(
+            [tree.servers()[0].node_id], SIMULATION_APPS, streams["placement"]
+        )
+        scale_for_target_utilization(placement, config.server_model.slope, 0.5)
+        controller = WillowController(
+            tree, config, constant_supply(450.0), placement, seed=0
+        )
+        collector = controller.run(20)
+        assert collector.migration_count() == 0  # nowhere to go
+        assert len(collector.server_samples) == 20
+
+    def test_deep_narrow_tree(self):
+        tree = build_balanced([2, 2, 2, 2, 2])  # height 6, 32 servers
+        controller = make_controller(
+            tree, WillowConfig(), constant_supply(32 * 450.0)
+        )
+        collector = controller.run(15)
+        from repro.network import verify_message_bound
+
+        assert verify_message_bound(collector, bound=2)
+
+    def test_tree_without_servers_rejected(self):
+        tree = Tree(root_name="dc", root_level=1)
+        config = WillowConfig()
+        placement = PlacementPlan(
+            vms=[VM(vm_id=0, app=SIMULATION_APPS[0], host_id=99)], scale=1.0
+        )
+        with pytest.raises(ValueError):
+            WillowController(tree, config, constant_supply(100.0), placement)
+
+    def test_vm_on_unknown_server_rejected(self):
+        tree = Tree(root_name="dc", root_level=1)
+        tree.add_child(tree.root, "s", NodeKind.SERVER)
+        placement = PlacementPlan(
+            vms=[VM(vm_id=0, app=SIMULATION_APPS[0], host_id=12345)], scale=1.0
+        )
+        with pytest.raises(ValueError):
+            WillowController(
+                tree, WillowConfig(), constant_supply(100.0), placement
+            )
+
+
+class TestExtremeConfigs:
+    def test_huge_margin_suppresses_all_migrations(self):
+        controller, collector = run_willow(
+            config=WillowConfig(p_min=10_000.0),
+            target_utilization=0.6,
+            n_ticks=20,
+            seed=4,
+        )
+        from repro.core import MigrationCause
+
+        assert collector.migration_count(MigrationCause.DEMAND) == 0
+
+    def test_wake_latency_zero(self):
+        controller, collector = run_willow(
+            config=WillowConfig(wake_latency_ticks=0),
+            target_utilization=0.15,
+            n_ticks=30,
+            seed=4,
+        )
+        assert len(collector.server_samples) == 30 * 18
+
+    def test_migration_cost_free(self):
+        _, collector = run_willow(
+            config=WillowConfig(
+                migration_cost_power=0.0, migration_cost_ticks=0
+            ),
+            target_utilization=0.6,
+            n_ticks=20,
+            seed=4,
+        )
+        for migration in collector.migrations:
+            assert migration.cost_power == 0.0
+
+    def test_long_run_stays_consistent(self):
+        controller, collector = run_willow(
+            target_utilization=0.5, n_ticks=300, seed=12
+        )
+        hosted = sorted(
+            vm.vm_id
+            for s in controller.servers.values()
+            for vm in s.vms.values()
+        )
+        assert hosted == sorted(vm.vm_id for vm in controller.vms)
+        assert (
+            sum(s.thermal.violations for s in controller.servers.values()) == 0
+        )

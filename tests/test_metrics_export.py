@@ -1,0 +1,60 @@
+"""Tests for CSV/JSON export of recorded metrics."""
+
+import csv
+
+import pytest
+
+from repro.core import run_willow
+from repro.metrics.export import export_csv, export_json, load_json
+
+
+@pytest.fixture(scope="module")
+def run_data():
+    return run_willow(target_utilization=0.5, n_ticks=15, seed=7)
+
+
+def test_csv_export_writes_expected_tables(tmp_path, run_data):
+    _, collector = run_data
+    written = export_csv(collector, tmp_path)
+    assert "servers" in written
+    assert "switches" in written
+    assert "messages" in written
+    assert "imbalance" in written
+    with written["servers"].open() as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == len(collector.server_samples)
+    assert set(rows[0]) >= {"time", "server_id", "power", "temperature"}
+
+
+def test_csv_export_skips_empty_tables(tmp_path):
+    from repro.metrics import MetricsCollector
+
+    written = export_csv(MetricsCollector(), tmp_path)
+    assert written == {}
+
+
+def test_csv_enum_fields_serialised(tmp_path, run_data):
+    _, collector = run_data
+    if not collector.migrations:
+        pytest.skip("run produced no migrations")
+    written = export_csv(collector, tmp_path)
+    with written["migrations"].open() as handle:
+        rows = list(csv.DictReader(handle))
+    assert rows[0]["cause"] in ("demand", "consolidation")
+
+
+def test_json_round_trip(tmp_path, run_data):
+    _, collector = run_data
+    path = export_json(collector, tmp_path / "run.json")
+    document = load_json(path)
+    assert len(document["servers"]) == len(collector.server_samples)
+    assert len(document["migrations"]) == len(collector.migrations)
+    assert len(document["imbalance"]) == len(collector.imbalance)
+    sample = document["servers"][0]
+    assert isinstance(sample["power"], float)
+
+
+def test_json_creates_parent_dirs(tmp_path, run_data):
+    _, collector = run_data
+    path = export_json(collector, tmp_path / "deep" / "nested" / "run.json")
+    assert path.exists()

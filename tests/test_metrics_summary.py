@@ -1,0 +1,56 @@
+"""Tests for RunSummary aggregation."""
+
+import pytest
+
+from repro.core import run_willow
+from repro.metrics import MetricsCollector, summarize_run
+
+
+def test_summarize_real_run():
+    controller, collector = run_willow(
+        target_utilization=0.4, n_ticks=25, seed=3
+    )
+    summary = summarize_run(collector)
+    assert summary.n_servers == 18
+    assert summary.n_ticks == 25
+    assert summary.mean_fleet_power > 0
+    assert summary.peak_temperature <= 70.0 + 1e-6
+    assert 0.0 <= summary.asleep_fraction <= 1.0
+    assert 0.0 <= summary.local_migration_fraction <= 1.0
+    assert (
+        summary.demand_migrations + summary.consolidation_migrations
+        == collector.migration_count()
+    )
+
+
+def test_summary_format_is_readable():
+    _, collector = run_willow(target_utilization=0.4, n_ticks=10, seed=3)
+    text = summarize_run(collector).format()
+    assert "fleet power" in text
+    assert "migrations" in text
+
+
+def test_empty_collector_rejected():
+    with pytest.raises(ValueError):
+        summarize_run(MetricsCollector())
+
+
+def test_no_migrations_yields_zero_local_fraction():
+    # Single-server run can't migrate; local fraction is defined as 0.
+    from repro.core import WillowConfig, WillowController
+    from repro.power import constant_supply
+    from repro.sim import RandomStreams
+    from repro.topology import NodeKind, Tree
+    from repro.workload import SIMULATION_APPS, random_placement
+
+    tree = Tree(root_name="dc", root_level=1)
+    tree.add_child(tree.root, "s", NodeKind.SERVER)
+    streams = RandomStreams(0)
+    placement = random_placement(
+        [tree.servers()[0].node_id], SIMULATION_APPS, streams["placement"]
+    )
+    controller = WillowController(
+        tree, WillowConfig(), constant_supply(450.0), placement, seed=0
+    )
+    collector = controller.run(5)
+    assert summarize_run(collector).local_migration_fraction == 0.0

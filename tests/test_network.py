@@ -1,0 +1,116 @@
+"""Tests for network impact accounting."""
+
+import pytest
+
+from repro.core.events import ControlMessage, Migration, MigrationCause
+from repro.metrics import MetricsCollector, SwitchSample
+from repro.network import (
+    max_messages_per_link,
+    migration_hop_histogram,
+    migration_traffic_fraction,
+    switch_migration_cost,
+    switch_power_by_level,
+    verify_message_bound,
+)
+from repro.network.messages import messages_per_direction
+from repro.network.paths import mean_migration_hops
+from repro.power import SwitchPowerModel
+
+MODEL = SwitchPowerModel(static_power=5.0, watts_per_unit_traffic=0.1, capacity=100.0)
+
+
+def switch_sample(t, sid, level=1, base=10.0, mig=2.0):
+    return SwitchSample(
+        time=t,
+        switch_id=sid,
+        level=level,
+        base_traffic=base,
+        migration_traffic=mig,
+        power=MODEL.power(base + mig),
+    )
+
+
+class TestTraffic:
+    def test_fraction_of_capacity(self):
+        collector = MetricsCollector()
+        collector.record_switch(switch_sample(0.0, 1, mig=10.0))
+        collector.record_switch(switch_sample(1.0, 1, mig=0.0))
+        # 10 units over 2 samples of 100 capacity = 5 %.
+        assert migration_traffic_fraction(collector, MODEL) == pytest.approx(0.05)
+
+    def test_empty_collector(self):
+        assert migration_traffic_fraction(MetricsCollector(), MODEL) == 0.0
+
+    def test_level_filter(self):
+        collector = MetricsCollector()
+        collector.record_switch(switch_sample(0.0, 1, level=1, mig=10.0))
+        collector.record_switch(switch_sample(0.0, 2, level=2, mig=50.0))
+        level1 = migration_traffic_fraction(collector, MODEL, level=1)
+        overall = migration_traffic_fraction(collector, MODEL, level=None)
+        assert level1 == pytest.approx(0.10)
+        assert overall == pytest.approx(0.30)
+
+    def test_switch_power_by_level(self):
+        collector = MetricsCollector()
+        collector.record_switch(switch_sample(0.0, 1))
+        collector.record_switch(switch_sample(1.0, 1))
+        collector.record_switch(switch_sample(0.0, 2, level=2))
+        powers = switch_power_by_level(collector, level=1)
+        assert set(powers) == {1}
+        assert powers[1] == pytest.approx(MODEL.power(12.0))
+
+    def test_switch_migration_cost_accumulates(self):
+        collector = MetricsCollector()
+        collector.record_switch(switch_sample(0.0, 1, mig=10.0))
+        collector.record_switch(switch_sample(1.0, 1, mig=5.0))
+        costs = switch_migration_cost(collector, MODEL, level=1)
+        assert costs[1] == pytest.approx(0.1 * 15.0)
+
+
+class TestMessages:
+    def test_bound_check(self):
+        collector = MetricsCollector()
+        collector.record_message(ControlMessage(0.0, link=1, upward=True))
+        collector.record_message(ControlMessage(0.0, link=1, upward=False))
+        assert verify_message_bound(collector, bound=2)
+        collector.record_message(ControlMessage(0.0, link=1, upward=True))
+        assert not verify_message_bound(collector, bound=2)
+        assert max_messages_per_link(collector)[1] == 3
+
+    def test_direction_split(self):
+        collector = MetricsCollector()
+        collector.record_message(ControlMessage(0.0, link=1, upward=True))
+        collector.record_message(ControlMessage(0.0, link=2, upward=False))
+        assert messages_per_direction(collector) == {"upward": 1, "downward": 1}
+
+
+class TestPaths:
+    def _mig(self, hops, local):
+        return Migration(
+            time=0.0,
+            vm_id=0,
+            src_id=1,
+            dst_id=2,
+            demand=10.0,
+            cause=MigrationCause.DEMAND,
+            local=local,
+            hops=hops,
+            cost_power=1.0,
+        )
+
+    def test_hop_histogram(self):
+        collector = MetricsCollector()
+        collector.migrations.extend(
+            [self._mig(1, True), self._mig(1, True), self._mig(3, False)]
+        )
+        assert migration_hop_histogram(collector) == {1: 2, 3: 1}
+
+    def test_mean_hops(self):
+        collector = MetricsCollector()
+        collector.migrations.extend([self._mig(1, True), self._mig(3, False)])
+        assert mean_migration_hops(collector) == 2.0
+
+    def test_mean_hops_nan_when_empty(self):
+        import math
+
+        assert math.isnan(mean_migration_hops(MetricsCollector()))

@@ -1,0 +1,143 @@
+"""Tests for budget allocation (paper Sec. IV-D), incl. hypothesis
+invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.power import allocate_proportional, redistribute_surplus
+
+
+class TestAllocateProportional:
+    def test_simple_proportional_split(self):
+        alloc, unused = allocate_proportional(90.0, [10.0, 20.0, 30.0])
+        # Surplus regime: everyone gets demand; leftover spread ~ demand.
+        assert alloc.sum() + unused == pytest.approx(90.0)
+        assert np.all(alloc >= [10.0, 20.0, 30.0])
+
+    def test_deficit_regime_proportional(self):
+        alloc, unused = allocate_proportional(30.0, [10.0, 20.0, 30.0])
+        assert alloc.sum() == pytest.approx(30.0)
+        assert unused == pytest.approx(0.0)
+        # Proportional to demand: ratios preserved.
+        assert alloc[1] / alloc[0] == pytest.approx(2.0)
+        assert alloc[2] / alloc[0] == pytest.approx(3.0)
+
+    def test_caps_never_exceeded(self):
+        alloc, _ = allocate_proportional(100.0, [50.0, 50.0], caps=[30.0, 80.0])
+        assert alloc[0] <= 30.0 + 1e-9
+        assert alloc[1] <= 80.0 + 1e-9
+
+    def test_capped_node_excess_flows_to_sibling(self):
+        alloc, unused = allocate_proportional(
+            100.0, [50.0, 50.0], caps=[30.0, 80.0]
+        )
+        assert alloc[0] == pytest.approx(30.0)
+        assert alloc[1] == pytest.approx(70.0)
+        assert unused == pytest.approx(0.0)
+
+    def test_all_capped_leaves_surplus_unallocated(self):
+        alloc, unused = allocate_proportional(
+            100.0, [50.0, 50.0], caps=[20.0, 20.0]
+        )
+        assert alloc.tolist() == [20.0, 20.0]
+        assert unused == pytest.approx(60.0)
+
+    def test_surplus_regime_guarantees_demand(self):
+        alloc, _ = allocate_proportional(200.0, [10.0, 60.0, 30.0])
+        assert np.all(alloc >= [10.0, 60.0, 30.0])
+
+    def test_zero_demand_child_gets_surplus_only_after_caps(self):
+        # One busy child capped at 60; idle child should then absorb
+        # the remainder (paper step 2: harness surplus with new work).
+        alloc, unused = allocate_proportional(
+            100.0, [50.0, 0.0], caps=[60.0, 100.0]
+        )
+        assert alloc[0] == pytest.approx(60.0)
+        assert alloc[1] == pytest.approx(40.0)
+        assert unused == pytest.approx(0.0)
+
+    def test_zero_total(self):
+        alloc, unused = allocate_proportional(0.0, [10.0, 20.0])
+        assert alloc.tolist() == [0.0, 0.0]
+        assert unused == 0.0
+
+    def test_empty_children(self):
+        alloc, unused = allocate_proportional(50.0, [])
+        assert alloc.size == 0
+        assert unused == 50.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_proportional(-1.0, [10.0])
+        with pytest.raises(ValueError):
+            allocate_proportional(10.0, [-1.0])
+        with pytest.raises(ValueError):
+            allocate_proportional(10.0, [1.0], caps=[-1.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_proportional(10.0, [1.0, 2.0], caps=[1.0])
+
+
+class TestRedistributeSurplus:
+    def test_adds_proportionally_within_headroom(self):
+        new = redistribute_surplus(
+            [10.0, 10.0], [30.0, 10.0], [100.0, 12.0], surplus=20.0
+        )
+        assert new[1] <= 12.0 + 1e-9
+        assert new.sum() == pytest.approx(40.0)
+
+    def test_negative_surplus_rejected(self):
+        with pytest.raises(ValueError):
+            redistribute_surplus([1.0], [1.0], [2.0], surplus=-1.0)
+
+
+# -- hypothesis invariants ---------------------------------------------------
+
+budget_cases = st.integers(1, 8).flatmap(
+    lambda n: st.tuples(
+        st.floats(0.0, 10_000.0),
+        st.lists(st.floats(0.0, 1_000.0), min_size=n, max_size=n),
+        st.lists(st.floats(0.0, 1_000.0), min_size=n, max_size=n),
+    )
+)
+
+
+@given(case=budget_cases)
+def test_allocation_invariants(case):
+    total, demands, caps = case
+    alloc, unused = allocate_proportional(total, demands, caps)
+    # 1. No negative allocations.
+    assert np.all(alloc >= -1e-9)
+    # 2. Caps respected.
+    assert np.all(alloc <= np.asarray(caps) + 1e-6)
+    # 3. Conservation: allocated + unallocated == total.
+    assert alloc.sum() + unused == pytest.approx(total, rel=1e-6, abs=1e-6)
+    # 4. Unused is non-negative.
+    assert unused >= -1e-9
+
+
+@given(case=budget_cases)
+def test_surplus_regime_satisfies_everyone(case):
+    total, demands, caps = case
+    satisfiable = np.minimum(demands, caps)
+    if total < satisfiable.sum():
+        return  # only the surplus regime carries this guarantee
+    alloc, _ = allocate_proportional(total, demands, caps)
+    assert np.all(alloc >= satisfiable - 1e-6)
+
+
+@given(case=budget_cases, scale=st.floats(0.1, 10.0))
+def test_allocation_scale_invariant(case, scale):
+    """Scaling total+demands+caps scales the allocation."""
+    total, demands, caps = case
+    alloc1, unused1 = allocate_proportional(total, demands, caps)
+    alloc2, unused2 = allocate_proportional(
+        total * scale,
+        [d * scale for d in demands],
+        [c * scale for c in caps],
+    )
+    assert np.allclose(alloc1 * scale, alloc2, rtol=1e-6, atol=1e-4)
+    assert unused1 * scale == pytest.approx(unused2, rel=1e-6, abs=1e-4)

@@ -1,0 +1,108 @@
+"""Tests for server and switch power models."""
+
+import numpy as np
+import pytest
+
+from repro.power import (
+    SIMULATION_SERVER,
+    SIMULATION_SWITCH,
+    ServerPowerModel,
+    SwitchPowerModel,
+    TESTBED_SERVER,
+)
+
+
+class TestServerPowerModel:
+    def test_testbed_calibration_anchors(self):
+        # Derived from the paper's Sec. V-C5 arithmetic (see DESIGN.md).
+        assert TESTBED_SERVER.power(0.8) + TESTBED_SERVER.power(
+            0.4
+        ) + TESTBED_SERVER.power(0.2) == pytest.approx(580.0)
+        assert TESTBED_SERVER.power(1.0) == pytest.approx(232.0)
+
+    def test_consolidation_savings_arithmetic(self):
+        # Consolidating 80/40/20 into 90/50/sleep saves ~27.5 %.
+        before = sum(TESTBED_SERVER.power(u) for u in (0.8, 0.4, 0.2))
+        after = TESTBED_SERVER.power(0.9) + TESTBED_SERVER.power(0.5)
+        assert 1.0 - after / before == pytest.approx(0.275, abs=0.001)
+
+    def test_simulation_max_power_450(self):
+        assert SIMULATION_SERVER.max_power == pytest.approx(450.0)
+
+    def test_power_monotone_and_linear(self):
+        u = np.linspace(0.0, 1.0, 11)
+        p = TESTBED_SERVER.power(u)
+        assert np.all(np.diff(p) > 0)
+        assert np.allclose(np.diff(p, n=2), 0.0)
+
+    def test_utilization_inverts_power(self):
+        for u in (0.0, 0.25, 0.5, 1.0):
+            p = TESTBED_SERVER.power(u)
+            assert TESTBED_SERVER.utilization(p) == pytest.approx(u)
+
+    def test_utilization_below_static_floor_clips_to_zero(self):
+        assert TESTBED_SERVER.utilization(100.0) == 0.0
+
+    def test_utilization_above_max_rejected(self):
+        with pytest.raises(ValueError):
+            TESTBED_SERVER.utilization(1000.0)
+
+    def test_power_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            TESTBED_SERVER.power(1.5)
+        with pytest.raises(ValueError):
+            TESTBED_SERVER.power(-0.1)
+
+    def test_dynamic_power_excludes_floor(self):
+        assert TESTBED_SERVER.dynamic_power(0.5) == pytest.approx(36.25)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(static_power=-1.0, slope=10.0),
+            dict(static_power=0.0, slope=0.0),
+            dict(static_power=0.0, slope=10.0, standby_power=-1.0),
+        ],
+    )
+    def test_invalid_model_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ServerPowerModel(**kwargs)
+
+
+class TestSwitchPowerModel:
+    def test_power_affine_in_traffic(self):
+        t = np.array([0.0, 100.0, 200.0])
+        p = SIMULATION_SWITCH.power(t)
+        assert p[0] == SIMULATION_SWITCH.static_power
+        assert np.allclose(np.diff(p, n=2), 0.0)
+
+    def test_negative_traffic_rejected(self):
+        with pytest.raises(ValueError):
+            SIMULATION_SWITCH.power(-1.0)
+
+    def test_utilization(self):
+        half = SIMULATION_SWITCH.capacity / 2
+        assert SIMULATION_SWITCH.utilization(half) == pytest.approx(0.5)
+
+    def test_max_power(self):
+        expected = (
+            SIMULATION_SWITCH.static_power
+            + SIMULATION_SWITCH.watts_per_unit_traffic * SIMULATION_SWITCH.capacity
+        )
+        assert SIMULATION_SWITCH.max_power == pytest.approx(expected)
+
+    def test_static_part_small_vs_dynamic(self):
+        # Paper: "The static part is fixed and is very small."
+        assert SIMULATION_SWITCH.static_power < 0.1 * SIMULATION_SWITCH.max_power
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(static_power=-1.0, watts_per_unit_traffic=1.0, capacity=10.0),
+            dict(static_power=1.0, watts_per_unit_traffic=0.0, capacity=10.0),
+            dict(static_power=1.0, watts_per_unit_traffic=1.0, capacity=0.0),
+        ],
+    )
+    def test_invalid_model_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SwitchPowerModel(**kwargs)

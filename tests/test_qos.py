@@ -1,0 +1,138 @@
+"""Tests for QoS classes, priority-aware service and latency model."""
+
+import numpy as np
+import pytest
+
+from repro.core import WillowConfig, WillowController
+from repro.metrics import MetricsCollector, ServerSample
+from repro.power import step_supply
+from repro.qos import (
+    BRONZE,
+    GOLD,
+    LatencyModel,
+    QoSClass,
+    SILVER,
+    STANDARD_CLASSES,
+    per_class_report,
+    sla_compliance,
+    tiered_catalog,
+)
+from repro.qos.classes import class_of
+from repro.sim import RandomStreams
+from repro.topology import build_paper_simulation
+from repro.workload import (
+    SIMULATION_APPS,
+    random_placement,
+    scale_for_target_utilization,
+)
+
+
+class TestQoSClass:
+    def test_standard_ordering(self):
+        assert GOLD.priority < SILVER.priority < BRONZE.priority
+        assert GOLD.latency_sla < SILVER.latency_sla < BRONZE.latency_sla
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QoSClass("x", priority=-1, latency_sla=2.0)
+        with pytest.raises(ValueError):
+            QoSClass("x", priority=0, latency_sla=1.0)
+
+    def test_tiered_catalog_crosses_apps_and_classes(self):
+        catalog = tiered_catalog(SIMULATION_APPS)
+        assert len(catalog) == len(SIMULATION_APPS) * 3
+        names = {app.name for app in catalog}
+        assert "app-5/gold" in names and "app-9/bronze" in names
+
+    def test_tiered_catalog_validation(self):
+        with pytest.raises(ValueError):
+            tiered_catalog([])
+        with pytest.raises(ValueError):
+            tiered_catalog(SIMULATION_APPS, classes=[])
+
+    def test_class_of(self):
+        catalog = tiered_catalog(SIMULATION_APPS)
+        assert class_of(catalog[0]) is GOLD
+        broken = SIMULATION_APPS[0].scaled(1.0)
+        assert class_of(broken) is GOLD  # priority 0 default
+        with pytest.raises(KeyError):
+            from repro.workload import AppType
+
+            class_of(AppType("x", 1.0, priority=9))
+
+
+class TestLatencyModel:
+    def test_latency_rises_with_utilization(self):
+        model = LatencyModel()
+        assert model.latency_multiple(0.0) == pytest.approx(1.0)
+        assert model.latency_multiple(0.5) == pytest.approx(2.0)
+        assert model.latency_multiple(0.9) == pytest.approx(10.0)
+
+    def test_singularity_clipped(self):
+        model = LatencyModel(rho_cap=0.99)
+        assert model.latency_multiple(1.0) == pytest.approx(100.0)
+
+    def test_max_utilization_inverts_sla(self):
+        model = LatencyModel()
+        for qos in STANDARD_CLASSES:
+            rho = model.max_utilization_for(qos)
+            assert model.latency_multiple(rho) == pytest.approx(qos.latency_sla)
+
+    def test_rho_cap_validated(self):
+        with pytest.raises(ValueError):
+            LatencyModel(rho_cap=1.0)
+
+    def test_sla_compliance_counts_awake_ticks(self):
+        collector = MetricsCollector()
+
+        def sample(t, util, asleep=False):
+            return ServerSample(
+                time=t, server_id=1, power=0.0, temperature=25.0,
+                utilization=util, demand=0.0, budget=0.0, asleep=asleep,
+            )
+
+        # GOLD sla=2.0 -> threshold rho=0.5.
+        collector.record_server(sample(0.0, 0.4))
+        collector.record_server(sample(1.0, 0.6))
+        collector.record_server(sample(2.0, 0.9, asleep=True))  # excluded
+        compliance = sla_compliance(collector, GOLD)
+        assert compliance[1] == pytest.approx(0.5)
+
+
+class TestPriorityAwareServing:
+    def _run(self, seed=5):
+        tree = build_paper_simulation()
+        config = WillowConfig()
+        streams = RandomStreams(seed)
+        placement = random_placement(
+            [s.node_id for s in tree.servers()],
+            tuple(tiered_catalog(SIMULATION_APPS)),
+            streams["placement"],
+            vms_per_server=6,
+        )
+        scale_for_target_utilization(placement, config.server_model.slope, 0.6)
+        # Starve the fleet mid-run so throttling definitely happens.
+        supply = step_supply([(0.0, 18 * 450.0), (15.0, 18 * 200.0)])
+        controller = WillowController(tree, config, supply, placement, seed=seed)
+        collector = controller.run(40)
+        return controller, collector
+
+    def test_gold_loses_least_bronze_most(self):
+        controller, collector = self._run()
+        report = per_class_report(collector, controller.vms, scale=controller.placement.scale)
+        assert report["gold"].loss_fraction <= report["silver"].loss_fraction
+        assert report["silver"].loss_fraction <= report["bronze"].loss_fraction
+        # The starved run definitely dropped something.
+        assert report["bronze"].dropped > 0
+
+    def test_report_conserves_demand(self):
+        controller, collector = self._run()
+        report = per_class_report(collector, controller.vms, scale=controller.placement.scale)
+        for tier in report.values():
+            assert tier.served >= 0
+            assert 0.0 <= tier.loss_fraction <= 1.0
+
+    def test_drops_recorded_per_vm(self):
+        _, collector = self._run()
+        vm_drops = [d for d in collector.drops if d.vm_id is not None]
+        assert vm_drops  # priority-aware serving attributes drops to VMs

@@ -1,0 +1,73 @@
+"""The DES substrate validates the QoS latency model (M/M/1)."""
+
+import pytest
+
+from repro.qos import LatencyModel, simulate_mm1
+
+
+class TestSimulateMM1:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_mm1(arrival_rate=0.0, service_rate=1.0, horizon=10.0)
+        with pytest.raises(ValueError):
+            simulate_mm1(arrival_rate=1.0, service_rate=1.0, horizon=10.0)
+        with pytest.raises(ValueError):
+            simulate_mm1(arrival_rate=0.5, service_rate=1.0, horizon=0.0)
+        with pytest.raises(ValueError):
+            simulate_mm1(
+                arrival_rate=0.5, service_rate=1.0, horizon=10.0,
+                warmup_fraction=1.0,
+            )
+
+    def test_counts_consistent(self):
+        stats = simulate_mm1(
+            arrival_rate=0.5, service_rate=1.0, horizon=2000.0, seed=3
+        )
+        assert 0 < stats.completed <= stats.arrivals
+        assert stats.mean_wait >= 0
+        assert stats.mean_response >= stats.mean_service
+
+    def test_response_decomposes_into_wait_plus_service(self):
+        stats = simulate_mm1(
+            arrival_rate=0.5, service_rate=1.0, horizon=5000.0, seed=3
+        )
+        assert stats.mean_response == pytest.approx(
+            stats.mean_wait + stats.mean_service, rel=1e-9
+        )
+
+    def test_measured_utilization_tracks_rho(self):
+        stats = simulate_mm1(
+            arrival_rate=0.6, service_rate=1.0, horizon=20000.0, seed=5
+        )
+        assert stats.utilization == pytest.approx(0.6, abs=0.04)
+
+    def test_deterministic_under_seed(self):
+        a = simulate_mm1(arrival_rate=0.5, service_rate=1.0, horizon=500.0, seed=9)
+        b = simulate_mm1(arrival_rate=0.5, service_rate=1.0, horizon=500.0, seed=9)
+        assert a == b
+
+
+class TestLatencyModelValidation:
+    """The headline: simulation agrees with R/S = 1/(1-rho)."""
+
+    @pytest.mark.parametrize(
+        "rho,tolerance",
+        [(0.2, 0.10), (0.4, 0.10), (0.6, 0.12), (0.8, 0.25)],
+    )
+    def test_mm1_formula_matches_simulation(self, rho, tolerance):
+        stats = simulate_mm1(
+            arrival_rate=rho, service_rate=1.0, horizon=30000.0, seed=1
+        )
+        predicted = LatencyModel().latency_multiple(rho)
+        assert stats.response_multiple == pytest.approx(
+            predicted, rel=tolerance
+        )
+
+    def test_latency_explodes_toward_saturation(self):
+        low = simulate_mm1(
+            arrival_rate=0.3, service_rate=1.0, horizon=20000.0, seed=2
+        )
+        high = simulate_mm1(
+            arrival_rate=0.9, service_rate=1.0, horizon=20000.0, seed=2
+        )
+        assert high.response_multiple > 2.5 * low.response_multiple

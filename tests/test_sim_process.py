@@ -1,0 +1,223 @@
+"""Tests for generator-based processes and composite events."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment, Interrupt
+
+
+def test_process_advances_through_timeouts():
+    env = Environment()
+    log = []
+
+    def worker(env):
+        yield env.timeout(1.0)
+        log.append(env.now)
+        yield env.timeout(2.0)
+        log.append(env.now)
+
+    env.process(worker(env))
+    env.run()
+    assert log == [1.0, 3.0]
+
+
+def test_process_receives_event_value():
+    env = Environment()
+    got = []
+
+    def worker(env):
+        value = yield env.timeout(1.0, value="hello")
+        got.append(value)
+
+    env.process(worker(env))
+    env.run()
+    assert got == ["hello"]
+
+
+def test_process_return_value_becomes_event_value():
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(1.0)
+        return 42
+
+    proc = env.process(worker(env))
+    env.run()
+    assert proc.processed and proc.value == 42
+
+
+def test_process_can_wait_on_another_process():
+    env = Environment()
+    log = []
+
+    def child(env):
+        yield env.timeout(2.0)
+        return "done"
+
+    def parent(env):
+        result = yield env.process(child(env))
+        log.append((env.now, result))
+
+    env.process(parent(env))
+    env.run()
+    assert log == [(2.0, "done")]
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)
+
+
+def test_exception_in_process_propagates():
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(1.0)
+        raise ValueError("inside process")
+
+    env.process(worker(env))
+    with pytest.raises(ValueError, match="inside process"):
+        env.run()
+
+
+def test_process_can_catch_failed_event():
+    env = Environment()
+    caught = []
+
+    def worker(env):
+        event = env.event()
+        event.fail(RuntimeError("expected"))
+        try:
+            yield event
+        except RuntimeError as error:
+            caught.append(str(error))
+
+    env.process(worker(env))
+    env.run()
+    assert caught == ["expected"]
+
+
+def test_interrupt_raises_in_process():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as interrupt:
+            log.append((env.now, interrupt.cause))
+
+    def interrupter(env, victim):
+        yield env.timeout(1.0)
+        victim.interrupt(cause="wake up")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert log == [(1.0, "wake up")]
+
+
+def test_interrupt_finished_process_rejected():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(0.0)
+
+    proc = env.process(quick(env))
+    env.run()
+    with pytest.raises(RuntimeError):
+        proc.interrupt()
+
+
+def test_is_alive_lifecycle():
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(1.0)
+
+    proc = env.process(worker(env))
+    assert proc.is_alive
+    env.run()
+    assert not proc.is_alive
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    log = []
+
+    def worker(env):
+        a = env.timeout(1.0, value="a")
+        b = env.timeout(3.0, value="b")
+        results = yield AllOf(env, [a, b])
+        log.append((env.now, sorted(results.values())))
+
+    env.process(worker(env))
+    env.run()
+    assert log == [(3.0, ["a", "b"])]
+
+
+def test_any_of_fires_on_first_event():
+    env = Environment()
+    log = []
+
+    def worker(env):
+        a = env.timeout(1.0, value="fast")
+        b = env.timeout(5.0, value="slow")
+        results = yield AnyOf(env, [a, b])
+        log.append((env.now, list(results.values())))
+
+    env.process(worker(env))
+    env.run(until=2.0)
+    assert log == [(1.0, ["fast"])]
+
+
+def test_all_of_with_already_processed_events():
+    env = Environment()
+    a = env.timeout(0.0, value=1)
+    env.run()
+
+    log = []
+
+    def worker(env, done):
+        b = env.timeout(1.0, value=2)
+        results = yield AllOf(env, [done, b])
+        log.append(sorted(results.values()))
+
+    env.process(worker(env, a))
+    env.run()
+    assert log == [[1, 2]]
+
+
+def test_condition_events_must_share_environment():
+    env1, env2 = Environment(), Environment()
+    with pytest.raises(ValueError):
+        AllOf(env1, [env1.timeout(1.0), env2.timeout(1.0)])
+
+
+def test_yielding_foreign_event_fails_process():
+    env1, env2 = Environment(), Environment()
+
+    def worker(env):
+        yield env2.timeout(1.0)
+
+    env1.process(worker(env1))
+    with pytest.raises(ValueError):
+        env1.run()
+
+
+def test_many_interleaved_processes_deterministic():
+    def run_once():
+        env = Environment()
+        log = []
+
+        def worker(env, tag, delay):
+            for _ in range(3):
+                yield env.timeout(delay)
+                log.append((env.now, tag))
+
+        for tag, delay in enumerate([1.0, 1.5, 2.0]):
+            env.process(worker(env, tag, delay))
+        env.run()
+        return log
+
+    assert run_once() == run_once()

@@ -1,0 +1,81 @@
+"""Property-based tests for the DES kernel (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment
+
+
+@given(
+    delays=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30)
+)
+def test_events_always_fire_in_nondecreasing_time_order(delays):
+    env = Environment()
+    fired = []
+    for delay in delays:
+        env.timeout(delay).add_callback(lambda e: fired.append(env.now))
+    env.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(
+    delays=st.lists(st.floats(0.0, 50.0), min_size=1, max_size=20),
+    until=st.floats(0.0, 60.0),
+)
+def test_run_until_fires_exactly_the_due_events(delays, until):
+    env = Environment()
+    fired = []
+    for i, delay in enumerate(delays):
+        env.timeout(delay, value=i).add_callback(
+            lambda e: fired.append(e.value)
+        )
+    env.run(until=until)
+    due = {i for i, d in enumerate(delays) if d <= until}
+    assert set(fired) == due
+    assert env.now == until
+
+
+@given(
+    schedule=st.lists(
+        st.tuples(st.floats(0.1, 20.0), st.integers(1, 5)),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=50)
+def test_interleaved_processes_conserve_work(schedule):
+    """N processes each doing K steps: all steps complete, in order."""
+    env = Environment()
+    log = []
+
+    def worker(env, tag, delay, steps):
+        for step in range(steps):
+            yield env.timeout(delay)
+            log.append((tag, step))
+
+    for tag, (delay, steps) in enumerate(schedule):
+        env.process(worker(env, tag, delay, steps))
+    env.run()
+    # Every step of every worker ran exactly once...
+    expected = {(tag, s) for tag, (_d, steps) in enumerate(schedule) for s in range(steps)}
+    assert set(log) == expected and len(log) == len(expected)
+    # ...and each worker's steps appear in order.
+    for tag in range(len(schedule)):
+        steps = [s for t, s in log if t == tag]
+        assert steps == sorted(steps)
+
+
+@given(seed_delays=st.lists(st.floats(0.0, 10.0), min_size=2, max_size=15))
+def test_replayed_schedule_is_bit_identical(seed_delays):
+    def run_once():
+        env = Environment()
+        trace = []
+        for i, delay in enumerate(seed_delays):
+            env.timeout(delay, value=i).add_callback(
+                lambda e: trace.append((env.now, e.value))
+            )
+        env.run()
+        return trace
+
+    assert run_once() == run_once()

@@ -1,0 +1,70 @@
+"""Tests for reproducible named random streams."""
+
+import numpy as np
+import pytest
+
+from repro.sim import RandomStreams
+
+
+def test_same_seed_same_stream():
+    a = RandomStreams(42)["demand"].random(10)
+    b = RandomStreams(42)["demand"].random(10)
+    assert np.array_equal(a, b)
+
+
+def test_different_names_different_streams():
+    streams = RandomStreams(42)
+    a = streams["demand"].random(100)
+    b = streams["supply"].random(100)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_different_streams():
+    a = RandomStreams(1)["x"].random(50)
+    b = RandomStreams(2)["x"].random(50)
+    assert not np.array_equal(a, b)
+
+
+def test_stream_identity_independent_of_creation_order():
+    forward = RandomStreams(7)
+    _ = forward["alpha"].random(3)
+    first = forward["beta"].random(5)
+
+    backward = RandomStreams(7)
+    second = backward["beta"].random(5)
+    assert np.array_equal(first, second)
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(0)
+    assert streams["a"] is streams["a"]
+
+
+def test_contains_and_len():
+    streams = RandomStreams(0)
+    assert "x" not in streams
+    _ = streams["x"]
+    assert "x" in streams
+    assert len(streams) == 1
+
+
+def test_seed_must_be_int():
+    with pytest.raises(TypeError):
+        RandomStreams("not-an-int")
+
+
+def test_fork_changes_streams_deterministically():
+    base = RandomStreams(9)
+    fork_a = base.fork(1)["w"].random(5)
+    fork_b = RandomStreams(9).fork(1)["w"].random(5)
+    assert np.array_equal(fork_a, fork_b)
+    assert not np.array_equal(fork_a, base["w"].random(5))
+
+
+def test_streams_statistically_distinct():
+    # Crude independence check: correlation between two long streams
+    # should be near zero.
+    streams = RandomStreams(1234)
+    a = streams["one"].standard_normal(20_000)
+    b = streams["two"].standard_normal(20_000)
+    assert abs(np.corrcoef(a, b)[0, 1]) < 0.05

@@ -1,0 +1,118 @@
+"""Tests for the shared testbed scenario builders."""
+
+import numpy as np
+import pytest
+
+# NB: `testbed_config` is aliased because its name starts with "test"
+# and pytest would otherwise collect the import as a test function.
+from repro.experiments.testbed_run import (
+    SineDemandSource,
+    TESTBED_SWITCH,
+    build_workload,
+    mix_for_utilization,
+    run_testbed,
+)
+from repro.experiments.testbed_run import testbed_config as make_testbed_config
+from repro.power import constant_supply
+from repro.power.server import TESTBED_SERVER
+from repro.topology import build_testbed
+from repro.workload.vm import VM
+from repro.workload.applications import TESTBED_APPS
+
+
+class TestMixForUtilization:
+    @pytest.mark.parametrize("target", [0.1, 0.2, 0.4, 0.6, 0.8, 0.9])
+    def test_mix_lands_close_to_target(self, target):
+        mix = mix_for_utilization(target)
+        total = sum(app.mean_power for app in mix)
+        budget = target * TESTBED_SERVER.slope
+        # Closest achievable sum with 8/10/15 W parts: within 4 W.
+        assert abs(total - budget) <= 4.0
+
+    def test_zero_target_empty_mix(self):
+        assert mix_for_utilization(0.0) == []
+
+    def test_only_catalog_apps_used(self):
+        names = {a.name for a in TESTBED_APPS}
+        for app in mix_for_utilization(0.7):
+            assert app.name in names
+
+    def test_target_validated(self):
+        with pytest.raises(ValueError):
+            mix_for_utilization(1.5)
+
+
+class TestBuildWorkload:
+    def test_placement_matches_utilizations(self):
+        tree = build_testbed()
+        placement, trace = build_workload(tree, (0.8, 0.4, 0.2))
+        hosts = placement.by_host()
+        servers = tree.servers()
+        for server, target in zip(servers, (0.8, 0.4, 0.2)):
+            demand = sum(vm.app.mean_power for vm in hosts[server.node_id])
+            assert abs(demand - target * TESTBED_SERVER.slope) <= 4.0
+        assert trace.n_vms == len(placement.vms)
+
+    def test_wrong_utilization_count_rejected(self):
+        tree = build_testbed()
+        with pytest.raises(ValueError):
+            build_workload(tree, (0.5, 0.5))
+
+
+class TestSineDemandSource:
+    def _vms(self, n=3):
+        return [
+            VM(vm_id=i, app=TESTBED_APPS[0], host_id=1) for i in range(n)
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SineDemandSource(self._vms(), amplitude=1.0)
+        with pytest.raises(ValueError):
+            SineDemandSource(self._vms(), period=0.0)
+
+    def test_mean_preserved_over_full_period(self):
+        source = SineDemandSource(self._vms(), amplitude=0.3, period=20.0)
+        totals = []
+        for _ in range(200):  # 10 periods
+            totals.append(sum(source.sample_tick().values()))
+        rated = 3 * TESTBED_APPS[0].mean_power
+        assert np.mean(totals) == pytest.approx(rated, rel=0.02)
+
+    def test_amplitude_bounds_hold(self):
+        source = SineDemandSource(self._vms(1), amplitude=0.25, period=16.0)
+        for _ in range(32):
+            demand = sum(source.sample_tick().values())
+            rated = TESTBED_APPS[0].mean_power
+            assert 0.74 * rated <= demand <= 1.26 * rated
+
+    def test_host_phases_shift_peaks(self):
+        vms_a = self._vms(1)
+        vms_b = self._vms(1)
+        source_a = SineDemandSource(vms_a, amplitude=0.5, period=8.0,
+                                    host_phases={1: 0.0})
+        source_b = SineDemandSource(vms_b, amplitude=0.5, period=8.0,
+                                    host_phases={1: 0.5})
+        series_a = [sum(source_a.sample_tick().values()) for _ in range(8)]
+        series_b = [sum(source_b.sample_tick().values()) for _ in range(8)]
+        assert int(np.argmax(series_a)) != int(np.argmax(series_b))
+
+
+class TestRunTestbed:
+    def test_deterministic_trace_run(self):
+        config = make_testbed_config(consolidation_enabled=False)
+        supply = constant_supply(800.0)
+        _c1, m1 = run_testbed(supply, (0.8, 0.4, 0.2), n_ticks=20, config=config)
+        _c2, m2 = run_testbed(supply, (0.8, 0.4, 0.2), n_ticks=20, config=config)
+        assert m1.total_energy() == m2.total_energy()
+        assert m1.migration_count() == m2.migration_count()
+
+    def test_switch_model_scaled_for_testbed(self):
+        assert TESTBED_SWITCH.capacity < 300.0
+        assert TESTBED_SWITCH.static_power <= 5.0
+
+    def test_config_overrides_apply(self):
+        config = make_testbed_config(p_min=9.0, eta1=2, eta2=3)
+        assert config.p_min == 9.0
+        assert config.delta_s == 2.0
+        assert config.server_model is TESTBED_SERVER

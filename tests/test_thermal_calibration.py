@@ -1,0 +1,97 @@
+"""Tests for thermal-constant calibration (Figs. 4 and 14 workflows)."""
+
+import numpy as np
+import pytest
+
+from repro.thermal import (
+    ThermalParams,
+    fit_constants,
+    generate_heating_trace,
+    power_cap_curve,
+)
+
+TESTBED = ThermalParams(c1=0.2, c2=0.008, t_ambient=25.0, t_limit=70.0)
+
+
+class TestGenerateHeatingTrace:
+    def test_lengths(self):
+        powers, temps = generate_heating_trace(TESTBED, [100.0] * 10, 0.5)
+        assert len(powers) == 10
+        assert len(temps) == 11
+
+    def test_starts_at_ambient(self):
+        _, temps = generate_heating_trace(TESTBED, [50.0] * 3, 1.0)
+        assert temps[0] == 25.0
+
+    def test_custom_start(self):
+        _, temps = generate_heating_trace(TESTBED, [50.0] * 3, 1.0, t0=40.0)
+        assert temps[0] == 40.0
+
+    def test_heating_monotone_under_constant_power(self):
+        _, temps = generate_heating_trace(TESTBED, [200.0] * 20, 1.0)
+        assert np.all(np.diff(temps) > 0)
+
+    def test_noise_reproducible_with_rng(self):
+        rng1 = np.random.default_rng(5)
+        rng2 = np.random.default_rng(5)
+        _, a = generate_heating_trace(TESTBED, [100.0] * 5, 1.0, noise_std=0.1, rng=rng1)
+        _, b = generate_heating_trace(TESTBED, [100.0] * 5, 1.0, noise_std=0.1, rng=rng2)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("bad", [[], [-5.0]])
+    def test_invalid_powers_rejected(self, bad):
+        with pytest.raises(ValueError):
+            generate_heating_trace(TESTBED, bad, 1.0)
+
+    def test_invalid_dt_rejected(self):
+        with pytest.raises(ValueError):
+            generate_heating_trace(TESTBED, [1.0], 0.0)
+
+
+class TestFitConstants:
+    def test_exact_recovery_without_noise(self):
+        rng = np.random.default_rng(0)
+        powers = rng.uniform(50.0, 232.0, size=200)
+        powers, temps = generate_heating_trace(TESTBED, powers, 0.5)
+        fit = fit_constants(powers, temps, 0.5, t_ambient=25.0)
+        assert fit.c1 == pytest.approx(TESTBED.c1, rel=1e-2)
+        assert fit.c2 == pytest.approx(TESTBED.c2, rel=5e-2)
+
+    def test_recovery_under_measurement_noise(self):
+        rng = np.random.default_rng(3)
+        powers = rng.uniform(50.0, 232.0, size=2000)
+        powers, temps = generate_heating_trace(
+            TESTBED, powers, 0.5, noise_std=0.05, rng=rng
+        )
+        fit = fit_constants(powers, temps, 0.5, t_ambient=25.0)
+        assert fit.c1 == pytest.approx(TESTBED.c1, rel=0.1)
+        assert fit.c2 == pytest.approx(TESTBED.c2, rel=0.5)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            fit_constants([1.0, 2.0], [25.0, 26.0], 1.0, 25.0)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            fit_constants([1.0], [25.0, 26.0], 1.0, 25.0)
+
+    def test_as_params(self):
+        powers, temps = generate_heating_trace(TESTBED, [100.0, 150.0, 200.0], 1.0)
+        fit = fit_constants(powers, temps, 1.0, 25.0)
+        params = fit.as_params(t_ambient=25.0, t_limit=70.0)
+        assert isinstance(params, ThermalParams)
+        assert params.c1 == fit.c1
+
+
+class TestPowerCapCurve:
+    def test_curve_decreasing_in_temperature(self):
+        temps = np.arange(25.0, 71.0, 5.0)
+        curve = power_cap_curve(TESTBED, temps, delta_s=1.0)
+        assert np.all(np.diff(curve) < 0)
+
+    def test_curve_linear_in_temperature(self):
+        # Eq. 3 is affine in T0; second differences vanish.
+        temps = np.arange(25.0, 71.0, 5.0)
+        curve = power_cap_curve(TESTBED, temps, delta_s=1.0)
+        second = np.diff(curve, n=2)
+        assert np.allclose(second, 0.0, atol=1e-9)

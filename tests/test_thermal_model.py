@@ -1,0 +1,174 @@
+"""Tests for the RC thermal model (paper Eqs. 1-3)."""
+
+import numpy as np
+import pytest
+
+from repro.thermal import (
+    TemperatureIntegrator,
+    ThermalParams,
+    power_cap,
+    steady_state_temperature,
+    temperature_after,
+    window_for_power_cap,
+)
+
+PAPER = ThermalParams()  # c1=0.08, c2=0.05, Ta=25, Tl=70
+
+
+class TestThermalParams:
+    def test_paper_defaults(self):
+        assert PAPER.c1 == 0.08
+        assert PAPER.c2 == 0.05
+        assert PAPER.t_ambient == 25.0
+        assert PAPER.t_limit == 70.0
+        assert PAPER.headroom == 45.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(c1=0.0),
+            dict(c1=-1.0),
+            dict(c2=0.0),
+            dict(c2=-0.1),
+            dict(t_limit=20.0),  # below ambient
+        ],
+    )
+    def test_invalid_params_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ThermalParams(**kwargs)
+
+    def test_with_ambient(self):
+        hot = PAPER.with_ambient(40.0)
+        assert hot.t_ambient == 40.0
+        assert hot.c1 == PAPER.c1
+        assert hot.headroom == 30.0
+
+
+class TestTemperatureAfter:
+    def test_zero_power_decays_to_ambient(self):
+        temp = temperature_after(PAPER, 70.0, 0.0, 1000.0)
+        assert temp == pytest.approx(25.0, abs=1e-6)
+
+    def test_zero_time_is_identity(self):
+        assert temperature_after(PAPER, 50.0, 300.0, 0.0) == pytest.approx(50.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            temperature_after(PAPER, 25.0, 100.0, -1.0)
+
+    def test_matches_numerical_integration(self):
+        # Euler-integrate dT/dt = c1 P - c2 (T - Ta) and compare.
+        power, t0, horizon = 200.0, 30.0, 5.0
+        steps = 200_000
+        dt = horizon / steps
+        temp = t0
+        for _ in range(steps):
+            temp += (PAPER.c1 * power - PAPER.c2 * (temp - PAPER.t_ambient)) * dt
+        closed_form = temperature_after(PAPER, t0, power, horizon)
+        assert closed_form == pytest.approx(temp, abs=1e-3)
+
+    def test_monotone_in_power(self):
+        low = temperature_after(PAPER, 25.0, 100.0, 2.0)
+        high = temperature_after(PAPER, 25.0, 400.0, 2.0)
+        assert high > low
+
+    def test_broadcasts_over_arrays(self):
+        temps = temperature_after(PAPER, 25.0, np.array([0.0, 100.0, 200.0]), 1.0)
+        assert temps.shape == (3,)
+        assert np.all(np.diff(temps) > 0)
+
+    def test_converges_to_steady_state(self):
+        power = 30.0
+        limit = steady_state_temperature(PAPER, power)
+        far = temperature_after(PAPER, 25.0, power, 1e6)
+        assert far == pytest.approx(limit, abs=1e-6)
+
+
+class TestPowerCap:
+    def test_cap_inverts_temperature_prediction(self):
+        # Running exactly at the cap reaches exactly T_limit at window end.
+        window = 1.5
+        for t0 in (25.0, 40.0, 60.0):
+            cap = power_cap(PAPER, t0, window)
+            reached = temperature_after(PAPER, t0, cap, window)
+            assert reached == pytest.approx(PAPER.t_limit, abs=1e-9)
+
+    def test_cap_decreasing_in_temperature(self):
+        window = 1.5
+        caps = power_cap(PAPER, np.array([25.0, 40.0, 55.0, 70.0]), window)
+        assert np.all(np.diff(caps) < 0)
+
+    def test_cap_zero_beyond_limit(self):
+        assert power_cap(PAPER, 90.0, 1.5) == 0.0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            power_cap(PAPER, 25.0, 0.0)
+
+    def test_paper_checkpoint_cool_idle_450(self):
+        window = window_for_power_cap(PAPER, 450.0)
+        assert power_cap(PAPER, 25.0, window) == pytest.approx(450.0)
+
+    def test_paper_checkpoint_hot_node_near_zero(self):
+        window = window_for_power_cap(PAPER, 450.0)
+        hot = PAPER.with_ambient(45.0)
+        cap = power_cap(hot, 70.0, window)
+        assert 0.0 <= cap < 0.05 * 450.0  # "almost zero"
+
+    def test_hot_zone_cap_is_300w(self):
+        # 40C ambient zone cap with the calibrated window: 450 * 30/45.
+        window = window_for_power_cap(PAPER, 450.0)
+        hot = PAPER.with_ambient(40.0)
+        assert power_cap(hot, 40.0, window) == pytest.approx(300.0)
+
+
+class TestWindowForPowerCap:
+    def test_round_trips_with_power_cap(self):
+        window = window_for_power_cap(PAPER, 450.0)
+        assert power_cap(PAPER, PAPER.t_ambient, window) == pytest.approx(450.0)
+
+    def test_unreachable_cap_rejected(self):
+        # Sustainable power is c2*headroom/c1 = 28.125 W; anything below
+        # is reachable with an infinite window only.
+        with pytest.raises(ValueError):
+            window_for_power_cap(PAPER, 20.0)
+
+    def test_nonpositive_power_rejected(self):
+        with pytest.raises(ValueError):
+            window_for_power_cap(PAPER, 0.0)
+
+
+class TestTemperatureIntegrator:
+    def test_starts_at_ambient_by_default(self):
+        integ = TemperatureIntegrator(PAPER)
+        assert integ.temperature == 25.0
+
+    def test_steps_accumulate(self):
+        integ = TemperatureIntegrator(PAPER)
+        one_shot = temperature_after(PAPER, 25.0, 100.0, 4.0)
+        for _ in range(4):
+            integ.step(100.0, 1.0)
+        assert integ.temperature == pytest.approx(one_shot, abs=1e-9)
+
+    def test_peak_and_violations_tracked(self):
+        integ = TemperatureIntegrator(PAPER, t0=69.0)
+        integ.step(400.0, 5.0)  # drives over the limit
+        assert integ.peak > 70.0
+        assert integ.violations == 1
+
+    def test_negative_power_rejected(self):
+        integ = TemperatureIntegrator(PAPER)
+        with pytest.raises(ValueError):
+            integ.step(-1.0, 1.0)
+
+    def test_reset(self):
+        integ = TemperatureIntegrator(PAPER)
+        integ.step(450.0, 10.0)
+        integ.reset()
+        assert integ.temperature == 25.0
+        assert integ.violations == 0
+        assert integ.peak == 25.0
+
+    def test_power_cap_shortcut_matches_function(self):
+        integ = TemperatureIntegrator(PAPER, t0=50.0)
+        assert integ.power_cap(2.0) == pytest.approx(power_cap(PAPER, 50.0, 2.0))

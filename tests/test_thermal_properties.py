@@ -1,0 +1,97 @@
+"""Property-based tests for the thermal model (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.thermal import (
+    ThermalParams,
+    fit_constants,
+    generate_heating_trace,
+    power_cap,
+    steady_state_temperature,
+    temperature_after,
+)
+
+params_strategy = st.builds(
+    ThermalParams,
+    c1=st.floats(0.01, 1.0),
+    c2=st.floats(0.001, 0.5),
+    t_ambient=st.floats(0.0, 45.0),
+    t_limit=st.floats(50.0, 120.0),
+)
+
+
+@given(
+    params=params_strategy,
+    t0=st.floats(0.0, 120.0),
+    power=st.floats(0.0, 1000.0),
+    dt=st.floats(0.0, 100.0),
+)
+def test_temperature_bounded_by_extremes(params, t0, power, dt):
+    """T(t) always lies between min/max of {T0, steady-state temp}."""
+    temp = temperature_after(params, t0, power, dt)
+    steady = steady_state_temperature(params, power)
+    low, high = min(t0, steady), max(t0, steady)
+    assert low - 1e-6 <= temp <= high + 1e-6
+
+
+@given(
+    params=params_strategy,
+    t0=st.floats(0.0, 120.0),
+    power=st.floats(0.0, 1000.0),
+    dt1=st.floats(0.001, 50.0),
+    dt2=st.floats(0.001, 50.0),
+)
+def test_semigroup_property(params, t0, power, dt1, dt2):
+    """Integrating dt1 then dt2 equals integrating dt1+dt2 at once."""
+    two_step = temperature_after(
+        params, temperature_after(params, t0, power, dt1), power, dt2
+    )
+    one_step = temperature_after(params, t0, power, dt1 + dt2)
+    assert two_step == np.float64(one_step) or abs(two_step - one_step) < 1e-6
+
+
+@given(
+    params=params_strategy,
+    t0=st.floats(0.0, 120.0),
+    window=st.floats(0.01, 50.0),
+)
+def test_power_cap_never_negative_and_safe(params, t0, window):
+    """Running at the cap never exceeds T_limit by the window's end."""
+    cap = power_cap(params, t0, window)
+    assert cap >= 0.0
+    if cap > 0.0:
+        reached = temperature_after(params, t0, cap, window)
+        assert reached <= params.t_limit + 1e-6
+
+
+@given(
+    params=params_strategy,
+    window=st.floats(0.01, 50.0),
+    t_low=st.floats(0.0, 60.0),
+    delta=st.floats(0.1, 60.0),
+)
+def test_power_cap_monotone_decreasing_in_temperature(
+    params, window, t_low, delta
+):
+    cap_low = power_cap(params, t_low, window)
+    cap_high = power_cap(params, t_low + delta, window)
+    assert cap_high <= cap_low + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    c1=st.floats(0.05, 0.5),
+    c2=st.floats(0.005, 0.1),
+    seed=st.integers(0, 10_000),
+)
+def test_fit_recovers_generating_constants(c1, c2, seed):
+    """Least squares on a noiseless trace recovers the true constants."""
+    params = ThermalParams(c1=c1, c2=c2, t_ambient=25.0, t_limit=200.0)
+    rng = np.random.default_rng(seed)
+    powers = rng.uniform(10.0, 300.0, size=100)
+    powers, temps = generate_heating_trace(params, powers, 0.25)
+    fit = fit_constants(powers, temps, 0.25, t_ambient=25.0)
+    assert abs(fit.c1 - c1) / c1 < 0.05
+    assert abs(fit.c2 - c2) / c2 < 0.25  # c2 observability is weaker

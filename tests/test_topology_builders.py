@@ -1,0 +1,88 @@
+"""Tests for the canonical paper topologies."""
+
+import pytest
+
+from repro.topology import (
+    NodeKind,
+    build_balanced,
+    build_paper_simulation,
+    build_testbed,
+)
+
+
+class TestPaperSimulation:
+    def test_four_levels(self):
+        tree = build_paper_simulation()
+        assert tree.height == 4
+
+    def test_eighteen_servers(self):
+        tree = build_paper_simulation()
+        assert len(tree.servers()) == 18
+
+    def test_server_names_one_based(self):
+        tree = build_paper_simulation()
+        names = [s.name for s in tree.servers()]
+        assert names == [f"server-{i}" for i in range(1, 19)]
+
+    def test_structure_2_racks_3_enclosures_3_servers(self):
+        tree = build_paper_simulation()
+        racks = tree.nodes_at_level(2)
+        assert len(racks) == 2
+        for rack in racks:
+            assert rack.kind is NodeKind.RACK
+            assert len(rack.children) == 3
+            for enclosure in rack.children:
+                assert enclosure.kind is NodeKind.ENCLOSURE
+                assert len(enclosure.children) == 3
+
+    def test_validates(self):
+        build_paper_simulation().validate()
+
+
+class TestTestbed:
+    def test_three_servers_named_a_b_c(self):
+        tree = build_testbed()
+        assert [s.name for s in tree.servers()] == [
+            "server-A",
+            "server-B",
+            "server-C",
+        ]
+
+    def test_two_level_hierarchy(self):
+        tree = build_testbed()
+        assert tree.height == 3
+        assert len(tree.nodes_at_level(1)) == 2
+
+    def test_ab_share_group_c_alone(self):
+        tree = build_testbed()
+        a = tree.by_name("server-A")
+        b = tree.by_name("server-B")
+        c = tree.by_name("server-C")
+        assert a.parent is b.parent
+        assert c.parent is not a.parent
+
+
+class TestBalanced:
+    @pytest.mark.parametrize(
+        "branching,expected",
+        [([2], 2), ([2, 3], 6), ([2, 3, 3], 18), ([4, 4, 4], 64)],
+    )
+    def test_server_count_is_product(self, branching, expected):
+        assert len(build_balanced(branching).servers()) == expected
+
+    def test_height_matches_depth(self):
+        assert build_balanced([2, 2, 2, 2]).height == 5
+
+    def test_leaves_are_servers(self):
+        tree = build_balanced([3, 2])
+        for server in tree.servers():
+            assert server.kind is NodeKind.SERVER
+            assert server.level == 0
+
+    def test_empty_branching_rejected(self):
+        with pytest.raises(ValueError):
+            build_balanced([])
+
+    def test_zero_fanout_rejected(self):
+        with pytest.raises(ValueError):
+            build_balanced([2, 0])

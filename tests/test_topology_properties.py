@@ -1,0 +1,83 @@
+"""Property-based tests for trees and switch fabrics (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import SwitchFabric, build_balanced
+
+branchings = st.lists(st.integers(1, 4), min_size=1, max_size=4)
+
+
+@given(branching=branchings)
+def test_balanced_tree_structure(branching):
+    tree = build_balanced(branching)
+    tree.validate()
+    # Server count is the product of the branching factors.
+    expected = 1
+    for b in branching:
+        expected *= b
+    assert len(tree.servers()) == expected
+    # Height equals depth + 1 (leaves are level 0).
+    assert tree.height == len(branching) + 1
+    # Every leaf's path to the root has height many nodes.
+    for server in tree.servers():
+        assert len(server.path_to_root()) == tree.height
+
+
+@given(branching=branchings)
+def test_lca_properties(branching):
+    tree = build_balanced(branching)
+    servers = tree.servers()
+    a, b = servers[0], servers[-1]
+    lca = tree.lca(a, b)
+    # Symmetric.
+    assert tree.lca(b, a) is lca
+    # Idempotent.
+    assert tree.lca(a, a) is a
+    # The LCA is an ancestor of both (or the node itself).
+    assert lca in a.path_to_root()
+    assert lca in b.path_to_root()
+
+
+@given(branching=branchings, redundancy=st.integers(1, 3))
+@settings(max_examples=40)
+def test_fabric_path_invariants(branching, redundancy):
+    tree = build_balanced(branching)
+    fabric = SwitchFabric(tree, redundancy=redundancy)
+    servers = tree.servers()
+    src, dst = servers[0], servers[-1]
+
+    path = fabric.path(src, dst)
+    if src is dst:
+        assert path == []
+        return
+
+    # Per-site shares sum to exactly 1.
+    per_site = {}
+    for switch, share in path:
+        per_site.setdefault(switch.site.node_id, 0.0)
+        per_site[switch.site.node_id] += share
+    assert all(abs(total - 1.0) < 1e-9 for total in per_site.values())
+
+    # The path's sites climb to the LCA and descend: site count is
+    # (levels up) + (levels down) - 1 = 2*lca.level - 1 for leaf pairs.
+    lca = tree.lca(src, dst)
+    assert fabric.hop_count(src, dst) == 2 * lca.level - 1
+
+    # Direction symmetry on sites.
+    forward = {sw.site.node_id for sw, _ in fabric.path(src, dst)}
+    backward = {sw.site.node_id for sw, _ in fabric.path(dst, src)}
+    assert forward == backward
+
+    # Redundancy multiplies switch count, not site count.
+    assert len(path) == fabric.hop_count(src, dst) * redundancy
+
+
+@given(branching=branchings)
+def test_every_server_has_a_serving_switch(branching):
+    tree = build_balanced(branching)
+    fabric = SwitchFabric(tree)
+    for server in tree.servers():
+        group = fabric.serving(server)
+        assert len(group) == 1
+        assert group[0].site is server.parent

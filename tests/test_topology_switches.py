@@ -1,0 +1,111 @@
+"""Tests for the switch fabric (paper Fig. 8)."""
+
+import pytest
+
+from repro.topology import SwitchFabric, build_paper_simulation, build_testbed
+
+
+@pytest.fixture
+def paper():
+    tree = build_paper_simulation()
+    return tree, SwitchFabric(tree)
+
+
+def test_one_switch_per_internal_node(paper):
+    tree, fabric = paper
+    internal = [n for n in tree if not n.is_leaf]
+    assert len(fabric.switches) == len(internal)
+
+
+def test_switch_levels_mirror_hierarchy(paper):
+    tree, fabric = paper
+    assert len(fabric.at_level(1)) == 6  # enclosures
+    assert len(fabric.at_level(2)) == 2  # racks
+    assert len(fabric.at_level(3)) == 1  # root
+
+
+def test_serving_switch_is_parents(paper):
+    tree, fabric = paper
+    server = tree.servers()[0]
+    (switch,) = fabric.serving(server)
+    assert switch.site is server.parent
+
+
+def test_local_path_single_site(paper):
+    tree, fabric = paper
+    s = tree.servers()
+    path = fabric.path(s[0], s[1])  # same enclosure
+    assert len(path) == 1
+    assert path[0][0].site is s[0].parent
+    assert path[0][1] == 1.0
+
+
+def test_cross_rack_path_traverses_root(paper):
+    tree, fabric = paper
+    s = tree.servers()
+    path = fabric.path(s[0], s[17])  # different racks
+    levels = [switch.level for switch, _share in path]
+    assert levels == [1, 2, 3, 2, 1]
+
+
+def test_same_rack_cross_enclosure_path(paper):
+    tree, fabric = paper
+    s = tree.servers()
+    path = fabric.path(s[0], s[3])  # enclosures 0 and 1 of rack 0
+    levels = [switch.level for switch, _share in path]
+    assert levels == [1, 2, 1]
+
+
+def test_path_to_self_empty(paper):
+    tree, fabric = paper
+    server = tree.servers()[0]
+    assert fabric.path(server, server) == []
+
+
+def test_hop_count(paper):
+    tree, fabric = paper
+    s = tree.servers()
+    assert fabric.hop_count(s[0], s[1]) == 1
+    assert fabric.hop_count(s[0], s[3]) == 3
+    assert fabric.hop_count(s[0], s[17]) == 5
+
+
+def test_path_is_direction_symmetric_in_sites(paper):
+    tree, fabric = paper
+    s = tree.servers()
+    forward = {sw.site.node_id for sw, _ in fabric.path(s[0], s[17])}
+    backward = {sw.site.node_id for sw, _ in fabric.path(s[17], s[0])}
+    assert forward == backward
+
+
+def test_redundant_fabric_splits_load():
+    tree = build_testbed()
+    fabric = SwitchFabric(tree, redundancy=2)
+    a = tree.by_name("server-A")
+    c = tree.by_name("server-C")
+    path = fabric.path(a, c)
+    # Every site contributes 2 switches with share 0.5 each.
+    shares = [share for _switch, share in path]
+    assert all(share == 0.5 for share in shares)
+    # Total share per site sums to 1.
+    per_site = {}
+    for switch, share in path:
+        per_site[switch.site.node_id] = per_site.get(switch.site.node_id, 0.0) + share
+    assert all(abs(total - 1.0) < 1e-9 for total in per_site.values())
+
+
+def test_redundancy_validated():
+    with pytest.raises(ValueError):
+        SwitchFabric(build_testbed(), redundancy=0)
+
+
+def test_root_has_no_serving_switch(paper):
+    tree, fabric = paper
+    with pytest.raises(ValueError):
+        fabric.serving(tree.root)
+
+
+def test_switch_names_unique(paper):
+    _tree, fabric = paper
+    names = [s.name for s in fabric.switches]
+    assert len(names) == len(set(names))

@@ -1,0 +1,128 @@
+"""Tests for the hierarchy tree."""
+
+import pytest
+
+from repro.topology import Node, NodeKind, Tree
+
+
+@pytest.fixture
+def small_tree():
+    tree = Tree(root_name="dc", root_level=2)
+    rack0 = tree.add_child(tree.root, "rack-0", NodeKind.RACK)
+    rack1 = tree.add_child(tree.root, "rack-1", NodeKind.RACK)
+    tree.add_child(rack0, "s0", NodeKind.SERVER)
+    tree.add_child(rack0, "s1", NodeKind.SERVER)
+    tree.add_child(rack1, "s2", NodeKind.SERVER)
+    return tree
+
+
+def test_root_properties(small_tree):
+    assert small_tree.root.is_root
+    assert not small_tree.root.is_leaf
+    assert small_tree.root.level == 2
+    assert small_tree.height == 3
+
+
+def test_levels(small_tree):
+    assert len(small_tree.nodes_at_level(2)) == 1
+    assert len(small_tree.nodes_at_level(1)) == 2
+    assert len(small_tree.nodes_at_level(0)) == 3
+
+
+def test_servers_listed_in_creation_order(small_tree):
+    assert [s.name for s in small_tree.servers()] == ["s0", "s1", "s2"]
+
+
+def test_lookup_by_name_and_id(small_tree):
+    node = small_tree.by_name("s1")
+    assert small_tree.node(node.node_id) is node
+
+
+def test_duplicate_name_rejected(small_tree):
+    with pytest.raises(ValueError):
+        small_tree.add_child(small_tree.root, "rack-0", NodeKind.RACK)
+
+
+def test_child_below_leaf_level_rejected(small_tree):
+    leaf = small_tree.by_name("s0")
+    with pytest.raises(ValueError):
+        small_tree.add_child(leaf, "too-deep", NodeKind.SERVER)
+
+
+def test_foreign_parent_rejected(small_tree):
+    other = Tree(root_name="other", root_level=1)
+    with pytest.raises(ValueError):
+        small_tree.add_child(other.root, "x", NodeKind.SERVER)
+
+
+def test_siblings(small_tree):
+    s0 = small_tree.by_name("s0")
+    assert [n.name for n in s0.siblings()] == ["s1"]
+    assert small_tree.root.siblings() == []
+
+
+def test_ancestors_and_path_to_root(small_tree):
+    s2 = small_tree.by_name("s2")
+    assert [n.name for n in s2.ancestors()] == ["rack-1", "dc"]
+    assert [n.name for n in s2.path_to_root()] == ["s2", "rack-1", "dc"]
+
+
+def test_descendants_and_leaves(small_tree):
+    names = {n.name for n in small_tree.root.descendants()}
+    assert names == {"rack-0", "rack-1", "s0", "s1", "s2"}
+    assert [n.name for n in small_tree.by_name("rack-0").leaves()] == ["s0", "s1"]
+    leaf = small_tree.by_name("s2")
+    assert leaf.leaves() == [leaf]
+
+
+def test_lca(small_tree):
+    s0 = small_tree.by_name("s0")
+    s1 = small_tree.by_name("s1")
+    s2 = small_tree.by_name("s2")
+    assert small_tree.lca(s0, s1).name == "rack-0"
+    assert small_tree.lca(s0, s2).name == "dc"
+    assert small_tree.lca(s0, s0) is s0
+
+
+def test_len_counts_all_nodes(small_tree):
+    assert len(small_tree) == 6
+
+
+def test_iteration_yields_every_node(small_tree):
+    assert {n.name for n in small_tree} == {
+        "dc",
+        "rack-0",
+        "rack-1",
+        "s0",
+        "s1",
+        "s2",
+    }
+
+
+def test_validate_passes_on_wellformed(small_tree):
+    small_tree.validate()
+
+
+def test_validate_detects_level_corruption(small_tree):
+    small_tree.by_name("s0").level = 5
+    with pytest.raises(ValueError):
+        small_tree.validate()
+
+
+def test_walk_preorder(small_tree):
+    visited = []
+    small_tree.walk(lambda n: visited.append(n.name))
+    assert visited[0] == "dc"
+    assert visited.index("rack-0") < visited.index("s0")
+    assert set(visited) == {n.name for n in small_tree}
+
+
+def test_root_level_must_be_positive():
+    with pytest.raises(ValueError):
+        Tree(root_level=0)
+
+
+def test_node_repr_mentions_name():
+    tree = Tree(root_name="dc", root_level=1)
+    assert "dc" in repr(tree.root)
+    assert isinstance(tree.root, Node)

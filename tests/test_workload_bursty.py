@@ -1,0 +1,139 @@
+"""Tests for the bursty (Markov-modulated) demand generator."""
+
+import numpy as np
+import pytest
+
+from repro.core import WillowConfig, WillowController
+from repro.power import constant_supply
+from repro.sim import RandomStreams
+from repro.topology import build_paper_simulation
+from repro.workload import (
+    BurstyDemandGenerator,
+    DemandGenerator,
+    SIMULATION_APPS,
+    random_placement,
+    scale_for_target_utilization,
+)
+
+
+def make_plan(seed=0, n_servers=6):
+    streams = RandomStreams(seed)
+    plan = random_placement(
+        list(range(1, n_servers + 1)), SIMULATION_APPS, streams["placement"]
+    )
+    plan.scale = 10.0
+    return plan, streams
+
+
+class TestBurstyGenerator:
+    def test_validation(self):
+        plan, streams = make_plan()
+        with pytest.raises(ValueError):
+            BurstyDemandGenerator(plan, streams, calm_level=0.0)
+        with pytest.raises(ValueError):
+            BurstyDemandGenerator(plan, streams, calm_level=2.0, burst_level=1.0)
+        with pytest.raises(ValueError):
+            BurstyDemandGenerator(plan, streams, p_enter_burst=0.0)
+
+    def test_long_run_mean_matches_rated_demand(self):
+        plan, streams = make_plan(seed=3)
+        generator = BurstyDemandGenerator(plan, streams)
+        totals = [sum(generator.sample_tick().values()) for _ in range(4000)]
+        expected = sum(vm.app.mean_power for vm in plan.vms) * plan.scale
+        assert np.mean(totals) == pytest.approx(expected, rel=0.05)
+
+    def test_burstier_than_plain_poisson(self):
+        plan_a, streams_a = make_plan(seed=4)
+        plan_b, streams_b = make_plan(seed=4)
+        bursty = BurstyDemandGenerator(plan_a, streams_a)
+        plain = DemandGenerator(plan_b, streams_b)
+        bursty_totals = [
+            sum(bursty.sample_tick().values()) for _ in range(2000)
+        ]
+        plain_totals = [sum(plain.sample_tick().values()) for _ in range(2000)]
+        assert np.std(bursty_totals) > 1.5 * np.std(plain_totals)
+
+    def test_regimes_actually_flip(self):
+        plan, streams = make_plan(seed=5)
+        generator = BurstyDemandGenerator(plan, streams)
+        fractions = []
+        for _ in range(500):
+            generator.sample_tick()
+            fractions.append(generator.burst_fraction())
+        assert max(fractions) > 0.0
+        assert min(fractions) < max(fractions)
+        # Stationary burst probability ~ p_enter/(p_enter+p_exit) = 1/6.
+        assert np.mean(fractions) == pytest.approx(1.0 / 6.0, abs=0.08)
+
+    def test_deterministic_under_seed(self):
+        plan_a, streams_a = make_plan(seed=6)
+        plan_b, streams_b = make_plan(seed=6)
+        g1 = BurstyDemandGenerator(plan_a, streams_a)
+        g2 = BurstyDemandGenerator(plan_b, streams_b)
+        for _ in range(20):
+            assert g1.sample_tick() == g2.sample_tick()
+
+
+class TestControllerWithBurstyDemand:
+    def test_invariants_survive_bursts(self):
+        tree = build_paper_simulation()
+        config = WillowConfig()
+        streams = RandomStreams(9)
+        placement = random_placement(
+            [s.node_id for s in tree.servers()],
+            SIMULATION_APPS,
+            streams["placement"],
+        )
+        scale_for_target_utilization(placement, config.server_model.slope, 0.5)
+        generator = BurstyDemandGenerator(placement, streams)
+        controller = WillowController(
+            tree,
+            config,
+            constant_supply(18 * 450.0),
+            placement,
+            demand_source=generator,
+            seed=9,
+        )
+        collector = controller.run(40)
+        assert (
+            sum(s.thermal.violations for s in controller.servers.values()) == 0
+        )
+        hosted = sorted(
+            vm.vm_id for s in controller.servers.values() for vm in s.vms.values()
+        )
+        assert hosted == sorted(vm.vm_id for vm in controller.vms)
+
+    def test_bursty_demand_causes_more_migrations_than_steady(self):
+        def run(bursty: bool, seed=9):
+            tree = build_paper_simulation()
+            config = WillowConfig()
+            streams = RandomStreams(seed)
+            placement = random_placement(
+                [s.node_id for s in tree.servers()],
+                SIMULATION_APPS,
+                streams["placement"],
+            )
+            scale_for_target_utilization(
+                placement, config.server_model.slope, 0.6
+            )
+            source = (
+                BurstyDemandGenerator(placement, streams)
+                if bursty
+                else DemandGenerator(placement, streams)
+            )
+            controller = WillowController(
+                tree,
+                config,
+                constant_supply(18 * 450.0),
+                placement,
+                demand_source=source,
+                seed=seed,
+            )
+            return controller.run(50)
+
+        bursty_metrics = run(True)
+        steady_metrics = run(False)
+        assert (
+            bursty_metrics.total_dropped_power()
+            > steady_metrics.total_dropped_power()
+        )
