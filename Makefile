@@ -1,0 +1,26 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-smoke bench-guard experiments clean-cache
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+## Full performance run: writes BENCH_tick.json / BENCH_sweep.json.
+bench:
+	$(PYTHON) -m repro.cli bench
+
+## Tier-1 tests + a smoke-sized perf run (same JSON schema) in one go.
+bench-smoke:
+	$(PYTHON) -m pytest tests/ -x -q
+	$(PYTHON) -m repro.cli bench --quick --out .
+
+## Regression guard against the recorded BENCH_tick.json.
+bench-guard:
+	$(PYTHON) -m pytest benchmarks/test_bench_hotpath.py -q
+
+experiments:
+	$(PYTHON) -m repro.experiments.runner all
+
+clean-cache:
+	rm -rf .willow_cache

@@ -25,6 +25,10 @@ def record_result(benchmark):
 
 def clear_sweep_cache():
     """Force sweep-based figures to do real work under the timer."""
+    from repro.experiments import cache
     from repro.experiments.paper_sweep import run_sweep
 
     run_sweep.cache_clear()
+    # The disk layer must not serve a timed run either (it is off by
+    # default, but a developer may have WILLOW_CACHE_DIR exported).
+    cache.set_enabled(False)

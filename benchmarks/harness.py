@@ -1,0 +1,17 @@
+#!/usr/bin/env python
+"""Runnable shim for the benchmark harness.
+
+Equivalent to ``python -m repro.cli bench``; kept next to the pytest
+benchmarks so ``python benchmarks/harness.py [--quick]`` works from a
+checkout without installing the package.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import bench_main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main(sys.argv[1:]))

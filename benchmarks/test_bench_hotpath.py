@@ -1,0 +1,99 @@
+"""Regression guard for the vectorized hot path.
+
+Compares a fresh quick measurement against the recorded baseline in
+``BENCH_tick.json`` at the repo root (written by ``python -m repro.cli
+bench``).  Tolerances are deliberately generous -- CI machines and
+laptops differ by integer factors -- so only a genuine regression
+(vectorized path slower than scalar, or an order-of-magnitude slowdown
+against the recording) fails.  Skips when no baseline has been
+recorded.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_tick.json"
+
+#: A fresh run may be this many times slower than the recorded baseline
+#: before we call it a regression (absorbs machine-to-machine spread).
+_SLOWDOWN_TOLERANCE = 10.0
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    if not _BASELINE.is_file():
+        pytest.skip("no recorded baseline (run: python -m repro.cli bench)")
+    return json.loads(_BASELINE.read_text())
+
+
+@pytest.fixture(scope="module")
+def fresh():
+    from repro.benchmarks.harness import bench_kernels, bench_tick
+
+    return {
+        "end_to_end": bench_tick(sizes=(64,), ticks=100, repeats=2),
+        "kernels": bench_kernels(sizes=(64,), iters=100),
+    }
+
+
+def test_vectorized_tick_still_faster_than_scalar(fresh):
+    for row in fresh["end_to_end"]:
+        assert row["speedup"] > 1.0, (
+            f"vectorized tick no longer beats scalar at "
+            f"n={row['n_servers']}: {row['speedup']:.2f}x"
+        )
+
+
+def test_vectorized_tick_not_regressed_vs_baseline(baseline, fresh):
+    recorded = {
+        row["n_servers"]: row["vectorized_ms_per_tick"]
+        for row in baseline["end_to_end"]
+    }
+    for row in fresh["end_to_end"]:
+        n = row["n_servers"]
+        if n not in recorded:
+            continue
+        assert row["vectorized_ms_per_tick"] <= recorded[n] * _SLOWDOWN_TOLERANCE, (
+            f"vectorized tick at n={n} is "
+            f"{row['vectorized_ms_per_tick']:.3f} ms vs recorded "
+            f"{recorded[n]:.3f} ms (> {_SLOWDOWN_TOLERANCE}x slower)"
+        )
+
+
+def test_kernels_keep_headline_speedup(fresh):
+    # Headline target: >= 5x on the combined per-tick kernel cost at
+    # 64+ servers.  Guard at 3x so machine noise cannot flake the suite
+    # while a real vectorization regression (a kernel falling back to
+    # scalar speed) still fails.
+    combined = [r for r in fresh["kernels"] if r["kernel"] == "combined"]
+    assert combined, "harness stopped emitting the combined kernel row"
+    for row in combined:
+        assert row["speedup"] >= 3.0, (
+            f"combined kernels at n={row['n_servers']} dropped to "
+            f"{row['speedup']:.2f}x"
+        )
+    # The two kernels with order-of-magnitude margins must stay clearly
+    # vectorized; the small ones (smoothing, budget) ride on `combined`.
+    for row in fresh["kernels"]:
+        if row["kernel"] in ("thermal_step", "demand_sampling"):
+            assert row["speedup"] >= 3.0, (
+                f"kernel {row['kernel']} at n={row['n_servers']} dropped "
+                f"to {row['speedup']:.2f}x"
+            )
+
+
+def test_kernel_baseline_not_regressed(baseline, fresh):
+    recorded = {
+        (row["kernel"], row["n_servers"]): row["vectorized_us_per_iter"]
+        for row in baseline.get("kernels", [])
+    }
+    for row in fresh["kernels"]:
+        key = (row["kernel"], row["n_servers"])
+        if key not in recorded:
+            continue
+        assert row["vectorized_us_per_iter"] <= recorded[key] * _SLOWDOWN_TOLERANCE, (
+            f"kernel {key} is {row['vectorized_us_per_iter']:.1f} us vs "
+            f"recorded {recorded[key]:.1f} us"
+        )

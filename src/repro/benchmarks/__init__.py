@@ -1,0 +1,15 @@
+"""Performance benchmark harness (see :mod:`repro.benchmarks.harness`)."""
+
+from repro.benchmarks.harness import (
+    bench_kernels,
+    bench_sweep_scaling,
+    bench_tick,
+    run_benchmarks,
+)
+
+__all__ = [
+    "bench_tick",
+    "bench_kernels",
+    "bench_sweep_scaling",
+    "run_benchmarks",
+]

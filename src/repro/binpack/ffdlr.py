@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+import numpy as np
+
 from repro.binpack.items import Bin, Item, PackResult
 
 __all__ = ["ffdlr_pack", "ffd_bin_count"]
@@ -104,32 +106,42 @@ def ffdlr_pack(items: Sequence[Item], bins: Sequence[Bin]) -> PackResult:
     groups = _ffd_groups(packable, largest)
 
     # Phase 2 (the "LR" repack): match each group, heaviest first, to
-    # the smallest unused real bin that holds it.
-    unused = sorted(bins, key=lambda b: b.capacity)
+    # the smallest unused real bin that holds it.  The scans run over
+    # flat capacity/load arrays; the fit tests reuse the exact scalar
+    # expressions (``total <= cap + _SLACK``, first minimum wins) so
+    # decisions match the original bin-object loops bit for bit.
+    caps = np.array([b.capacity for b in bins], dtype=float)
+    loads = np.array([b.load for b in bins], dtype=float)
+    order = np.argsort(caps, kind="stable")
+    sorted_caps = caps[order]
+    avail = np.ones(len(bins), dtype=bool)
     leftovers: List[Item] = list(oversized)
     for group in sorted(groups, key=lambda g: sum(i.size for i in g), reverse=True):
         total = sum(item.size for item in group)
-        chosen = None
-        for bin_ in unused:
-            if total <= bin_.capacity + _SLACK:
-                chosen = bin_
-                break
-        if chosen is not None:
-            unused.remove(chosen)
+        feasible = avail & (total <= sorted_caps + _SLACK)
+        pos = int(np.argmax(feasible)) if feasible.any() else -1
+        if pos >= 0:
+            avail[pos] = False
+            bin_index = int(order[pos])
+            chosen = bins[bin_index]
             for item in group:
                 chosen.add(item)
                 result.assignment[item.key] = chosen.key
+            loads[bin_index] = chosen.load
         else:
             leftovers.extend(group)
 
     # Split infeasible groups: best-fit each leftover item individually
     # into whatever residual capacity remains (used bins included).
     for item in sorted(leftovers, key=lambda it: it.size, reverse=True):
-        candidates = [b for b in bins if b.fits(item)]
-        if candidates:
-            best = min(candidates, key=lambda b: b.residual)
+        residual = caps - loads
+        feasible = np.flatnonzero(item.size <= residual + _SLACK)
+        if feasible.size:
+            best_index = int(feasible[np.argmin(residual[feasible])])
+            best = bins[best_index]
             best.add(item)
             result.assignment[item.key] = best.key
+            loads[best_index] = best.load
         else:
             result.unpacked.append(item)
 

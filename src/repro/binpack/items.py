@@ -8,7 +8,7 @@ from typing import Any, Dict, List
 __all__ = ["Item", "Bin", "PackResult"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Item:
     """One demand to place.
 
@@ -26,7 +26,7 @@ class Item:
             raise ValueError(f"item size must be >= 0, got {self.size}")
 
 
-@dataclass
+@dataclass(slots=True)
 class Bin:
     """One surplus to fill.
 
@@ -37,15 +37,26 @@ class Bin:
     key: Any
     capacity: float
     contents: List[Item] = field(default_factory=list)
+    _load: float = field(init=False, repr=False, compare=False)
+    _load_len: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.capacity < 0:
             raise ValueError(f"bin capacity must be >= 0, got {self.capacity}")
+        self._load = sum(item.size for item in self.contents)
+        self._load_len = len(self.contents)
 
     @property
     def load(self) -> float:
         """Total size currently packed into this bin."""
-        return sum(item.size for item in self.contents)
+        # Cached incrementally by add(); recomputed only if the caller
+        # mutated ``contents`` directly.  The incremental updates add
+        # sizes in append order, so the cache always equals the plain
+        # left-to-right sum bit for bit.
+        if len(self.contents) != self._load_len:
+            self._load = sum(item.size for item in self.contents)
+            self._load_len = len(self.contents)
+        return self._load
 
     @property
     def residual(self) -> float:
@@ -62,7 +73,10 @@ class Bin:
                 f"item {item.key!r} ({item.size}) does not fit in bin "
                 f"{self.key!r} (residual {self.residual})"
             )
+        load = self.load  # sync the cache before appending
         self.contents.append(item)
+        self._load = load + item.size
+        self._load_len = len(self.contents)
 
 
 @dataclass

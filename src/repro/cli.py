@@ -4,9 +4,15 @@ Usage::
 
     python -m repro.cli --utilization 0.5 --ticks 100 --hot 4 --seed 7
     python -m repro.cli --supply-dip 0.4 --dip-at 40 --export-json run.json
+    python -m repro.cli --vectorized --ticks 500     # array-based tick path
+    python -m repro.cli bench                        # performance benchmarks
+    python -m repro.cli bench --quick --out .        # CI smoke variant
 
 Builds the paper's 18-server data center (or a custom balanced tree),
 runs the controller, and prints a summary; optional CSV/JSON export.
+``bench`` runs the hot-path benchmark harness
+(:mod:`repro.benchmarks.harness`) and writes ``BENCH_tick.json`` and
+``BENCH_sweep.json``.
 """
 
 from __future__ import annotations
@@ -59,6 +65,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable consolidation/sleep",
     )
     parser.add_argument(
+        "--vectorized", action="store_true",
+        help="use the array-based controller (same results, faster)",
+    )
+    parser.add_argument(
         "--p-min", type=float, default=None, help="migration margin (W)"
     )
     parser.add_argument(
@@ -72,7 +82,54 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli bench",
+        description="Run the hot-path benchmark harness.",
+    )
+    parser.add_argument(
+        "--out", type=str, default=".", metavar="DIR",
+        help="directory for BENCH_tick.json / BENCH_sweep.json (default .)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke-sized run (fewer ticks/iterations, same schema)",
+    )
+    parser.add_argument(
+        "--sizes", type=str, default=None, metavar="N,M",
+        help="comma-separated fleet sizes from {18, 64, 256}",
+    )
+    return parser
+
+
+def bench_main(argv: List[str]) -> int:
+    args = build_bench_parser().parse_args(argv)
+    from repro.benchmarks.harness import FLEET_SHAPES, format_report, run_benchmarks
+
+    sizes = None
+    if args.sizes:
+        try:
+            sizes = tuple(int(x) for x in args.sizes.split(","))
+        except ValueError:
+            print("--sizes must be comma-separated ints", file=sys.stderr)
+            return 2
+        unknown = [s for s in sizes if s not in FLEET_SHAPES]
+        if unknown:
+            print(
+                f"--sizes must be from {sorted(FLEET_SHAPES)}, got {unknown}",
+                file=sys.stderr,
+            )
+            return 2
+    paths = run_benchmarks(args.out, quick=args.quick, sizes=sizes)
+    print(format_report(paths))
+    print(f"wrote {paths['tick']} and {paths['sweep']}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "bench":
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     if not 0.0 < args.utilization <= 1.0:
         print("--utilization must be in (0, 1]", file=sys.stderr)
@@ -85,6 +142,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     from repro.core import WillowConfig, WillowController
+    from repro.core.vectorized import VectorizedWillowController
     from repro.metrics import summarize_run
     from repro.power import constant_supply, step_supply
     from repro.sim import RandomStreams
@@ -144,7 +202,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     scale_for_target_utilization(
         placement, config.server_model.slope, args.utilization
     )
-    controller = WillowController(
+    controller_cls = (
+        VectorizedWillowController if args.vectorized else WillowController
+    )
+    controller = controller_cls(
         tree, config, supply, placement,
         ambient_overrides=overrides, seed=args.seed,
     )

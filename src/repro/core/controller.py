@@ -496,6 +496,7 @@ def run_willow(
     apps: tuple = SIMULATION_APPS,
     vms_per_server: int = 4,
     ambient_overrides: Optional[Mapping[str, float]] = None,
+    vectorized: bool = False,
 ) -> tuple:
     """Build and run a complete Willow simulation in one call.
 
@@ -503,6 +504,11 @@ def run_willow(
     topology (4 levels, 18 servers), a supply close to the servers'
     maximum power limit, the 1/2/5/9 application mix, and Poisson
     demand scaled to ``target_utilization``.
+
+    ``vectorized=True`` runs the array-based tick path
+    (:class:`repro.core.vectorized.VectorizedWillowController`), a
+    behavioural twin of the scalar loop that is much faster on large
+    fleets; see docs/performance.md.
 
     Returns ``(controller, collector)``.
     """
@@ -524,7 +530,12 @@ def run_willow(
     scale_for_target_utilization(
         placement, config.server_model.slope, target_utilization
     )
-    controller = WillowController(
+    controller_cls = WillowController
+    if vectorized:
+        from repro.core.vectorized import VectorizedWillowController
+
+        controller_cls = VectorizedWillowController
+    controller = controller_cls(
         tree,
         config,
         supply,

@@ -29,7 +29,7 @@ class MigrationCause(enum.Enum):
         return self.value
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Migration:
     """One executed VM migration."""
 
@@ -50,7 +50,7 @@ class Migration:
             raise ValueError("migrated demand must be non-negative")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Drop:
     """Demand shed because no surplus could absorb it (QoS loss).
 
@@ -68,7 +68,7 @@ class Drop:
             raise ValueError("dropped power must be non-negative")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BudgetChange:
     """A supply-side budget update at one node."""
 
@@ -83,7 +83,7 @@ class BudgetChange:
         return self.new_budget < self.old_budget - 1e-9
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ControlMessage:
     """One message on a tree link (Property 3 counts these).
 

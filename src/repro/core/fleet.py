@@ -1,0 +1,202 @@
+"""Struct-of-arrays view of a server fleet for the vectorized tick path.
+
+:class:`FleetState` mirrors a fixed, ordered list of
+:class:`~repro.core.state.ServerRuntime` objects into flat NumPy arrays:
+immutable per-server parameters (static/standby power, dynamic range,
+thermal constants, precomputed exponential decay factors) are captured
+once at construction, while mutable control state (sleep flags, pending
+migration costs, smoother lanes, budgets, temperatures) is re-gathered
+from the objects at the top of every tick.
+
+The objects stay authoritative between ticks: planners, consolidation
+and user hooks keep mutating ``ServerRuntime`` exactly as in the scalar
+controller, and the arrays are an ephemeral compute workspace.  This
+keeps the vectorized controller a drop-in behavioural twin -- see
+docs/performance.md for the layout and the equivalence contract.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.config import WillowConfig
+from repro.core.state import ServerRuntime, SleepState
+from repro.power.smoothing import VectorSmoother
+from repro.thermal.model import power_cap_arrays
+
+__all__ = ["FleetState", "fold_segment_sums", "build_fold_index"]
+
+
+def build_fold_index(sizes: np.ndarray) -> tuple:
+    """Padded (group, slot) index matrices for :func:`fold_segment_sums`.
+
+    ``sizes`` holds each group's child count over a flat, group-ordered
+    array.  Returns ``(pad_idx, valid)`` where ``pad_idx[g, j]`` is the
+    flat index of group ``g``'s ``j``-th element (0 where absent) and
+    ``valid`` masks real slots.
+    """
+    sizes = np.asarray(sizes, dtype=np.intp)
+    offsets = np.concatenate(([0], np.cumsum(sizes)[:-1])).astype(np.intp)
+    max_size = int(sizes.max()) if len(sizes) else 0
+    slots = np.arange(max_size)
+    valid = slots[None, :] < sizes[:, None]
+    pad_idx = np.where(valid, offsets[:, None] + slots[None, :], 0)
+    return pad_idx, valid
+
+
+def fold_segment_sums(
+    values: np.ndarray, pad_idx: np.ndarray, valid: np.ndarray
+) -> np.ndarray:
+    """Per-group sums as a left-to-right fold across slot columns.
+
+    Matches the accumulation order of Python's ``sum()`` (and NumPy's
+    ``.sum()`` below its pairwise threshold) on each group, so results
+    are bit-identical to the scalar controller's per-node loops --
+    unlike ``np.add.reduceat``, whose SIMD accumulation reorders at the
+    ulp level.
+    """
+    padded = np.where(valid, values[pad_idx], 0.0)
+    if padded.shape[1] == 0:
+        return np.zeros(len(pad_idx))
+    acc = padded[:, 0].copy()
+    for j in range(1, padded.shape[1]):
+        acc += padded[:, j]
+    return acc
+
+
+class FleetState:
+    """Array mirror of an ordered server fleet.
+
+    Parameters
+    ----------
+    servers:
+        Server runtimes in a fixed order (the controller uses
+        ``tree.servers()`` order, which matches its ``servers`` dict's
+        insertion order).
+    config:
+        The run configuration; supplies ``alpha``, tick length and
+        thermal mode.
+    """
+
+    def __init__(self, servers: List[ServerRuntime], config: WillowConfig):
+        self.servers = list(servers)
+        self.config = config
+        n = len(self.servers)
+        self.n = n
+        #: node_id -> row index
+        self.index: Dict[int, int] = {
+            s.node.node_id: i for i, s in enumerate(self.servers)
+        }
+        self.node_ids = np.array(
+            [s.node.node_id for s in self.servers], dtype=np.intp
+        )
+
+        # -- immutable per-server parameters -----------------------------
+        self.static_power = np.array(
+            [s.model.static_power for s in self.servers]
+        )
+        self.standby_power = np.array(
+            [s.model.standby_power for s in self.servers]
+        )
+        self.slope = np.array([s.model.slope for s in self.servers])
+        self.t_ambient = np.array(
+            [s.thermal_params.t_ambient for s in self.servers]
+        )
+        self.t_limit = np.array(
+            [s.thermal_params.t_limit for s in self.servers]
+        )
+        self.c1 = np.array([s.thermal_params.c1 for s in self.servers])
+        self.c2 = np.array([s.thermal_params.c2 for s in self.servers])
+        self.thermal_window = np.array(
+            [s.thermal_window for s in self.servers]
+        )
+        # exp(-c2 * dt) for the tick-length integration step and for the
+        # Eq. 3 adjustment window; both are fixed for the whole run.
+        self.decay_tick = np.exp(-self.c2 * config.delta_d)
+        self.decay_window = np.exp(-self.c2 * self.thermal_window)
+        self.circuit_limit = float(config.circuit_limit)
+        if config.thermal_enabled and config.thermal_mode == "window_reset":
+            # Constant zone caps: Eq. 3 evaluated at each zone's ambient.
+            zone_cap = power_cap_arrays(
+                self.t_ambient,
+                t_ambient=self.t_ambient,
+                t_limit=self.t_limit,
+                c1=self.c1,
+                c2=self.c2,
+                decay=self.decay_window,
+            )
+            self.window_caps = np.minimum(self.circuit_limit, zone_cap)
+        else:
+            self.window_caps = None
+
+        # -- per-tick mutable state (gathered from the objects) -----------
+        self.awake = np.zeros(n, dtype=bool)
+        self.asleep = np.zeros(n, dtype=bool)
+        self.waking = np.zeros(n, dtype=bool)
+        self.mig_cost = np.zeros(n)
+        self.budget = np.zeros(n)
+        self.temperature = np.zeros(n)
+        self.raw = np.zeros(n)
+        self.served = np.zeros(n)
+        self.smoother = VectorSmoother(config.alpha, n)
+
+    # -------------------------------------------------------------- gather
+    def gather(self) -> None:
+        """Refresh every mutable array from the runtime objects."""
+        self.gather_sleep()
+        self.gather_costs()
+        smoother = self.smoother
+        values = smoother.values
+        primed = smoother.primed
+        budget = self.budget
+        temperature = self.temperature
+        for i, s in enumerate(self.servers):
+            # ExponentialSmoother keeps None until primed; mirror that
+            # into the (value, primed) lane pair.
+            v = s.smoother._value
+            if v is None:
+                values[i] = 0.0
+                primed[i] = False
+            else:
+                values[i] = v
+                primed[i] = True
+            budget[i] = s.budget
+            temperature[i] = s.thermal.temperature
+
+    def gather_sleep(self) -> None:
+        """Refresh only the sleep-state masks (cheap mid-tick resync)."""
+        awake = self.awake
+        waking = self.waking
+        for i, s in enumerate(self.servers):
+            state = s.sleep_state
+            awake[i] = state is SleepState.AWAKE
+            waking[i] = state is SleepState.WAKING
+        np.logical_not(awake | waking, out=self.asleep)
+
+    def gather_costs(self) -> None:
+        """Refresh pending migration-cost demand (changes on migrations)."""
+        mig_cost = self.mig_cost
+        for i, s in enumerate(self.servers):
+            mig_cost[i] = (
+                s.migration_cost_demand if s._pending_costs else 0.0
+            )
+
+    # ---------------------------------------------------------------- caps
+    def hard_caps(self) -> np.ndarray:
+        """Per-server ``min(thermal cap, circuit rating)`` like
+        :meth:`ServerRuntime.hard_cap`, over the whole fleet."""
+        if not self.config.thermal_enabled:
+            return np.full(self.n, self.circuit_limit)
+        if self.window_caps is not None:
+            return self.window_caps
+        thermal_cap = power_cap_arrays(
+            self.temperature,
+            t_ambient=self.t_ambient,
+            t_limit=self.t_limit,
+            c1=self.c1,
+            c2=self.c2,
+            decay=self.decay_window,
+        )
+        return np.minimum(self.circuit_limit, thermal_cap)

@@ -79,6 +79,25 @@ class MigrationPlanner:
         self.tree = tree
         self.config = config
         self.ipc_graph = ipc_graph
+        # The topology is immutable for the planner's lifetime, so the
+        # per-group leaf sets and per-leaf ancestor chains consulted on
+        # every planning pass are computed once here.
+        self._group_leaf_ids: Dict[int, frozenset] = {}
+        for level in range(1, tree.root.level + 1):
+            for group in tree.nodes_at_level(level):
+                self._group_leaf_ids[group.node_id] = frozenset(
+                    leaf.node_id for leaf in tree.subtree_leaves(group)
+                )
+        self._ancestor_ids: Dict[int, Tuple[int, ...]] = {
+            leaf.node_id: tuple(a.node_id for a in leaf.ancestors())
+            for leaf in tree.servers()
+        }
+        # Sorted leaf ids per group, so per-group bin construction walks
+        # the subtree instead of filtering the whole fleet.
+        self._group_sorted_leaves: Dict[int, Tuple[int, ...]] = {
+            group_id: tuple(sorted(leaf_ids))
+            for group_id, leaf_ids in self._group_leaf_ids.items()
+        }
 
     # -- eligibility ---------------------------------------------------------
     def _squeezed(
@@ -89,8 +108,12 @@ class MigrationPlanner:
         """Unidirectional-rule check: is this target in a sinking subtree?"""
         if server.budget_reduced and server.smoothed_demand > server.budget + _EPS:
             return True
-        for ancestor in server.node.ancestors():
-            runtime = internals.get(ancestor.node_id)
+        ancestor_ids = self._ancestor_ids.get(
+            server.node.node_id,
+            tuple(a.node_id for a in server.node.ancestors()),
+        )
+        for ancestor_id in ancestor_ids:
+            runtime = internals.get(ancestor_id)
             if runtime is None:
                 continue
             if (
@@ -138,24 +161,13 @@ class MigrationPlanner:
         ``servers`` maps leaf node ids to runtimes; ``internals`` maps
         internal node ids to runtimes (for the unidirectional rule).
         """
-        plan = MigrationPlan()
-
         deficient = [
             s
             for s in servers.values()
             if s.is_awake and s.raw_demand > s.budget + _EPS
         ]
         if not deficient:
-            return plan
-
-        # Pending items grouped by source server id.
-        pending: Dict[int, List[Item]] = {}
-        sources: Dict[int, ServerRuntime] = {}
-        for server in deficient:
-            items = self._shed_items(server)
-            if items:
-                pending[server.node.node_id] = items
-                sources[server.node.node_id] = server
+            return MigrationPlan()
 
         # Residual capacity each eligible target still offers (mutates
         # as matching proceeds so later passes see earlier placements).
@@ -170,6 +182,34 @@ class MigrationPlanner:
             cap = self._target_capacity(server)
             if cap > _EPS:
                 capacity[server.node.node_id] = cap
+        return self.plan_prescreened(servers, deficient, capacity)
+
+    def plan_prescreened(
+        self,
+        servers: Dict[int, ServerRuntime],
+        deficient: List[ServerRuntime],
+        capacity: Dict[int, float],
+    ) -> MigrationPlan:
+        """Matching stage of :meth:`plan`, with the per-server screening
+        already done.
+
+        ``deficient`` must hold the over-budget awake servers in fleet
+        order and ``capacity`` the eligible targets' spare watts (also
+        in fleet order), exactly as :meth:`plan` computes them; the
+        vectorized controller produces both from its arrays.
+        """
+        plan = MigrationPlan()
+        if not deficient:
+            return plan
+
+        # Pending items grouped by source server id.
+        pending: Dict[int, List[Item]] = {}
+        sources: Dict[int, ServerRuntime] = {}
+        for server in deficient:
+            items = self._shed_items(server)
+            if items:
+                pending[server.node.node_id] = items
+                sources[server.node.node_id] = server
 
         # Affinity pre-pass: offer each shed VM to the eligible server
         # hosting its heaviest IPC peer before generic matching.
@@ -222,7 +262,7 @@ class MigrationPlanner:
             if not pending:
                 break
             for group in self.tree.nodes_at_level(level):
-                group_leaf_ids = {leaf.node_id for leaf in group.leaves()}
+                group_leaf_ids = self._group_leaf_ids[group.node_id]
                 group_items: List[Tuple[int, Item]] = [
                     (src_id, item)
                     for src_id, items in pending.items()
@@ -231,10 +271,43 @@ class MigrationPlanner:
                 ]
                 if not group_items:
                     continue
+                if len(group_items) == 1:
+                    # Fast path: FFDLR with one item reduces to "the
+                    # smallest eligible bin that holds it" (phase 2
+                    # scans bins by ascending capacity; the best-fit
+                    # fallback applies the same fit test to the same
+                    # empty bins).  Selecting directly skips building
+                    # a Bin object per eligible target.
+                    src_id, item = group_items[0]
+                    best_id = None
+                    best_cap = 0.0
+                    for node_id in self._group_sorted_leaves[
+                        group.node_id
+                    ]:
+                        cap = capacity.get(node_id)
+                        if cap is None or node_id in pending:
+                            continue
+                        if item.size <= cap + _EPS and (
+                            best_id is None or cap < best_cap
+                        ):
+                            best_id, best_cap = node_id, cap
+                    if best_id is not None:
+                        plan.moves.append(
+                            PlannedMove(
+                                vm=item.payload,
+                                src=servers[src_id].node,
+                                dst=servers[best_id].node,
+                            )
+                        )
+                        capacity[best_id] = max(
+                            capacity[best_id] - item.size, 0.0
+                        )
+                        del pending[src_id]
+                    continue
                 bins = [
                     Bin(key=node_id, capacity=capacity[node_id])
-                    for node_id in sorted(capacity)
-                    if node_id in group_leaf_ids and node_id not in pending
+                    for node_id in self._group_sorted_leaves[group.node_id]
+                    if node_id in capacity and node_id not in pending
                 ]
                 if not bins:
                     continue

@@ -137,6 +137,8 @@ class ServerRuntime:
 
     def expire_costs(self) -> None:
         """Advance migration-cost bookkeeping by one tick."""
+        if not self._pending_costs:
+            return
         self._pending_costs = {
             ticks - 1: watts
             for ticks, watts in self._pending_costs.items()

@@ -1,0 +1,591 @@
+"""Array-based Willow tick path (behavioural twin of the scalar loop).
+
+:class:`VectorizedWillowController` re-implements the per-tick hot path
+of :class:`~repro.core.controller.WillowController` over a
+:class:`~repro.core.fleet.FleetState` struct-of-arrays view: batched
+Poisson demand sampling, fleet-wide Eq. 4 smoothing, grouped Eq. 3
+thermal steps and a level-at-a-time proportional budget waterfill.
+
+Everything stateful stays on the runtime objects -- planners,
+consolidation, migration cost bookkeeping, metric hooks and the
+collector see exactly the scalar controller's interfaces.  Numerical
+results match the scalar path bit-for-bit until the first migration
+re-orders a per-host demand sum, and to ``rtol=1e-12`` after that (see
+docs/performance.md for the precise contract and
+tests/test_vectorized_equivalence.py for the enforcement).
+
+Not supported: ``config.device_classes`` (the per-device thermal state
+is inherently object-shaped; use the scalar controller).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.core.controller import WillowController, _EPS
+from repro.core.deficits import power_imbalance
+from repro.core.events import ControlMessage, Drop, MigrationCause
+from repro.core.fleet import FleetState, build_fold_index, fold_segment_sums
+from repro.core.migration import PlannedMove
+from repro.core.state import SleepState
+from repro.metrics.collector import ServerSample, SwitchSample
+from repro.power.budget import LevelIndex, allocate_level
+from repro.thermal.model import temperature_step_arrays
+from repro.topology.tree import Node
+from repro.workload.generator import DemandGenerator
+
+__all__ = ["VectorizedWillowController"]
+
+#: Margin below which the per-VM scalar serving loop is used instead of
+#: the vectorized fast path, so borderline budget/demand ties resolve
+#: exactly as in the scalar controller.
+_SERVE_MARGIN = 1e-6
+
+
+@dataclass
+class _LevelSpec:
+    """Precomputed structure of one internal tree level."""
+
+    nodes: List[Node]
+    node_ids: np.ndarray
+    runtimes: list  # NodeRuntime per node
+    child_nodes: List[Node]  # flat, (node, child) nesting order
+    child_ids: np.ndarray
+    child_id_list: List[int]  # child_ids as plain ints, for messages
+    child_runtimes: list  # ServerRuntime | NodeRuntime, flat
+    offsets: np.ndarray
+    pad_idx: np.ndarray
+    valid: np.ndarray
+    alloc_index: LevelIndex  # precomputed group structure for budgets
+    site_switches: list  # per node: switches colocated at that site
+
+
+class VectorizedWillowController(WillowController):
+    """Drop-in replacement for :class:`WillowController` with an
+    array-based tick.  Same constructor, same metrics, same hooks."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        if self.config.device_classes is not None:
+            raise ValueError(
+                "VectorizedWillowController does not support device_classes; "
+                "use the scalar WillowController for device-level thermal runs"
+            )
+        ordered = [self.servers[leaf.node_id] for leaf in self.tree.servers()]
+        self.fleet = FleetState(ordered, self.config)
+        # One full gather seeds the arrays; after this the tick loop
+        # only re-reads what other actors mutate (sleep states and
+        # migration costs) -- budgets, temperatures and smoother lanes
+        # are written by this controller alone and scattered back to
+        # the objects whenever they change.
+        self.fleet.gather()
+        self._server_ids = [s.node.node_id for s in self.fleet.servers]
+        #: row in the VM demand vector for each vm_id (plan order)
+        self._vm_row: Dict[int, int] = {
+            vm.vm_id: i for i, vm in enumerate(self.placement.vms)
+        }
+        self._vm_host_rows = np.array(
+            [self.fleet.index[vm.host_id] for vm in self.placement.vms],
+            dtype=np.intp,
+        )
+        self._n_nodes = max(node.node_id for node in self.tree) + 1
+        self._caps_buffer = np.zeros(self._n_nodes)
+        self._budget_buffer = np.zeros(self._n_nodes)
+        self._served_buffer = np.zeros(self._n_nodes)
+        self._demand_buffer = np.zeros(self._n_nodes)
+        self._levels_up = self._build_level_specs()
+
+        # Ancestor chains as an index matrix into a per-internal-node
+        # flag vector, for the vectorized unidirectional-rule check.
+        # Ragged chains pad with a sentinel slot that is always False.
+        self._internal_list = list(self.internals.values())
+        internal_index = {
+            runtime.node.node_id: j
+            for j, runtime in enumerate(self._internal_list)
+        }
+        chains = [
+            [internal_index[a.node_id] for a in s.node.ancestors()]
+            for s in self.fleet.servers
+        ]
+        depth = max((len(c) for c in chains), default=0)
+        sentinel = len(self._internal_list)
+        self._anc_matrix = np.full(
+            (self.fleet.n, max(depth, 1)), sentinel, dtype=np.intp
+        )
+        for i, chain in enumerate(chains):
+            self._anc_matrix[i, : len(chain)] = chain
+        self._int_flags = np.zeros(sentinel + 1, dtype=bool)
+
+        self._switch_list = list(self.fabric.switches)
+        self._switch_site_ids = np.array(
+            [sw.site.node_id for sw in self._switch_list], dtype=np.intp
+        )
+        self._switch_redundancy = np.array(
+            [float(sw.redundancy) for sw in self._switch_list]
+        )
+        self._switch_pos = {
+            sw.switch_id: i for i, sw in enumerate(self._switch_list)
+        }
+
+    # ---------------------------------------------------------- structure
+    def _build_level_specs(self) -> List[_LevelSpec]:
+        specs: List[_LevelSpec] = []
+        for level in range(1, self.tree.root.level + 1):
+            nodes = self.tree.nodes_at_level(level)
+            child_nodes: List[Node] = []
+            child_runtimes = []
+            sizes = []
+            for node in nodes:
+                sizes.append(len(node.children))
+                for child in node.children:
+                    child_nodes.append(child)
+                    if child.is_leaf:
+                        child_runtimes.append(self.servers[child.node_id])
+                    else:
+                        child_runtimes.append(self.internals[child.node_id])
+            sizes = np.asarray(sizes, dtype=np.intp)
+            pad_idx, valid = build_fold_index(sizes)
+            offsets = np.concatenate(([0], np.cumsum(sizes)[:-1])).astype(
+                np.intp
+            )
+            specs.append(
+                _LevelSpec(
+                    nodes=list(nodes),
+                    node_ids=np.array(
+                        [n.node_id for n in nodes], dtype=np.intp
+                    ),
+                    runtimes=[self.internals[n.node_id] for n in nodes],
+                    child_nodes=child_nodes,
+                    child_ids=np.array(
+                        [c.node_id for c in child_nodes], dtype=np.intp
+                    ),
+                    child_id_list=[c.node_id for c in child_nodes],
+                    child_runtimes=child_runtimes,
+                    offsets=offsets,
+                    pad_idx=pad_idx,
+                    valid=valid,
+                    alloc_index=LevelIndex(offsets, len(child_nodes)),
+                    site_switches=[
+                        list(self.fabric.at_site(n)) for n in nodes
+                    ],
+                )
+            )
+        return specs
+
+    # ----------------------------------------------------------------- tick
+    def _tick(self) -> None:
+        now = self.env.now
+        config = self.config
+        fleet = self.fleet
+        self._tick_migration_traffic = {}
+
+        # 0. housekeeping on the objects, then mirror into arrays.
+        # The attribute guards skip the (empty) method calls for the
+        # common case of an awake server with no pending costs.
+        costs_dirty = False
+        sleep_dirty = False
+        for server in fleet.servers:
+            if server._pending_costs:
+                server.expire_costs()
+                costs_dirty = True
+            if server.sleep_state is not SleepState.AWAKE:
+                server.tick_wake()
+                sleep_dirty = True
+        if sleep_dirty:
+            fleet.gather_sleep()
+        if costs_dirty:
+            fleet.gather_costs()
+
+        # 1+2. sample demand, aggregate per host, smooth (Eq. 4).
+        vm_demands = self._sample_vm_demands()
+        if vm_demands is not None:
+            vm_sums = np.bincount(
+                self._vm_host_rows, weights=vm_demands, minlength=fleet.n
+            )
+        else:
+            vm_sums = np.fromiter(
+                (s.vm_demand for s in fleet.servers), float, fleet.n
+            )
+        raw = np.where(
+            fleet.asleep,
+            fleet.standby_power,
+            np.where(
+                fleet.waking,
+                fleet.static_power,
+                fleet.static_power + vm_sums + fleet.mig_cost,
+            ),
+        )
+        # Waking servers keep reporting their wake forecast; everyone
+        # else (awake or asleep) absorbs this tick's observation.
+        smoothed = fleet.smoother.update(raw, mask=~fleet.waking)
+        fleet.raw = raw
+        raw_list = raw.tolist()
+        smoothed_list = smoothed.tolist()
+        for i, server in enumerate(fleet.servers):
+            server.raw_demand = raw_list[i]
+            server.smoothed_demand = smoothed_list[i]
+            server.smoother._value = smoothed_list[i]
+        self._aggregate_demands(now)
+
+        # 3. supply-side adaptation every Delta_S.
+        if self._tick_index % config.eta1 == 0:
+            self._allocate_budgets(now)
+            budget = fleet.budget
+            for i, server in enumerate(fleet.servers):
+                budget[i] = server.budget
+
+        # 4. demand-side migrations, with the planner's per-server
+        # screening (deficient set, unidirectional rule, target
+        # capacities) computed on the arrays.
+        moved = False
+        plan = self._plan_demand_migrations(raw, smoothed)
+        if plan is not None:
+            self._execute_moves(plan.moves, MigrationCause.DEMAND, now)
+            moved = bool(plan.moves)
+            for vm, node in plan.dropped:
+                self.collector.record_unmatched(
+                    Drop(now, node.node_id, vm.vm_id, vm.current_demand)
+                )
+
+        # 5. consolidation every Delta_A.
+        if self._tick_index > 0 and self._tick_index % config.eta2 == 0:
+            n_migrations = len(self.collector.migrations)
+            self._consolidate(now)
+            moved = moved or len(self.collector.migrations) > n_migrations
+            # Consolidation may flip sleep states and, on wake, reset a
+            # server's smoother to the drop-absorbing forecast; re-read
+            # everything the objects own before serving below.
+            fleet.gather()
+        if moved:
+            # Migrations rehomed VMs and charged costs mid-tick; refresh
+            # the per-host demand sums and cost array before serving.
+            if vm_demands is None:
+                vm_demands = np.fromiter(
+                    (vm.current_demand for vm in self.placement.vms),
+                    float,
+                    len(self.placement.vms),
+                )
+            vm_sums = np.bincount(
+                self._vm_host_rows, weights=vm_demands, minlength=fleet.n
+            )
+            fleet.gather_costs()
+
+        # 6. serve power within budget; throttle any residual excess.
+        available = np.maximum(
+            fleet.budget - fleet.static_power - fleet.mig_cost, 0.0
+        )
+        fast = fleet.awake & (available >= vm_sums + _SERVE_MARGIN)
+        served = np.where(fast, vm_sums, 0.0)
+        slow_rows = np.nonzero(fleet.awake & ~fast)[0]
+        if len(slow_rows):
+            available_list = available.tolist()
+            for i in slow_rows.tolist():
+                served[i] = self._serve_scalar(
+                    fleet.servers[i], available_list[i], now
+                )
+        fleet.served = served
+        served_list = served.tolist()
+        for i, server in enumerate(fleet.servers):
+            server.served_power = served_list[i]
+
+        # 7. thermal update and per-server samples.
+        wall = np.where(
+            fleet.asleep,
+            fleet.standby_power,
+            np.where(
+                fleet.waking, fleet.static_power, fleet.static_power + served
+            ),
+        )
+        if config.thermal_mode == "window_reset":
+            # Each tick re-derives the temperature from the zone ambient
+            # at this tick's power (paper Sec. V-B2).
+            temps = temperature_step_arrays(
+                fleet.t_ambient,
+                wall,
+                t_ambient=fleet.t_ambient,
+                c1=fleet.c1,
+                c2=fleet.c2,
+                decay=fleet.decay_window,
+            )
+            violations = temps > fleet.t_limit + 1e-6
+        else:
+            temps = temperature_step_arrays(
+                fleet.temperature,
+                wall,
+                t_ambient=fleet.t_ambient,
+                c1=fleet.c1,
+                c2=fleet.c2,
+                decay=fleet.decay_tick,
+            )
+            violations = temps > fleet.t_limit + 1e-9
+        fleet.temperature = temps
+        utilization = np.where(
+            fleet.awake, np.minimum(served / fleet.slope, 1.0), 0.0
+        )
+        wall_list = wall.tolist()
+        temp_list = temps.tolist()
+        util_list = utilization.tolist()
+        viol_list = violations.tolist()
+        budget_list = fleet.budget.tolist()
+        awake_list = fleet.awake.tolist()
+        samples = self.collector.server_samples
+        server_ids = self._server_ids
+        for i, server in enumerate(fleet.servers):
+            integrator = server.thermal
+            t = temp_list[i]
+            integrator.temperature = t
+            if t > integrator.peak:
+                integrator.peak = t
+            if viol_list[i]:
+                integrator.violations += 1
+            samples.append(
+                ServerSample(
+                    now,
+                    server_ids[i],
+                    wall_list[i],
+                    t,
+                    util_list[i],
+                    raw_list[i],
+                    budget_list[i],
+                    not awake_list[i],
+                )
+            )
+
+        # 8. switch traffic and power.
+        self._record_switches(now)
+
+        # 9. level-0 imbalance (Eq. 9).
+        self.collector.record_imbalance(
+            now, power_imbalance(raw, fleet.budget)
+        )
+
+        for hook in self.on_tick:
+            hook(self, self._tick_index, now)
+
+        self._tick_index += 1
+
+    # ---------------------------------------------------------- migrations
+    def _plan_demand_migrations(self, raw, smoothed):
+        """Array pre-screen + the planner's matching stage.
+
+        Replicates :meth:`MigrationPlanner.plan`'s per-server loops
+        (deficient detection, the unidirectional squeeze rule, target
+        capacity computation) as array expressions, then hands the
+        results to :meth:`MigrationPlanner.plan_prescreened`.  Returns
+        ``None`` when no awake server is over budget (the planner would
+        return an empty plan).
+        """
+        fleet = self.fleet
+        deficient_mask = fleet.awake & (raw > fleet.budget + _EPS)
+        if not bool(deficient_mask.any()):
+            return None
+        flags = self._int_flags
+        for j, runtime in enumerate(self._internal_list):
+            flags[j] = (
+                runtime.budget_reduced
+                and runtime.smoothed_demand > runtime.budget + _EPS
+            )
+        reduced = np.fromiter(
+            (s.budget_reduced for s in fleet.servers), bool, fleet.n
+        )
+        squeezed = (reduced & (smoothed > fleet.budget + _EPS)) | flags[
+            self._anc_matrix
+        ].any(axis=1)
+        overhead = (
+            self.config.p_min + self.config.migration_cost_power
+        )
+        cap = np.maximum((fleet.budget - raw) - overhead, 0.0)
+        eligible = (
+            fleet.awake & ~deficient_mask & ~squeezed & (cap > _EPS)
+        )
+        cap_list = cap.tolist()
+        capacity = {
+            fleet.servers[i].node.node_id: cap_list[i]
+            for i in np.nonzero(eligible)[0].tolist()
+        }
+        deficient = [
+            fleet.servers[i]
+            for i in np.nonzero(deficient_mask)[0].tolist()
+        ]
+        return self.migration_planner.plan_prescreened(
+            self.servers, deficient, capacity
+        )
+
+    # ------------------------------------------------------- demand reports
+    def _aggregate_demands(self, now: float) -> None:
+        """Bottom-up smoothed-demand propagation, one level at a time."""
+        fleet = self.fleet
+        below = self._demand_buffer
+        below[fleet.node_ids] = fleet.smoother.values
+        messages = self.collector.messages
+        for spec in self._levels_up:
+            totals = fold_segment_sums(
+                below[spec.child_ids], spec.pad_idx, spec.valid
+            )
+            for runtime, total in zip(spec.runtimes, totals.tolist()):
+                runtime.observe_demand(total)
+            messages.extend(
+                [ControlMessage(now, c, True) for c in spec.child_id_list]
+            )
+            below[spec.node_ids] = np.fromiter(
+                (r.smoothed_demand for r in spec.runtimes),
+                float,
+                len(spec.runtimes),
+            )
+
+    # -------------------------------------------------------------- demand
+    def _sample_vm_demands(self) -> Optional[np.ndarray]:
+        """One tick of demand; the flat per-VM vector when available."""
+        source = self.demand_source
+        if isinstance(source, DemandGenerator):
+            return source.sample_tick_array()
+        source.sample_tick()
+        return None
+
+    # ------------------------------------------------------------- serving
+    def _serve_scalar(self, server, available: float, now: float) -> float:
+        """The scalar controller's per-VM priority serving loop, for
+        servers whose budget cannot cover their full demand."""
+        served = 0.0
+        for vm in sorted(
+            server.vms.values(), key=lambda v: (v.app.priority, v.vm_id)
+        ):
+            if vm.current_demand <= 0:
+                continue
+            grant = min(vm.current_demand, available - served)
+            grant = max(grant, 0.0)
+            unserved = vm.current_demand - grant
+            if unserved > _EPS:
+                self.collector.record_drop(
+                    Drop(now, server.node.node_id, vm.vm_id, unserved)
+                )
+                self._dropped_since_consolidation += unserved
+            served += grant
+        return served
+
+    # ------------------------------------------------------- supply side
+    def _allocate_budgets(self, now: float) -> None:
+        """Level-at-a-time proportional division (grouped waterfill)."""
+        fleet = self.fleet
+        caps = self._caps_buffer
+        caps[fleet.node_ids] = fleet.hard_caps()
+        for spec in self._levels_up:
+            caps[spec.node_ids] = fold_segment_sums(
+                caps[spec.child_ids], spec.pad_idx, spec.valid
+            )
+
+        self.root_budget = self.supply.at(now)
+        root_id = self.tree.root.node_id
+        self.internals[root_id].set_budget(
+            min(self.root_budget, caps[root_id])
+        )
+
+        budgets = self._budget_buffer
+        budgets[root_id] = self.internals[root_id].budget
+        messages = self.collector.messages
+        for spec in reversed(self._levels_up):
+            # Reserve each node's colocated switch draw off the top.
+            reserves = np.fromiter(
+                (
+                    sum(
+                        self._last_switch_power[s.switch_id]
+                        for s in switches
+                    )
+                    for switches in spec.site_switches
+                ),
+                float,
+                len(spec.nodes),
+            )
+            parent_budget = np.maximum(
+                budgets[spec.node_ids] - reserves, 0.0
+            )
+            child_caps = caps[spec.child_ids]
+            if self.config.allocation_mode == "capacity":
+                weights = child_caps
+            else:
+                # _aggregate_demands filled the buffer with every
+                # node's current smoothed demand earlier this tick.
+                weights = self._demand_buffer[spec.child_ids]
+            allocations, _unused = allocate_level(
+                parent_budget, weights, child_caps, index=spec.alloc_index
+            )
+            budgets[spec.child_ids] = allocations
+            allocation_list = allocations.tolist()
+            for runtime, allocation in zip(
+                spec.child_runtimes, allocation_list
+            ):
+                runtime.set_budget(allocation)
+            messages.extend(
+                [ControlMessage(now, c, False) for c in spec.child_id_list]
+            )
+
+    # ------------------------------------------------------ migrations
+    def _execute_moves(
+        self, moves: Iterable[PlannedMove], cause: MigrationCause, now: float
+    ) -> None:
+        moves = list(moves)
+        super()._execute_moves(moves, cause, now)
+        for move in moves:
+            self._vm_host_rows[self._vm_row[move.vm.vm_id]] = (
+                self.fleet.index[move.dst.node_id]
+            )
+
+    # ------------------------------------------------------------ switches
+    def _record_switches(self, now: float) -> None:
+        """Scalar :meth:`WillowController._record_switches` with the
+        subtree served-power sums computed level-at-a-time."""
+        model = self.config.switch_model
+        fleet = self.fleet
+        served_below = self._served_buffer
+        served_below[fleet.node_ids] = fleet.served
+        for spec in self._levels_up:
+            served_below[spec.node_ids] = fold_segment_sums(
+                served_below[spec.child_ids], spec.pad_idx, spec.valid
+            )
+
+        ipc_traffic: Dict[int, float] = {}
+        if self.ipc_graph is not None:
+            for vm_a, vm_b, rate in self.ipc_graph.edges():
+                host_a = self._vm_by_id[vm_a].host_id
+                host_b = self._vm_by_id[vm_b].host_id
+                if host_a == host_b:
+                    continue
+                key = (host_a, host_b) if host_a < host_b else (host_b, host_a)
+                if key not in self._path_cache:
+                    self._path_cache[key] = self.fabric.path(
+                        self.tree.node(key[0]), self.tree.node(key[1])
+                    )
+                for switch, share in self._path_cache[key]:
+                    ipc_traffic[switch.switch_id] = (
+                        ipc_traffic.get(switch.switch_id, 0.0) + rate * share
+                    )
+
+        base = served_below[self._switch_site_ids] / self._switch_redundancy
+        migration_traffic = np.zeros(len(self._switch_list))
+        for switch_id, extra in ipc_traffic.items():
+            base[self._switch_pos[switch_id]] += extra
+        for switch_id, traffic in self._tick_migration_traffic.items():
+            migration_traffic[self._switch_pos[switch_id]] += traffic
+        power = model.static_power + model.watts_per_unit_traffic * (
+            base + migration_traffic
+        )
+        base_list = base.tolist()
+        migration_list = migration_traffic.tolist()
+        power_list = power.tolist()
+        samples = self.collector.switch_samples
+        last_power = self._last_switch_power
+        for i, switch in enumerate(self._switch_list):
+            last_power[switch.switch_id] = power_list[i]
+            samples.append(
+                SwitchSample(
+                    now,
+                    switch.switch_id,
+                    switch.level,
+                    base_list[i],
+                    migration_list[i],
+                    power_list[i],
+                )
+            )

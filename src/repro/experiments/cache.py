@@ -1,0 +1,228 @@
+"""On-disk result cache for the paper's utilization sweep.
+
+``paper_sweep.run_sweep`` is memoised per-process with ``lru_cache``,
+which does nothing for the common workflow of regenerating figures one
+CLI invocation at a time: every process re-runs the same 9-point sweep.
+This module adds a *cross-run* layer keyed by a hash of the full sweep
+configuration, storing each result as an ``.npz`` under the cache
+directory.
+
+Keying and versioning
+---------------------
+The key is a SHA-256 over ``(CACHE_VERSION, utilizations, n_ticks,
+seed, consolidation)``.  ``CACHE_VERSION`` must be bumped whenever the
+simulation's numerical behaviour changes, so stale entries can never be
+mistaken for current results.  Corrupted or unreadable entries are
+treated as misses.
+
+Enablement
+----------
+The disk layer is *opt-in*: it stays off for test runs (which must do
+real work and must not be poisoned by results from an older build) and
+is switched on by the experiment CLIs.  Precedence:
+
+1. :func:`set_enabled` (``True``/``False``) -- explicit program choice,
+   e.g. the runner's ``--no-cache`` flag;
+2. ``WILLOW_NO_CACHE=1`` in the environment -- always off;
+3. ``WILLOW_CACHE_DIR=...`` in the environment -- on, at that path;
+4. otherwise off.
+
+The default cache directory is ``.willow_cache`` under the current
+working directory; override with ``WILLOW_CACHE_DIR``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "CACHE_VERSION",
+    "cache_dir",
+    "cache_enabled",
+    "set_enabled",
+    "sweep_key",
+    "load_sweep",
+    "store_sweep",
+    "clear_disk_cache",
+]
+
+#: Bump when run_willow / SweepPoint semantics change.
+CACHE_VERSION = 1
+
+_ENV_DIR = "WILLOW_CACHE_DIR"
+_ENV_OFF = "WILLOW_NO_CACHE"
+
+#: tri-state override: None = follow the environment.
+_enabled_override: Optional[bool] = None
+
+
+def set_enabled(enabled: Optional[bool]) -> None:
+    """Force the disk cache on/off (``None`` restores env-driven mode)."""
+    global _enabled_override
+    _enabled_override = enabled
+
+
+def cache_enabled() -> bool:
+    if _enabled_override is not None:
+        return _enabled_override
+    if os.environ.get(_ENV_OFF):
+        return False
+    return bool(os.environ.get(_ENV_DIR))
+
+
+def cache_dir() -> Path:
+    return Path(os.environ.get(_ENV_DIR) or ".willow_cache")
+
+
+def sweep_key(
+    utilizations: Tuple[float, ...],
+    n_ticks: int,
+    seed: int,
+    consolidation: bool,
+) -> str:
+    """Deterministic content key for one sweep configuration."""
+    payload = json.dumps(
+        {
+            "version": CACHE_VERSION,
+            "utilizations": [float(u) for u in utilizations],
+            "n_ticks": int(n_ticks),
+            "seed": int(seed),
+            "consolidation": bool(consolidation),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+def _entry_path(key: str) -> Path:
+    return cache_dir() / f"sweep-{key}.npz"
+
+
+def store_sweep(key: str, points) -> Optional[Path]:
+    """Write a tuple of SweepPoints as one ``.npz``; atomic via rename.
+
+    Returns the written path, or ``None`` when the cache is disabled or
+    the points are not representable (e.g. ragged switch-id sets --
+    cannot happen with a fixed topology, but never worth crashing an
+    experiment over).
+    """
+    if not cache_enabled() or not points:
+        return None
+    try:
+        arrays = _points_to_arrays(points)
+    except ValueError:
+        return None
+    path = _entry_path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        return None
+    return path
+
+
+def load_sweep(key: str):
+    """Return the cached tuple of SweepPoints, or ``None`` on a miss.
+
+    Any read/parse failure (truncated file, schema drift) is a miss;
+    the caller recomputes and overwrites the entry.
+    """
+    if not cache_enabled():
+        return None
+    path = _entry_path(key)
+    if not path.is_file():
+        return None
+    try:
+        with np.load(path) as data:
+            return _points_from_arrays(data)
+    except Exception:
+        return None
+
+
+def clear_disk_cache() -> int:
+    """Delete every sweep entry; returns the number of files removed."""
+    directory = cache_dir()
+    removed = 0
+    if directory.is_dir():
+        for path in directory.glob("sweep-*.npz"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed
+
+
+# ------------------------------------------------------- (de)serialising
+
+_VECTOR_FIELDS = (
+    "mean_power",
+    "mean_temperature",
+    "asleep_fraction",
+    "energy",
+)
+_SCALAR_FIELDS = (
+    "utilization",
+    "migration_traffic_fraction",
+    "dropped_power",
+)
+_COUNT_FIELDS = ("demand_migrations", "consolidation_migrations")
+_DICT_FIELDS = ("switch_power_l1", "switch_migration_cost_l1")
+
+
+def _points_to_arrays(points) -> dict:
+    arrays: dict = {"n_points": np.array(len(points))}
+    for name in _VECTOR_FIELDS:
+        arrays[name] = np.array([getattr(p, name) for p in points], dtype=float)
+    for name in _SCALAR_FIELDS:
+        arrays[name] = np.array([getattr(p, name) for p in points], dtype=float)
+    for name in _COUNT_FIELDS:
+        arrays[name] = np.array(
+            [getattr(p, name) for p in points], dtype=np.int64
+        )
+    for name in _DICT_FIELDS:
+        keys = [sorted(getattr(p, name)) for p in points]
+        if any(k != keys[0] for k in keys[1:]):
+            raise ValueError(f"ragged key sets for {name}")
+        arrays[f"{name}__keys"] = np.array(keys[0], dtype=np.int64)
+        arrays[name] = np.array(
+            [[getattr(p, name)[k] for k in keys[0]] for p in points],
+            dtype=float,
+        )
+    return arrays
+
+
+def _points_from_arrays(data):
+    from repro.experiments.paper_sweep import SweepPoint
+
+    n_points = int(data["n_points"])
+    points = []
+    for i in range(n_points):
+        kwargs = {"utilization": float(data["utilization"][i])}
+        for name in _VECTOR_FIELDS:
+            kwargs[name] = tuple(float(v) for v in data[name][i])
+        for name in _SCALAR_FIELDS[1:]:
+            kwargs[name] = float(data[name][i])
+        for name in _COUNT_FIELDS:
+            kwargs[name] = int(data[name][i])
+        for name in _DICT_FIELDS:
+            keys = data[f"{name}__keys"]
+            kwargs[name] = {
+                int(k): float(v) for k, v in zip(keys, data[name][i])
+            }
+        points.append(SweepPoint(**kwargs))
+    return tuple(points)

@@ -3,7 +3,10 @@
 One Willow run per utilization point on the paper's configuration
 (Fig. 3 topology, hot zone on servers 15-18, supply near the fleet's
 maximum power).  Results are memoised per-process since six figures
-read the same sweep.
+read the same sweep, and -- when :mod:`repro.experiments.cache` is
+enabled -- persisted across processes keyed by the sweep parameters,
+so regenerating figures one CLI invocation at a time stops re-running
+the identical simulation every call.
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ import numpy as np
 
 from repro.core.controller import run_willow
 from repro.core.events import MigrationCause
+from repro.experiments import cache
 from repro.experiments.common import hot_zone_overrides
 from repro.network.traffic import (
     migration_traffic_fraction,
@@ -67,8 +71,19 @@ def run_sweep(
     seed: int = 11,
     consolidation: bool = True,
 ) -> Tuple[SweepPoint, ...]:
-    """Run the paper sweep; memoised on its full parameter tuple."""
+    """Run the paper sweep; memoised on its full parameter tuple.
+
+    In-process hits come from ``lru_cache``; cross-process hits from the
+    disk cache (off by default -- the runner CLI turns it on, tests and
+    benchmarks never see it).  ``run_sweep.cache_clear()`` still clears
+    the in-process layer only.
+    """
     from repro.core.config import WillowConfig
+
+    key = cache.sweep_key(utilizations, n_ticks, seed, consolidation)
+    cached = cache.load_sweep(key)
+    if cached is not None:
+        return cached
 
     points = []
     for utilization in utilizations:
@@ -112,4 +127,6 @@ def run_sweep(
                 dropped_power=collector.total_dropped_power(),
             )
         )
-    return tuple(points)
+    result = tuple(points)
+    cache.store_sweep(key, result)
+    return result

@@ -1,0 +1,130 @@
+"""Process-pool fan-out for the experiment layer.
+
+Every figure in the paper is an independent simulation (or a sweep of
+independent simulations), so the experiment layer parallelises
+trivially: one process per sweep point, per replication seed, or per
+registered experiment.  Determinism is untouched -- each unit of work
+seeds its own :class:`~repro.sim.rng.RandomStreams`, so results are
+identical to the serial path, just reordered in wall-clock time.
+
+Worker functions must be importable (top level) because units of work
+cross a process boundary.  ``parallel_map`` degrades to a plain serial
+map for one item or one worker, which also keeps coverage/debug runs
+single-process.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+from typing import Callable, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.analysis.replication import ReplicationResult, replicate
+from repro.experiments import cache
+
+__all__ = [
+    "default_workers",
+    "parallel_map",
+    "run_sweep_parallel",
+    "replicate_parallel",
+    "run_experiments_parallel",
+]
+
+
+def default_workers() -> int:
+    """One process per core, minus one to keep the machine responsive."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def parallel_map(fn: Callable, items: Iterable, workers: int | None = None) -> List:
+    """``[fn(x) for x in items]`` over a process pool, order-preserving.
+
+    ``workers=None`` uses :func:`default_workers`; ``workers=1`` (or a
+    single item) runs serially in-process.  ``fn`` and the items must be
+    picklable when a pool is used.
+    """
+    items = list(items)
+    if workers is None:
+        workers = default_workers()
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    workers = min(workers, len(items))
+    if workers <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))
+
+
+# ----------------------------------------------------------- sweep points
+def _sweep_point(params: Tuple[float, int, int, bool]):
+    utilization, n_ticks, seed, consolidation = params
+    from repro.experiments.paper_sweep import run_sweep
+
+    return run_sweep((utilization,), n_ticks, seed, consolidation)[0]
+
+
+def run_sweep_parallel(
+    utilizations: Sequence[float],
+    n_ticks: int = 120,
+    seed: int = 11,
+    consolidation: bool = True,
+    workers: int | None = None,
+):
+    """The paper sweep with one process per utilization point.
+
+    Bit-identical to ``run_sweep(tuple(utilizations), ...)``: every
+    point is an independent run with its own seeded streams.  The
+    assembled tuple is written to the disk cache under the full-sweep
+    key (when caching is enabled), so a later serial ``run_sweep`` call
+    in a fresh process hits instead of recomputing.
+    """
+    utilizations = tuple(float(u) for u in utilizations)
+    key = cache.sweep_key(utilizations, n_ticks, seed, consolidation)
+    cached = cache.load_sweep(key)
+    if cached is not None:
+        return cached
+    params = [(u, n_ticks, seed, consolidation) for u in utilizations]
+    points = tuple(parallel_map(_sweep_point, params, workers))
+    cache.store_sweep(key, points)
+    return points
+
+
+# ----------------------------------------------------------- replications
+def _call_run(run: Callable[[int], Mapping[str, float]], seed: int) -> dict:
+    return dict(run(seed))
+
+
+def replicate_parallel(
+    run: Callable[[int], Mapping[str, float]],
+    seeds: Sequence[int],
+    workers: int | None = None,
+) -> ReplicationResult:
+    """:func:`repro.analysis.replicate` with one process per seed.
+
+    ``run`` must be a top-level (picklable) callable.  Validation and
+    assembly reuse :func:`replicate`, so metric-key consistency checks
+    behave exactly like the serial path.
+    """
+    seeds = tuple(int(s) for s in seeds)
+    outcomes = parallel_map(partial(_call_run, run), seeds, workers)
+    by_seed = dict(zip(seeds, outcomes))
+    return replicate(lambda seed: by_seed[seed], seeds)
+
+
+# ------------------------------------------------------ whole experiments
+def _run_experiment(name: str) -> Tuple[str, str]:
+    from repro.experiments.runner import REGISTRY
+
+    return name, REGISTRY[name]().format()
+
+
+def run_experiments_parallel(
+    names: Sequence[str], workers: int | None = None
+) -> List[Tuple[str, str]]:
+    """Run registered experiments concurrently; returns (name, table).
+
+    Results come back in registry order regardless of completion order.
+    """
+    return parallel_map(_run_experiment, list(names), workers)

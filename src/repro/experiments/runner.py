@@ -5,10 +5,18 @@ Usage::
     python -m repro.experiments.runner           # list experiments
     python -m repro.experiments.runner all       # run everything
     python -m repro.experiments.runner fig05 fig06
+    python -m repro.experiments.runner all --workers 8   # process pool
+    python -m repro.experiments.runner all --no-cache    # force recompute
+
+Sweep results persist across invocations in the on-disk cache (see
+:mod:`repro.experiments.cache`); ``--no-cache`` disables both reading
+and writing it for this run.  ``--workers N`` fans the selected
+experiments out over a process pool; output order is unchanged.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 from typing import Callable, Dict
 
@@ -55,23 +63,62 @@ REGISTRY: Dict[str, Callable] = {
 }
 
 
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner",
+        description="Regenerate paper figures/tables.",
+    )
+    parser.add_argument(
+        "names", nargs="*", metavar="EXPERIMENT",
+        help="experiment names, or 'all' (empty: list and exit)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="run experiments over N processes (default 1: serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="neither read nor write the on-disk sweep cache",
+    )
+    return parser
+
+
 def main(argv=None) -> int:
-    argv = list(sys.argv[1:] if argv is None else argv)
-    if not argv:
+    args = build_parser().parse_args(
+        list(sys.argv[1:] if argv is None else argv)
+    )
+    if not args.names:
         print("available experiments:")
         for name in REGISTRY:
             print(f"  {name}")
         print("run with: python -m repro.experiments.runner all")
         return 0
-    names = list(REGISTRY) if argv == ["all"] else argv
+    names = list(REGISTRY) if args.names == ["all"] else args.names
     unknown = [n for n in names if n not in REGISTRY]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
-    for name in names:
-        result = REGISTRY[name]()
-        print(result.format())
-        print()
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+
+    from repro.experiments import cache
+
+    cache.set_enabled(False if args.no_cache else True)
+    try:
+        if args.workers > 1:
+            from repro.experiments.parallel import run_experiments_parallel
+
+            for _, table in run_experiments_parallel(names, args.workers):
+                print(table)
+                print()
+        else:
+            for name in names:
+                result = REGISTRY[name]()
+                print(result.format())
+                print()
+    finally:
+        cache.set_enabled(None)
     return 0
 
 

@@ -17,7 +17,7 @@ from repro.core.events import ControlMessage, Drop, Migration, MigrationCause
 __all__ = ["ServerSample", "SwitchSample", "MetricsCollector"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ServerSample:
     """One server's physical state at one tick."""
 
@@ -31,7 +31,7 @@ class ServerSample:
     asleep: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SwitchSample:
     """One switch's state at one tick."""
 

@@ -12,7 +12,7 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["ExponentialSmoother", "smooth_series"]
+__all__ = ["ExponentialSmoother", "VectorSmoother", "smooth_series"]
 
 
 class ExponentialSmoother:
@@ -119,6 +119,55 @@ class HoltSmoother:
     def reset(self, initial: float | None = None) -> None:
         self._level = None if initial is None else float(initial)
         self._trend = 0.0
+
+
+class VectorSmoother:
+    """Eq. 4 smoothing for a whole fleet of signals in one array op.
+
+    Semantically ``n`` independent :class:`ExponentialSmoother` states
+    advanced together: the update is the same IEEE-754 expression
+    ``alpha * obs + (1 - alpha) * value`` applied elementwise, so each
+    lane's sequence is bit-identical to a scalar smoother fed the same
+    observations.  Unprimed lanes (no observation yet) are seeded by
+    their first observation, exactly like the scalar cold-start rule.
+    """
+
+    def __init__(self, alpha: float, n: int):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        self.alpha = float(alpha)
+        self.values = np.zeros(n)
+        self.primed = np.zeros(n, dtype=bool)
+
+    def update(self, observations: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
+        """Absorb one tick of observations; return the smoothed vector.
+
+        ``mask`` selects which lanes update (True = update); unmasked
+        lanes keep their previous value and primed state.
+        """
+        observations = np.asarray(observations, dtype=float)
+        smoothed = (
+            self.alpha * observations + (1.0 - self.alpha) * self.values
+        )
+        fresh = np.where(self.primed, smoothed, observations)
+        if mask is None:
+            self.values = fresh
+            self.primed = np.ones_like(self.primed)
+        else:
+            self.values = np.where(mask, fresh, self.values)
+            self.primed = self.primed | mask
+        return self.values
+
+    def reset_lane(self, index: int, initial: float | None = None) -> None:
+        """Reset one lane (``None`` returns it to the unprimed state)."""
+        if initial is None:
+            self.values[index] = 0.0
+            self.primed[index] = False
+        else:
+            self.values[index] = float(initial)
+            self.primed[index] = True
 
 
 def smooth_series(values: Sequence[float], alpha: float) -> np.ndarray:

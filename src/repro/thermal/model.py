@@ -27,8 +27,10 @@ import numpy as np
 __all__ = [
     "ThermalParams",
     "temperature_after",
+    "temperature_step_arrays",
     "steady_state_temperature",
     "power_cap",
+    "power_cap_arrays",
     "window_for_power_cap",
     "TemperatureIntegrator",
 ]
@@ -93,6 +95,31 @@ def temperature_after(params: ThermalParams, t0, power, dt):
     heating = (params.c1 * power / params.c2) * (1.0 - decay)
     result = params.t_ambient + (t0 - params.t_ambient) * decay + heating
     return float(result) if result.ndim == 0 else result
+
+
+def temperature_step_arrays(t0, power, *, t_ambient, c1, c2, decay):
+    """Eq. 2 step for a whole fleet with heterogeneous parameters.
+
+    ``t_ambient``, ``c1``, ``c2`` are per-component arrays (or scalars)
+    and ``decay = exp(-c2 * dt)`` is precomputed once per fixed tick
+    length.  The arithmetic is the exact expression
+    :func:`temperature_after` evaluates, in the same operation order, so
+    each lane is bit-identical to the scalar integrator.
+    """
+    heating = (c1 * power / c2) * (1.0 - decay)
+    return t_ambient + (t0 - t_ambient) * decay + heating
+
+
+def power_cap_arrays(t0, *, t_ambient, t_limit, c1, c2, decay):
+    """Eq. 3 cap for a whole fleet with heterogeneous parameters.
+
+    ``decay = exp(-c2 * delta_s)`` is precomputed for the (fixed)
+    adjustment window.  Same operation order as :func:`power_cap`, so
+    lanes match the scalar path bit for bit.
+    """
+    numerator = t_limit - t_ambient - (t0 - t_ambient) * decay
+    cap = numerator * c2 / (c1 * (1.0 - decay))
+    return np.maximum(cap, 0.0)
 
 
 def steady_state_temperature(params: ThermalParams, power):

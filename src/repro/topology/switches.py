@@ -55,6 +55,12 @@ class SwitchFabric:
         self.redundancy = redundancy
         self._switches: List[Switch] = []
         self._by_site: Dict[int, List[Switch]] = {}
+        # The fabric (and the tree under it) is immutable after
+        # construction, so paths between any two nodes never change:
+        # memoise them per (src, dst) id pair.  Migrations and IPC
+        # traffic ask for the same few paths every tick.
+        self._path_cache: Dict[Tuple[int, int], List[Tuple[Switch, float]]] = {}
+        self._hop_cache: Dict[Tuple[int, int], int] = {}
         next_id = 0
         for node in tree:
             if node.is_leaf:
@@ -100,6 +106,10 @@ class SwitchFabric:
         """
         if src is dst:
             return []
+        key = (src.node_id, dst.node_id)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return list(cached)
         lca = self.tree.lca(src, dst)
         sites: List[Node] = []
         node = src.parent
@@ -120,11 +130,17 @@ class SwitchFabric:
             share = 1.0 / len(group)
             for switch in group:
                 result.append((switch, share))
-        return result
+        self._path_cache[key] = result
+        return list(result)
 
     def hop_count(self, src: Node, dst: Node) -> int:
         """Number of switch *sites* on the src->dst path."""
+        key = (src.node_id, dst.node_id)
+        cached = self._hop_cache.get(key)
+        if cached is not None:
+            return cached
         seen = set()
         for switch, _ in self.path(src, dst):
             seen.add(switch.site.node_id)
+        self._hop_cache[key] = len(seen)
         return len(seen)

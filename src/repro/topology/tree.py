@@ -115,6 +115,18 @@ class Tree:
         )
         self._by_id: Dict[int, Node] = {self.root.node_id: self.root}
         self._by_name: Dict[str, Node] = {self.root.name: self.root}
+        # Query caches; the topology is immutable except through
+        # add_child, which invalidates them.  The controller asks for
+        # nodes_at_level/servers several times per tick, so these turn
+        # repeated full-index scans into dict lookups.
+        self._level_cache: Dict[int, List[Node]] = {}
+        self._servers_cache: Optional[List[Node]] = None
+        self._leaves_cache: Dict[int, List[Node]] = {}
+
+    def _invalidate_caches(self) -> None:
+        self._level_cache.clear()
+        self._servers_cache = None
+        self._leaves_cache.clear()
 
     def _take_id(self) -> int:
         node_id, self._next_id = self._next_id, self._next_id + 1
@@ -131,6 +143,7 @@ class Tree:
         node = Node(self._take_id(), name, kind, parent.level - 1, parent)
         self._by_id[node.node_id] = node
         self._by_name[name] = node
+        self._invalidate_caches()
         return node
 
     # -- lookups -----------------------------------------------------------
@@ -147,16 +160,30 @@ class Tree:
         return iter(self._by_id.values())
 
     def nodes_at_level(self, level: int) -> List[Node]:
-        """All nodes at the given level, in creation order."""
-        return [n for n in self._by_id.values() if n.level == level]
+        """All nodes at the given level, in creation order (cached)."""
+        cached = self._level_cache.get(level)
+        if cached is None:
+            cached = [n for n in self._by_id.values() if n.level == level]
+            self._level_cache[level] = cached
+        return list(cached)
 
     def servers(self) -> List[Node]:
-        """All server leaves, in creation order."""
-        return [
-            n
-            for n in self._by_id.values()
-            if n.kind is NodeKind.SERVER and n.is_leaf
-        ]
+        """All server leaves, in creation order (cached)."""
+        if self._servers_cache is None:
+            self._servers_cache = [
+                n
+                for n in self._by_id.values()
+                if n.kind is NodeKind.SERVER and n.is_leaf
+            ]
+        return list(self._servers_cache)
+
+    def subtree_leaves(self, node: Node) -> List[Node]:
+        """Cached equivalent of ``node.leaves()`` for nodes of this tree."""
+        cached = self._leaves_cache.get(node.node_id)
+        if cached is None:
+            cached = node.leaves()
+            self._leaves_cache[node.node_id] = cached
+        return list(cached)
 
     @property
     def height(self) -> int:

@@ -1,0 +1,147 @@
+"""Disk sweep cache + process-pool experiment layer."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import cache
+from repro.experiments.common import PAPER_UTILIZATIONS
+from repro.experiments.paper_sweep import run_sweep
+from repro.experiments.parallel import (
+    default_workers,
+    parallel_map,
+    replicate_parallel,
+    run_sweep_parallel,
+)
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("WILLOW_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("WILLOW_NO_CACHE", raising=False)
+    cache.set_enabled(None)
+    run_sweep.cache_clear()
+    yield tmp_path / "cache"
+    cache.set_enabled(None)
+    run_sweep.cache_clear()
+
+
+UTILS = (0.3, 0.6)
+TICKS = 16
+
+
+class TestDiskCache:
+    def test_roundtrip_is_exact(self, cache_dir):
+        first = run_sweep(UTILS, n_ticks=TICKS)
+        assert any(cache_dir.glob("sweep-*.npz"))
+        run_sweep.cache_clear()  # force the disk path
+        second = run_sweep(UTILS, n_ticks=TICKS)
+        assert first == second  # SweepPoint equality is field-exact
+
+    def test_key_covers_every_parameter(self):
+        base = cache.sweep_key(UTILS, 16, 11, True)
+        assert cache.sweep_key((0.3, 0.7), 16, 11, True) != base
+        assert cache.sweep_key(UTILS, 17, 11, True) != base
+        assert cache.sweep_key(UTILS, 16, 12, True) != base
+        assert cache.sweep_key(UTILS, 16, 11, False) != base
+        assert cache.sweep_key(UTILS, 16, 11, True) == base
+
+    def test_corrupt_entry_is_a_miss(self, cache_dir):
+        run_sweep(UTILS, n_ticks=TICKS)
+        entry = next(cache_dir.glob("sweep-*.npz"))
+        entry.write_bytes(b"not an npz")
+        run_sweep.cache_clear()
+        assert run_sweep(UTILS, n_ticks=TICKS)  # recomputes, no crash
+
+    def test_disabled_by_default_without_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("WILLOW_CACHE_DIR", raising=False)
+        monkeypatch.delenv("WILLOW_NO_CACHE", raising=False)
+        cache.set_enabled(None)
+        assert not cache.cache_enabled()
+
+    def test_no_cache_env_wins_over_dir(self, cache_dir, monkeypatch):
+        monkeypatch.setenv("WILLOW_NO_CACHE", "1")
+        assert not cache.cache_enabled()
+
+    def test_set_enabled_overrides_env(self, cache_dir):
+        cache.set_enabled(False)
+        assert not cache.cache_enabled()
+        cache.set_enabled(True)
+        assert cache.cache_enabled()
+
+    def test_clear_disk_cache(self, cache_dir):
+        run_sweep(UTILS, n_ticks=TICKS)
+        removed = cache.clear_disk_cache()
+        assert removed >= 1
+        assert not any(cache_dir.glob("sweep-*.npz"))
+
+
+class TestParallelMap:
+    def test_serial_fallback_and_order(self):
+        assert parallel_map(abs, [-3, -1, 2], workers=1) == [3, 1, 2]
+
+    def test_pool_preserves_order(self):
+        assert parallel_map(abs, [-3, -1, 2], workers=2) == [3, 1, 2]
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            parallel_map(abs, [1], workers=0)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+def _outcome(seed):
+    return {"double": seed * 2.0, "shift": seed + 0.5}
+
+
+class TestReplicateParallel:
+    def test_matches_serial_replicate(self):
+        from repro.analysis import replicate
+
+        serial = replicate(_outcome, [1, 2, 3])
+        par = replicate_parallel(_outcome, [1, 2, 3], workers=2)
+        assert par.seeds == serial.seeds
+        for name in serial.outcomes:
+            np.testing.assert_array_equal(
+                par.outcomes[name], serial.outcomes[name]
+            )
+
+    def test_duplicate_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate_parallel(_outcome, [1, 1], workers=1)
+
+
+class TestRunSweepParallel:
+    def test_matches_serial_run_sweep(self, cache_dir):
+        serial = run_sweep(UTILS, n_ticks=TICKS)
+        cache.clear_disk_cache()
+        run_sweep.cache_clear()
+        par = run_sweep_parallel(UTILS, n_ticks=TICKS, workers=2)
+        assert par == serial
+
+    def test_seeds_full_sweep_disk_entry(self, cache_dir):
+        run_sweep_parallel(UTILS, n_ticks=TICKS, workers=1)
+        run_sweep.cache_clear()
+        # a fresh serial call must now hit the disk entry the parallel
+        # path stored under the full-sweep key
+        key = cache.sweep_key(UTILS, TICKS, 11, True)
+        assert cache.load_sweep(key) is not None
+
+
+class TestRunnerFlags:
+    def test_no_cache_flag_parses(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["--no-cache", "table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_bad_workers_rejected(self):
+        from repro.experiments.runner import main
+
+        assert main(["table1", "--workers", "0"]) == 2
+
+    def test_paper_utilizations_key_is_stable(self):
+        # guards against accidental key-scheme drift invalidating
+        # users' caches silently; update CACHE_VERSION instead.
+        key = cache.sweep_key(PAPER_UTILIZATIONS, 120, 11, True)
+        assert len(key) == 24 and all(c in "0123456789abcdef" for c in key)
