@@ -1,10 +1,17 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-guard experiments clean-cache
+.PHONY: test bench bench-smoke bench-guard examples-smoke experiments clean-cache
 
 test:
 	$(PYTHON) -m pytest tests/ -q
+
+## Run every example script end-to-end at a small tick count.
+examples-smoke:
+	@set -e; for script in examples/*.py; do \
+		echo "== $$script"; \
+		WILLOW_EXAMPLE_TICKS=12 $(PYTHON) $$script > /dev/null; \
+	done; echo "all examples OK"
 
 ## Full performance run: writes BENCH_tick.json / BENCH_sweep.json.
 bench:

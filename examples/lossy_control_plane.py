@@ -1,0 +1,111 @@
+"""Lossy control plane: Willow's PMU tree over an unreliable network.
+
+The paper's controller assumes its DemandReports and BudgetDirectives
+always arrive.  This example runs the same 18-server fleet twice --
+once with the ideal synchronous controller, once with the distributed
+control plane (:mod:`repro.control_plane`) over links that drop 20 % of
+messages and add a tick of latency, while one PMU crashes mid-run and
+one link is partitioned.  Stale budgets decay toward the thermally-safe
+floor, so the fleet loses some efficiency but never its thermal safety.
+
+Run with::
+
+    python examples/lossy_control_plane.py
+
+Set ``WILLOW_EXAMPLE_TICKS`` to shorten the run (CI smoke uses 12).
+"""
+
+import os
+
+from repro.control_plane import (
+    ControlPlaneConfig,
+    CrashWindow,
+    FaultSchedule,
+    LinkPartition,
+    LinkProfile,
+    divergence_summary,
+    run_distributed,
+)
+from repro.core import WillowConfig
+from repro.core.controller import run_willow
+from repro.topology import build_paper_simulation
+
+N_TICKS = int(os.environ.get("WILLOW_EXAMPLE_TICKS", "48"))
+SEED = 5
+UTILIZATION = 0.6
+
+
+def main() -> None:
+    config = WillowConfig()
+    run_kwargs = dict(
+        config=config,
+        target_utilization=UTILIZATION,
+        n_ticks=N_TICKS,
+        seed=SEED,
+    )
+
+    # The ideal twin: every message delivered instantly.
+    _, ideal = run_willow(**run_kwargs)
+
+    # The degraded run: lossy links plus a PMU crash and a partition.
+    # Fault windows scale with the horizon so short smoke runs hit them.
+    tree = build_paper_simulation()
+    zone_pmu = tree.root.children[0]
+    cut_link = tree.root.children[1].node_id
+    width = max(2, N_TICKS // 5)
+    crash = CrashWindow(zone_pmu.node_id, N_TICKS // 3, N_TICKS // 3 + width)
+    part = LinkPartition(cut_link, 2 * N_TICKS // 3, 2 * N_TICKS // 3 + width)
+    faults = FaultSchedule(crashes=(crash,), partitions=(part,))
+    control_plane = ControlPlaneConfig(
+        default_link=LinkProfile(latency_ticks=1, jitter_ticks=1, drop_prob=0.2)
+    )
+    controller, degraded = run_distributed(
+        tree=tree, control_plane=control_plane, faults=faults, **run_kwargs
+    )
+
+    print("Lossy control plane -- 18 servers at U=60%, 20% drop, 1-tick latency")
+    print(
+        f"fault: PMU {crash.node_id} (zone) crashed ticks "
+        f"[{crash.start_tick}, {crash.end_tick})"
+    )
+    print(
+        f"fault: link to PMU {part.link} partitioned ticks "
+        f"[{part.start_tick}, {part.end_tick})"
+    )
+    print()
+
+    stats = controller.transport_stats()
+    print(f"messages sent              : {stats.sent}")
+    print(f"retransmissions            : {stats.retransmits}")
+    print(f"delivered                  : {stats.delivered}")
+    print(
+        "dropped                    : "
+        f"{stats.dropped_loss} loss, {stats.dropped_partition} partition, "
+        f"{stats.dropped_crash} crash"
+    )
+    print(f"gave up after retries      : {stats.expired}")
+    print(f"stale frames discarded     : {controller.stale_discards()}")
+    print()
+
+    summary = divergence_summary(ideal, degraded)
+    print(
+        "budget divergence          : "
+        f"{summary['budget_mean']:.1f} W mean, {summary['budget_max']:.0f} W max"
+    )
+    print(
+        "temperature divergence     : "
+        f"{summary['temperature_mean']:.2f} C mean, "
+        f"{summary['temperature_max']:.1f} C max"
+    )
+
+    t_limit = config.thermal.t_limit
+    worst = max(s.temperature for s in degraded.server_samples)
+    min_budget = min(s.budget for s in degraded.server_samples)
+    print(f"worst temperature          : {worst:.1f} C (T_limit {t_limit:.0f} C)")
+    print(f"minimum budget             : {min_budget:.1f} W (never negative)")
+    verdict = "held" if worst <= t_limit + 1e-6 and min_budget >= 0.0 else "VIOLATED"
+    print(f"safety invariants          : {verdict}")
+
+
+if __name__ == "__main__":
+    main()

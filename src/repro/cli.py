@@ -7,12 +7,15 @@ Usage::
     python -m repro.cli --vectorized --ticks 500     # array-based tick path
     python -m repro.cli bench                        # performance benchmarks
     python -m repro.cli bench --quick --out .        # CI smoke variant
+    python -m repro.cli degraded --drop 0.2 --latency 1 --crashes 2
 
 Builds the paper's 18-server data center (or a custom balanced tree),
 runs the controller, and prints a summary; optional CSV/JSON export.
 ``bench`` runs the hot-path benchmark harness
 (:mod:`repro.benchmarks.harness`) and writes ``BENCH_tick.json`` and
-``BENCH_sweep.json``.
+``BENCH_sweep.json``.  ``degraded`` runs the distributed control plane
+(:mod:`repro.control_plane`) under lossy transport and fault injection
+and reports the divergence from the ideal synchronous controller.
 """
 
 from __future__ import annotations
@@ -126,10 +129,183 @@ def bench_main(argv: List[str]) -> int:
     return 0
 
 
+def build_degraded_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli degraded",
+        description=(
+            "Run the distributed control plane under lossy transport and "
+            "fault injection; report divergence from the ideal controller."
+        ),
+    )
+    parser.add_argument(
+        "--ticks", type=int, default=80, help="control ticks to run"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    parser.add_argument(
+        "--utilization", type=float, default=0.5,
+        help="target mean utilization in (0, 1] (default 0.5)",
+    )
+    parser.add_argument(
+        "--drop", type=float, default=0.0, metavar="P",
+        help="per-link message drop probability in [0, 1)",
+    )
+    parser.add_argument(
+        "--latency", type=int, default=0, metavar="TICKS",
+        help="per-link base delivery latency in ticks",
+    )
+    parser.add_argument(
+        "--jitter", type=int, default=0, metavar="TICKS",
+        help="uniform extra delay in {0..JITTER} ticks per transmission",
+    )
+    parser.add_argument(
+        "--dup", type=float, default=0.0, metavar="P",
+        help="per-link duplication probability in [0, 1)",
+    )
+    parser.add_argument(
+        "--reorder", type=float, default=0.0, metavar="P",
+        help="probability a message is held back an extra tick",
+    )
+    parser.add_argument(
+        "--crashes", type=int, default=0, metavar="N",
+        help="inject N seeded PMU crash/restart windows",
+    )
+    parser.add_argument(
+        "--partitions", type=int, default=0, metavar="N",
+        help="inject N seeded link-partition windows",
+    )
+    parser.add_argument(
+        "--ttl", type=int, default=None, metavar="TICKS",
+        help="budget staleness TTL (default: 3 supply periods)",
+    )
+    parser.add_argument(
+        "--unreliable", action="store_true",
+        help="disable acks/retries (fire-and-forget transport)",
+    )
+    return parser
+
+
+def degraded_main(argv: List[str]) -> int:
+    args = build_degraded_parser().parse_args(argv)
+    if not 0.0 < args.utilization <= 1.0:
+        print("--utilization must be in (0, 1]", file=sys.stderr)
+        return 2
+    if args.ticks < 1:
+        print("--ticks must be >= 1", file=sys.stderr)
+        return 2
+    for name in ("drop", "dup", "reorder"):
+        if not 0.0 <= getattr(args, name) < 1.0:
+            print(f"--{name} must be in [0, 1)", file=sys.stderr)
+            return 2
+    if args.latency < 0 or args.jitter < 0:
+        print("--latency/--jitter must be >= 0", file=sys.stderr)
+        return 2
+    if args.crashes < 0 or args.partitions < 0:
+        print("--crashes/--partitions must be >= 0", file=sys.stderr)
+        return 2
+
+    from repro.control_plane import (
+        ControlPlaneConfig,
+        FaultSchedule,
+        LinkProfile,
+        StalenessPolicy,
+        divergence_summary,
+        random_fault_schedule,
+        run_distributed,
+    )
+    from repro.core import WillowConfig
+    from repro.core.controller import run_willow
+    from repro.metrics import summarize_run
+    from repro.topology import build_paper_simulation
+
+    config = WillowConfig()
+    tree = build_paper_simulation()
+    control_plane = ControlPlaneConfig(
+        default_link=LinkProfile(
+            latency_ticks=args.latency,
+            jitter_ticks=args.jitter,
+            drop_prob=args.drop,
+            dup_prob=args.dup,
+            reorder_prob=args.reorder,
+        ),
+        staleness=StalenessPolicy(ttl_ticks=args.ttl),
+        reliable=not args.unreliable,
+    )
+    faults = FaultSchedule()
+    if args.crashes or args.partitions:
+        faults = random_fault_schedule(
+            tree,
+            seed=args.seed,
+            horizon_ticks=args.ticks,
+            n_crashes=args.crashes,
+            n_partitions=args.partitions,
+        )
+
+    run_kwargs = dict(
+        config=config,
+        target_utilization=args.utilization,
+        n_ticks=args.ticks,
+        seed=args.seed,
+    )
+    controller, collector = run_distributed(
+        tree=tree, control_plane=control_plane, faults=faults, **run_kwargs
+    )
+    _, ideal = run_willow(**run_kwargs)
+
+    print(
+        f"Distributed Willow run: {len(tree.servers())} servers, "
+        f"U={args.utilization:.0%}, {args.ticks} ticks, seed {args.seed}"
+    )
+    print(
+        f"transport: drop={args.drop}, latency={args.latency}t, "
+        f"jitter={args.jitter}t, dup={args.dup}, reorder={args.reorder}, "
+        f"{'unreliable' if args.unreliable else 'reliable (ack+retry)'}"
+    )
+    for crash in faults.crashes:
+        print(
+            f"fault: PMU {crash.node_id} down ticks "
+            f"[{crash.start_tick}, {crash.end_tick})"
+        )
+    for part in faults.partitions:
+        print(
+            f"fault: link {part.link} partitioned ticks "
+            f"[{part.start_tick}, {part.end_tick})"
+        )
+    print(summarize_run(collector).format())
+
+    stats = controller.transport_stats()
+    print(
+        f"transport stats: sent={stats.sent} retransmits={stats.retransmits} "
+        f"delivered={stats.delivered} dup_delivered={stats.duplicates_delivered}"
+    )
+    print(
+        f"                 dropped: loss={stats.dropped_loss} "
+        f"partition={stats.dropped_partition} crash={stats.dropped_crash} "
+        f"expired={stats.expired} stale_discards={controller.stale_discards()}"
+    )
+    summary = divergence_summary(ideal, collector)
+    print(
+        "divergence vs ideal controller: "
+        f"budget {summary['budget_mean']:.2f} W mean / "
+        f"{summary['budget_max']:.1f} W max, "
+        f"temperature {summary['temperature_mean']:.3f} C mean / "
+        f"{summary['temperature_max']:.2f} C max"
+    )
+    t_limit = config.thermal.t_limit
+    worst = max(s.temperature for s in collector.server_samples)
+    print(
+        f"thermal safety: worst temperature {worst:.2f} C vs "
+        f"T_limit {t_limit:.0f} C "
+        f"({'OK' if worst <= t_limit + 1e-6 else 'VIOLATED'})"
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "bench":
         return bench_main(argv[1:])
+    if argv and argv[0] == "degraded":
+        return degraded_main(argv[1:])
     args = build_parser().parse_args(argv)
     if not 0.0 < args.utilization <= 1.0:
         print("--utilization must be in (0, 1]", file=sys.stderr)

@@ -1,0 +1,67 @@
+"""Distributed control-plane emulation (beyond the paper).
+
+The paper's Property 3 bounds control traffic to two messages per tree
+link per ``Delta_D`` -- but the reproduction's scalar controller
+computes the whole PMU hierarchy synchronously in-process, so the bound
+(and the thermal-safety invariants) were only ever *asserted* under
+ideal conditions.  This package exercises them under real transport
+conditions: every PMU is an agent exchanging actual
+:class:`~repro.control_plane.agents.DemandReport` /
+:class:`~repro.control_plane.agents.BudgetDirective` messages over a
+configurable lossy :class:`~repro.control_plane.transport.Transport`,
+with bounded retry, budget-staleness decay toward the thermally-safe
+floor, and deterministic crash/partition fault injection.
+
+Entry points: :class:`DistributedWillowController` /
+:func:`run_distributed` to run one; :func:`divergence_summary` to
+compare against the ideal synchronous controller;
+``python -m repro.cli degraded`` and ``examples/lossy_control_plane.py``
+for the guided tour; the ``degraded`` experiment for the drop-rate x
+latency sweep.
+"""
+
+from repro.control_plane.agents import (
+    BudgetDirective,
+    DemandReport,
+    InternalAgent,
+    LeafAgent,
+)
+from repro.control_plane.config import (
+    ControlPlaneConfig,
+    LinkProfile,
+    RetryPolicy,
+    StalenessPolicy,
+)
+from repro.control_plane.controller import (
+    DistributedWillowController,
+    run_distributed,
+)
+from repro.control_plane.divergence import divergence_series, divergence_summary
+from repro.control_plane.faults import (
+    CrashWindow,
+    FaultSchedule,
+    LinkPartition,
+    random_fault_schedule,
+)
+from repro.control_plane.transport import LinkStats, Transport
+
+__all__ = [
+    "BudgetDirective",
+    "ControlPlaneConfig",
+    "CrashWindow",
+    "DemandReport",
+    "DistributedWillowController",
+    "FaultSchedule",
+    "InternalAgent",
+    "LeafAgent",
+    "LinkPartition",
+    "LinkProfile",
+    "LinkStats",
+    "RetryPolicy",
+    "StalenessPolicy",
+    "Transport",
+    "divergence_series",
+    "divergence_summary",
+    "random_fault_schedule",
+    "run_distributed",
+]

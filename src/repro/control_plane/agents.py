@@ -1,0 +1,278 @@
+"""PMU agents: the per-node endpoints of the distributed control plane.
+
+Each tree node's power-management unit becomes an agent that sources
+**all** cross-node state from delivered messages:
+
+* a :class:`LeafAgent` wraps one :class:`~repro.core.state.ServerRuntime`;
+  every tick it reports ``(smoothed demand, hard cap)`` upward and it
+  enforces whatever budget directive last reached it;
+* an :class:`InternalAgent` wraps one
+  :class:`~repro.core.state.NodeRuntime`; it aggregates the *last
+  delivered* child reports (stale under loss), reports the aggregate
+  upward, and on receiving a budget directive divides it among its
+  children -- the exact capped proportional waterfill of the scalar
+  controller -- forwarding one directive per child link.
+
+Robustness is local: each agent counts ticks since its budget was
+refreshed and, past the staleness TTL, decays its budget toward the
+thermally-safe floor (:class:`~repro.control_plane.config.
+StalenessPolicy`).  A crashed agent freezes -- its last enforced budget
+outlives the controller, like real power-cap hardware -- and restarts
+empty, conservatively re-armed at the floor.
+
+Message payloads carry the sending tick; agents discard directives and
+reports older than the newest they have applied, so retransmissions and
+reordered frames can never roll state backwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.control_plane.config import StalenessPolicy
+from repro.control_plane.transport import Transport
+from repro.core.state import NodeRuntime, ServerRuntime
+from repro.power.budget import allocate_proportional
+from repro.topology.tree import Node
+
+__all__ = ["DemandReport", "BudgetDirective", "LeafAgent", "InternalAgent"]
+
+
+@dataclass(frozen=True)
+class DemandReport:
+    """Upward payload: one subtree's smoothed demand and hard cap (W)."""
+
+    node_id: int  # sender (the child endpoint of the link)
+    demand: float  # smoothed wall-watt demand of the subtree
+    cap: float  # aggregated min(P_limit, circuit) of the subtree
+    tick: int  # control tick the report describes
+
+
+@dataclass(frozen=True)
+class BudgetDirective:
+    """Downward payload: the budget granted to one child subtree (W)."""
+
+    node_id: int  # addressee (the child endpoint of the link)
+    budget: float
+    tick: int  # control tick the allocation was computed at
+
+
+class _AgentBase:
+    """Crash state and budget-staleness bookkeeping shared by both kinds."""
+
+    def __init__(
+        self, node: Node, staleness: StalenessPolicy, ttl_ticks: int
+    ):
+        self.node = node
+        self.staleness = staleness
+        self.ttl_ticks = ttl_ticks
+        self.crashed = False
+        self.ticks_since_budget = 0
+        self._last_directive_seq = -1
+        #: reordered/retransmitted frames discarded as stale
+        self.stale_discards = 0
+
+    # Subclasses bind these to their runtime object.
+    def _budget(self) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _set_budget(self, budget: float) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _safe_cap(self) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def tick_staleness(self) -> None:
+        """Advance the budget age; decay once it exceeds the TTL."""
+        if self.crashed:
+            return
+        self.ticks_since_budget += 1
+        if self.ticks_since_budget <= self.ttl_ticks:
+            return
+        floor = self.staleness.floor_fraction * self._safe_cap()
+        decayed = self.staleness.decayed(self._budget(), floor)
+        if decayed != self._budget():
+            self._set_budget(decayed)
+
+    def _accept_directive(self, directive: BudgetDirective, seq: int) -> bool:
+        """Order-guarded application of a budget directive."""
+        if self.crashed:
+            return False
+        if seq <= self._last_directive_seq:
+            self.stale_discards += 1
+            return False
+        self._last_directive_seq = seq
+        self._set_budget(directive.budget)
+        self.ticks_since_budget = 0
+        return True
+
+    def crash(self) -> None:
+        """PMU down: freeze; enforcement hardware holds the last budget."""
+        self.crashed = True
+
+    def restart(self) -> None:
+        """PMU back up with no state: re-arm at the thermally-safe floor."""
+        self.crashed = False
+        self.ticks_since_budget = 0
+        self._set_budget(self.staleness.floor_fraction * self._safe_cap())
+
+
+class LeafAgent(_AgentBase):
+    """The PMU of one physical server (a leaf of the hierarchy)."""
+
+    def __init__(
+        self,
+        node: Node,
+        server: ServerRuntime,
+        transport: Transport,
+        staleness: StalenessPolicy,
+        ttl_ticks: int,
+    ):
+        super().__init__(node, staleness, ttl_ticks)
+        self.server = server
+        self.transport = transport
+
+    def _budget(self) -> float:
+        return self.server.budget
+
+    def _set_budget(self, budget: float) -> None:
+        self.server.set_budget(budget)
+
+    def _safe_cap(self) -> float:
+        return self.server.hard_cap()
+
+    def tick_report(self, tick: int) -> None:
+        """Send this tick's (smoothed demand, hard cap) to the parent."""
+        if self.crashed:
+            return
+        self.transport.send(
+            self.node.node_id,
+            True,
+            DemandReport(
+                node_id=self.node.node_id,
+                demand=self.server.smoothed_demand,
+                cap=self.server.hard_cap(),
+                tick=tick,
+            ),
+        )
+
+    def on_directive(self, directive: BudgetDirective, seq: int) -> None:
+        self._accept_directive(directive, seq)
+
+
+class InternalAgent(_AgentBase):
+    """The PMU of one internal hierarchy node (rack, row, datacenter)."""
+
+    def __init__(
+        self,
+        node: Node,
+        runtime: NodeRuntime,
+        transport: Transport,
+        staleness: StalenessPolicy,
+        ttl_ticks: int,
+        *,
+        allocation_mode: str,
+        site_reserve: Callable[[Node], float],
+    ):
+        super().__init__(node, staleness, ttl_ticks)
+        self.runtime = runtime
+        self.transport = transport
+        self.allocation_mode = allocation_mode
+        self.site_reserve = site_reserve
+        #: last delivered per-child state, in ``node.children`` order
+        self.child_demand: Dict[int, float] = {
+            child.node_id: 0.0 for child in node.children
+        }
+        self.child_cap: Dict[int, float] = {
+            child.node_id: 0.0 for child in node.children
+        }
+        self._last_report_seq: Dict[int, int] = {
+            child.node_id: -1 for child in node.children
+        }
+
+    def _budget(self) -> float:
+        return self.runtime.budget
+
+    def _set_budget(self, budget: float) -> None:
+        self.runtime.set_budget(budget)
+
+    def _safe_cap(self) -> float:
+        return self._own_cap()
+
+    def _own_cap(self) -> float:
+        """Aggregate hard cap, folded in children order like the scalar."""
+        return sum(self.child_cap[c.node_id] for c in self.node.children)
+
+    # ------------------------------------------------------------- upward
+    def on_report(self, report: DemandReport, seq: int) -> None:
+        if self.crashed:
+            return
+        if seq <= self._last_report_seq.get(report.node_id, -1):
+            self.stale_discards += 1
+            return
+        self._last_report_seq[report.node_id] = seq
+        self.child_demand[report.node_id] = report.demand
+        self.child_cap[report.node_id] = report.cap
+
+    def tick_report(self, tick: int) -> None:
+        """Fold delivered child reports, smooth, and report upward."""
+        if self.crashed:
+            return
+        total = 0.0
+        for child in self.node.children:
+            total += self.child_demand[child.node_id]
+        self.runtime.observe_demand(total)
+        if self.node.is_root:
+            return
+        self.transport.send(
+            self.node.node_id,
+            True,
+            DemandReport(
+                node_id=self.node.node_id,
+                demand=self.runtime.smoothed_demand,
+                cap=self._own_cap(),
+                tick=tick,
+            ),
+        )
+
+    # ----------------------------------------------------------- downward
+    def on_supply(self, root_supply: float, tick: int) -> None:
+        """Root entry point: absorb the facility supply and distribute."""
+        if self.crashed:
+            return
+        self.runtime.set_budget(min(root_supply, self._own_cap()))
+        self.ticks_since_budget = 0
+        self._distribute(tick)
+
+    def on_directive(self, directive: BudgetDirective, seq: int) -> None:
+        if self._accept_directive(directive, seq):
+            self._distribute(directive.tick)
+
+    def _distribute(self, tick: int) -> None:
+        """Divide this node's budget among children; one message each.
+
+        Same arithmetic as ``WillowController._allocate_budgets``: the
+        colocated switch group's draw comes off the top, the rest is a
+        capped proportional waterfill over the *last delivered* child
+        demands and caps.
+        """
+        budget = max(self.runtime.budget - self.site_reserve(self.node), 0.0)
+        demands: List[float] = []
+        child_caps: List[float] = []
+        for child in self.node.children:
+            demands.append(self.child_demand[child.node_id])
+            child_caps.append(self.child_cap[child.node_id])
+        if self.allocation_mode == "capacity":
+            weights = list(child_caps)
+        else:
+            weights = demands
+        allocations, _unused = allocate_proportional(budget, weights, child_caps)
+        for child, allocation in zip(self.node.children, allocations):
+            self.transport.send(
+                child.node_id,
+                False,
+                BudgetDirective(
+                    node_id=child.node_id, budget=float(allocation), tick=tick
+                ),
+            )

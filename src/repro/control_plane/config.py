@@ -1,0 +1,186 @@
+"""Tunables for the distributed control-plane emulation.
+
+Three orthogonal knobs, each a frozen dataclass:
+
+* :class:`LinkProfile` -- per-link transport conditions (latency,
+  jitter, loss, duplication, extra reordering delay);
+* :class:`RetryPolicy` -- per-message timeout with bounded retry and
+  exponential backoff;
+* :class:`StalenessPolicy` -- how long a PMU trusts its last budget
+  directive and how it decays toward the thermally-safe floor
+  (``P_limit`` from Eqs. 1-3) once the directive goes stale.
+
+:class:`ControlPlaneConfig` bundles them with optional per-link
+overrides.  The default configuration is a *perfect* transport: zero
+latency, zero loss -- under it :class:`~repro.control_plane.controller.
+DistributedWillowController` reproduces the scalar controller exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+__all__ = [
+    "LinkProfile",
+    "RetryPolicy",
+    "StalenessPolicy",
+    "ControlPlaneConfig",
+]
+
+PERFECT = None  # sentinel docs only; LinkProfile() *is* the perfect link
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Transport conditions on one (child, parent) tree link.
+
+    Latencies are measured in control ticks (``Delta_D``); a latency of
+    zero delivers within the sending tick, exactly like the synchronous
+    in-process controller.
+
+    Attributes
+    ----------
+    latency_ticks:
+        Base one-way delivery delay, in ticks.
+    jitter_ticks:
+        Uniform extra delay in ``{0, ..., jitter_ticks}`` drawn per
+        transmission.  Jitter alone already produces reordering.
+    drop_prob:
+        Probability a transmission is lost in flight.
+    dup_prob:
+        Probability a delivered message is delivered a second time one
+        tick later (the receiver deduplicates by sequence number).
+    reorder_prob / reorder_extra_ticks:
+        With probability ``reorder_prob`` a transmission is held back
+        ``reorder_extra_ticks`` additional ticks, overtaking later
+        messages on the same link.
+    """
+
+    latency_ticks: int = 0
+    jitter_ticks: int = 0
+    drop_prob: float = 0.0
+    dup_prob: float = 0.0
+    reorder_prob: float = 0.0
+    reorder_extra_ticks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.latency_ticks < 0:
+            raise ValueError("latency_ticks must be >= 0")
+        if self.jitter_ticks < 0:
+            raise ValueError("jitter_ticks must be >= 0")
+        for name in ("drop_prob", "dup_prob", "reorder_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {p}")
+        if self.reorder_extra_ticks < 0:
+            raise ValueError("reorder_extra_ticks must be >= 0")
+
+    @property
+    def is_perfect(self) -> bool:
+        """True when the link neither delays nor perturbs messages."""
+        return (
+            self.latency_ticks == 0
+            and self.jitter_ticks == 0
+            and self.drop_prob == 0.0
+            and self.dup_prob == 0.0
+            and self.reorder_prob == 0.0
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retransmission with exponential backoff.
+
+    A reliable send arms a timer of ``timeout_ticks``; if no transport
+    acknowledgement arrives in time the message is retransmitted, the
+    timer doubling (``backoff``) each attempt, up to ``max_retries``
+    retransmissions.  Retransmissions count as *sent* control messages
+    (Property 3 is a bound on sends per link per ``Delta_D``; on a
+    healthy network no retries fire, so the paper's bound of 2 holds).
+    """
+
+    timeout_ticks: int = 2
+    max_retries: int = 3
+    backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.timeout_ticks < 1:
+            raise ValueError("timeout_ticks must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1.0")
+
+    def timeout_for_attempt(self, attempt: int) -> int:
+        """Timeout (ticks) armed after transmission ``attempt`` (0-based)."""
+        return max(1, int(round(self.timeout_ticks * self.backoff**attempt)))
+
+
+@dataclass(frozen=True)
+class StalenessPolicy:
+    """What a PMU does when its budget directive stops arriving.
+
+    The PMU *holds* its last budget for ``ttl_ticks``; once the budget
+    is older than the TTL it geometrically decays toward its
+    thermally-safe floor -- ``floor_fraction`` of the node's hard cap
+    ``min(P_limit, circuit)`` (Eqs. 1-3) -- hedging both thermal safety
+    (any budget at or below ``P_limit`` cannot violate ``T_limit``) and
+    the possibility that the unreachable supply has shrunk meanwhile.
+
+    ``ttl_ticks=None`` resolves to ``3 * eta1`` ticks (three missed
+    supply periods) at controller construction.
+    """
+
+    ttl_ticks: Optional[int] = None
+    decay: float = 0.8
+    floor_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.ttl_ticks is not None and self.ttl_ticks < 1:
+            raise ValueError("ttl_ticks must be >= 1 (or None)")
+        if not 0.0 <= self.decay < 1.0:
+            raise ValueError(f"decay must be in [0, 1), got {self.decay}")
+        if not 0.0 <= self.floor_fraction <= 1.0:
+            raise ValueError("floor_fraction must be in [0, 1]")
+
+    def resolve_ttl(self, eta1: int) -> int:
+        """Effective TTL in ticks for a supply period of ``eta1`` ticks."""
+        if self.ttl_ticks is not None:
+            return self.ttl_ticks
+        return 3 * eta1
+
+    def decayed(self, budget: float, floor: float) -> float:
+        """One tick of decay from ``budget`` toward ``floor`` (from above)."""
+        if budget <= floor:
+            return budget
+        return floor + (budget - floor) * self.decay
+
+
+@dataclass(frozen=True)
+class ControlPlaneConfig:
+    """Everything the distributed control plane needs beyond WillowConfig.
+
+    ``default_link`` applies to every tree link unless ``link_overrides``
+    maps that link id (= child node id) to its own profile.
+    """
+
+    default_link: LinkProfile = field(default_factory=LinkProfile)
+    link_overrides: Mapping[int, LinkProfile] = field(default_factory=dict)
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    staleness: StalenessPolicy = field(default_factory=StalenessPolicy)
+    #: Acks model transport-layer frames (cumulative/piggyback in a real
+    #: deployment) and are not counted against the Property-3 bound;
+    #: set False to disable reliability entirely (fire and forget).
+    reliable: bool = True
+
+    def link(self, link_id: int) -> LinkProfile:
+        """Profile for one link (child node id)."""
+        return self.link_overrides.get(link_id, self.default_link)
+
+    @property
+    def is_perfect(self) -> bool:
+        """True when every link is perfect (the equivalence regime)."""
+        return self.default_link.is_perfect and all(
+            profile.is_perfect for profile in self.link_overrides.values()
+        )

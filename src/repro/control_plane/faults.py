@@ -1,0 +1,149 @@
+"""Deterministic fault injection for the distributed control plane.
+
+Two fault classes, both expressed as half-open tick intervals so a
+schedule is reproducible from its literal contents:
+
+* :class:`CrashWindow` -- a PMU (any tree node's controller) is down
+  for ``[start_tick, end_tick)``: it neither sends nor processes
+  messages, and the transport drops anything addressed to it.  The
+  *physical* server keeps running at its last enforced budget (the
+  power-cap hardware outlives its controller); on restart the PMU comes
+  back empty and conservatively re-arms at its thermally-safe floor.
+* :class:`LinkPartition` -- a tree link carries nothing (either
+  direction) for ``[start_tick, end_tick)``.
+
+:func:`random_fault_schedule` draws a schedule from a seed via the same
+``numpy`` generator discipline the rest of the repo uses, so sweeps are
+replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.topology.tree import Tree
+
+__all__ = [
+    "CrashWindow",
+    "LinkPartition",
+    "FaultSchedule",
+    "random_fault_schedule",
+]
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """One PMU outage: crashed for ticks in ``[start_tick, end_tick)``."""
+
+    node_id: int
+    start_tick: int
+    end_tick: int
+
+    def __post_init__(self) -> None:
+        if self.start_tick < 0:
+            raise ValueError("start_tick must be >= 0")
+        if self.end_tick <= self.start_tick:
+            raise ValueError("end_tick must exceed start_tick")
+
+    def covers(self, tick: int) -> bool:
+        return self.start_tick <= tick < self.end_tick
+
+
+@dataclass(frozen=True)
+class LinkPartition:
+    """One link outage: partitioned for ticks in ``[start_tick, end_tick)``.
+
+    ``link`` is the child node id of the (child, parent) edge, matching
+    the link naming of :class:`repro.core.events.ControlMessage`.
+    """
+
+    link: int
+    start_tick: int
+    end_tick: int
+
+    def __post_init__(self) -> None:
+        if self.start_tick < 0:
+            raise ValueError("start_tick must be >= 0")
+        if self.end_tick <= self.start_tick:
+            raise ValueError("end_tick must exceed start_tick")
+
+    def covers(self, tick: int) -> bool:
+        return self.start_tick <= tick < self.end_tick
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A deterministic set of crash windows and link partitions."""
+
+    crashes: Tuple[CrashWindow, ...] = ()
+    partitions: Tuple[LinkPartition, ...] = ()
+
+    def is_crashed(self, node_id: int, tick: int) -> bool:
+        """Is ``node_id``'s PMU down at ``tick``?"""
+        return any(
+            c.node_id == node_id and c.covers(tick) for c in self.crashes
+        )
+
+    def is_partitioned(self, link: int, tick: int) -> bool:
+        """Is the link above ``link``'s child node down at ``tick``?"""
+        return any(p.link == link and p.covers(tick) for p in self.partitions)
+
+    @property
+    def empty(self) -> bool:
+        return not self.crashes and not self.partitions
+
+    def crashed_nodes(self) -> Tuple[int, ...]:
+        """Distinct node ids with at least one crash window, sorted."""
+        return tuple(sorted({c.node_id for c in self.crashes}))
+
+
+def random_fault_schedule(
+    tree: Tree,
+    *,
+    seed: int,
+    horizon_ticks: int,
+    n_crashes: int = 0,
+    n_partitions: int = 0,
+    min_duration: int = 4,
+    max_duration: int = 12,
+    include_root: bool = False,
+) -> FaultSchedule:
+    """Draw a reproducible fault schedule for one run.
+
+    Crash victims are drawn among non-root nodes by default (crashing
+    the root PMU stalls the entire supply loop; opt in with
+    ``include_root``).  Partition victims are drawn among all links.
+    Windows are uniform in ``[min_duration, max_duration]`` ticks and
+    start early enough to finish before ``horizon_ticks`` when
+    possible, so the run observes both the fault and the recovery.
+    """
+    if horizon_ticks < 1:
+        raise ValueError("horizon_ticks must be >= 1")
+    if not 1 <= min_duration <= max_duration:
+        raise ValueError("need 1 <= min_duration <= max_duration")
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 0xFA017]))
+    nodes = [n.node_id for n in tree if include_root or not n.is_root]
+    links = [n.node_id for n in tree if not n.is_root]
+
+    def windows(count: int, pool) -> list:
+        out = []
+        for _ in range(count):
+            victim = int(rng.choice(pool))
+            duration = int(rng.integers(min_duration, max_duration + 1))
+            latest = max(horizon_ticks - duration, 1)
+            start = int(rng.integers(0, latest))
+            out.append((victim, start, start + duration))
+        return out
+
+    crashes = tuple(
+        CrashWindow(node_id, start, end)
+        for node_id, start, end in windows(n_crashes, nodes)
+    )
+    partitions = tuple(
+        LinkPartition(link, start, end)
+        for link, start, end in windows(n_partitions, links)
+    )
+    return FaultSchedule(crashes=crashes, partitions=partitions)

@@ -1,0 +1,269 @@
+"""Message transport for the distributed PMU hierarchy.
+
+Every (child, parent) tree edge becomes a bidirectional *link* --
+identified, like :class:`repro.core.events.ControlMessage`, by the
+child's node id.  Payloads (demand reports upward, budget directives
+downward) travel through a :class:`Transport` that imposes per-link
+latency, jitter, loss, duplication and reordering, drawn from seeded
+:class:`~repro.sim.rng.RandomStreams` so every degraded run replays
+exactly.  Deliveries are scheduled on the shared
+:class:`~repro.sim.core.Environment` kernel; a zero-latency link
+delivers synchronously, which is what makes the perfect-transport
+configuration bit-identical to the in-process controller.
+
+Reliability is a thin ARQ layer: each payload send arms a timeout; on
+delivery the transport returns an acknowledgement frame over the same
+link (subject to the same conditions); a sender whose timer expires
+retransmits with exponential backoff up to the retry bound.  Payload
+transmissions -- including retransmissions -- are recorded as
+:class:`ControlMessage` in the collector, so Property 3 keeps counting
+*sent* messages per link per ``Delta_D``; ack frames model
+transport-level (piggybacked, in a real stack) signalling and are
+tracked only in :class:`LinkStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.control_plane.config import ControlPlaneConfig
+from repro.core.events import ControlMessage
+from repro.metrics.collector import MetricsCollector
+from repro.sim.core import Environment
+from repro.sim.rng import RandomStreams
+
+__all__ = ["LinkStats", "Transport"]
+
+#: handler(payload, seq) -- seq increases with send order per direction.
+Handler = Callable[[Any, int], None]
+
+
+@dataclass
+class LinkStats:
+    """Per-link transport counters (payloads unless prefixed ``acks_``)."""
+
+    sent: int = 0  # first transmissions
+    retransmits: int = 0  # timeout-driven resends
+    delivered: int = 0  # first-time deliveries handed to the agent
+    duplicates_delivered: int = 0  # deduplicated arrivals (dup or re-send)
+    dropped_loss: int = 0  # lost to random loss
+    dropped_partition: int = 0  # lost to a link partition
+    dropped_crash: int = 0  # receiver PMU was down
+    expired: int = 0  # gave up after max retries
+    acks_sent: int = 0
+    acks_delivered: int = 0
+    acks_dropped: int = 0
+
+    def add(self, other: "LinkStats") -> None:
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class Transport:
+    """Lossy, delayed, duplicating message fabric over the tree links.
+
+    Parameters
+    ----------
+    env:
+        The simulation kernel deliveries are scheduled on.
+    config:
+        Link profiles, retry policy, reliability switch.
+    streams:
+        Seeded stream family; the transport draws from
+        ``transport/link-<id>`` streams only, so enabling it never
+        perturbs demand or placement randomness.
+    collector:
+        Destination for :class:`ControlMessage` records (one per payload
+        transmission, retransmissions included).
+    tick_length:
+        Seconds per control tick (``config.delta_d`` of the run).
+    is_partitioned / is_receiver_down:
+        Fault oracles ``(link, tick) -> bool`` and ``(node_id, tick) ->
+        bool``; default to healthy.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        config: ControlPlaneConfig,
+        streams: RandomStreams,
+        collector: MetricsCollector,
+        *,
+        tick_length: float = 1.0,
+        is_partitioned: Optional[Callable[[int, int], bool]] = None,
+        is_receiver_down: Optional[Callable[[int, int], bool]] = None,
+    ):
+        if tick_length <= 0:
+            raise ValueError("tick_length must be positive")
+        self.env = env
+        self.config = config
+        self.streams = streams
+        self.collector = collector
+        self.tick_length = float(tick_length)
+        self._is_partitioned = is_partitioned or (lambda link, tick: False)
+        self._is_receiver_down = is_receiver_down or (lambda node, tick: False)
+
+        self.stats: Dict[int, LinkStats] = {}
+        #: link id -> (child node id, parent node id)
+        self._endpoints: Dict[int, Tuple[int, int]] = {}
+        self._handlers: Dict[Tuple[int, bool], Handler] = {}
+        self._seq: Dict[Tuple[int, bool], int] = {}
+        #: (link, upward, seq) -> (payload, attempt) awaiting an ack
+        self._pending: Dict[Tuple[int, bool, int], Tuple[Any, int]] = {}
+        self._delivered_seqs: Dict[Tuple[int, bool], Set[int]] = {}
+
+    # ------------------------------------------------------------ wiring
+    def register_link(self, link: int, child_id: int, parent_id: int) -> None:
+        """Declare one tree edge; must precede sends on that link."""
+        self._endpoints[link] = (child_id, parent_id)
+        self.stats.setdefault(link, LinkStats())
+
+    def set_handler(self, link: int, upward: bool, handler: Handler) -> None:
+        """Attach the receiving agent's callback for one direction."""
+        if link not in self._endpoints:
+            raise ValueError(f"unknown link {link}; register_link first")
+        self._handlers[(link, upward)] = handler
+
+    # ------------------------------------------------------------- sending
+    def send(self, link: int, upward: bool, payload: Any) -> int:
+        """Transmit ``payload`` on ``link``; returns its sequence number."""
+        if link not in self._endpoints:
+            raise ValueError(f"unknown link {link}; register_link first")
+        key = (link, upward)
+        seq = self._seq.get(key, 0)
+        self._seq[key] = seq + 1
+        self._transmit(link, upward, seq, payload, attempt=0)
+        return seq
+
+    def _transmit(
+        self, link: int, upward: bool, seq: int, payload: Any, attempt: int
+    ) -> None:
+        now = self.env.now
+        stats = self.stats[link]
+        if attempt == 0:
+            stats.sent += 1
+        else:
+            stats.retransmits += 1
+        self.collector.record_message(ControlMessage(now, link=link, upward=upward))
+
+        if self.config.reliable:
+            self._pending[(link, upward, seq)] = (payload, attempt)
+            timeout = self.config.retry.timeout_for_attempt(attempt)
+            self.env.call_at(
+                now + timeout * self.tick_length,
+                lambda: self._check_ack(link, upward, seq),
+            )
+
+        profile = self.config.link(link)
+        rng = self.streams[f"transport/link-{link}"]
+        if self._is_partitioned(link, self._tick()):
+            stats.dropped_partition += 1
+            return
+        if profile.drop_prob and rng.random() < profile.drop_prob:
+            stats.dropped_loss += 1
+            return
+        delay = profile.latency_ticks
+        if profile.jitter_ticks:
+            delay += int(rng.integers(0, profile.jitter_ticks + 1))
+        if profile.reorder_prob and rng.random() < profile.reorder_prob:
+            delay += profile.reorder_extra_ticks
+        self._at(delay, lambda: self._deliver(link, upward, seq, payload))
+        if profile.dup_prob and rng.random() < profile.dup_prob:
+            self._at(delay + 1, lambda: self._deliver(link, upward, seq, payload))
+
+    # ------------------------------------------------------------ delivery
+    def _deliver(self, link: int, upward: bool, seq: int, payload: Any) -> None:
+        stats = self.stats[link]
+        receiver = self.receiver(link, upward)
+        if self._is_receiver_down(receiver, self._tick()):
+            stats.dropped_crash += 1
+            return
+        # Ack every arrival, duplicates included: the original ack may
+        # be the frame that got lost.
+        if self.config.reliable:
+            self._send_ack(link, upward, seq)
+        seen = self._delivered_seqs.setdefault((link, upward), set())
+        if seq in seen:
+            stats.duplicates_delivered += 1
+            return
+        seen.add(seq)
+        stats.delivered += 1
+        handler = self._handlers.get((link, upward))
+        if handler is not None:
+            handler(payload, seq)
+
+    def _send_ack(self, link: int, upward: bool, seq: int) -> None:
+        stats = self.stats[link]
+        stats.acks_sent += 1
+        profile = self.config.link(link)
+        rng = self.streams[f"transport/link-{link}"]
+        if self._is_partitioned(link, self._tick()):
+            stats.acks_dropped += 1
+            return
+        if profile.drop_prob and rng.random() < profile.drop_prob:
+            stats.acks_dropped += 1
+            return
+        delay = profile.latency_ticks
+        if profile.jitter_ticks:
+            delay += int(rng.integers(0, profile.jitter_ticks + 1))
+        self._at(delay, lambda: self._ack_arrived(link, upward, seq))
+
+    def _ack_arrived(self, link: int, upward: bool, seq: int) -> None:
+        stats = self.stats[link]
+        sender = self.receiver(link, not upward)
+        if self._is_receiver_down(sender, self._tick()):
+            stats.acks_dropped += 1
+            return
+        if self._pending.pop((link, upward, seq), None) is not None:
+            stats.acks_delivered += 1
+
+    def _check_ack(self, link: int, upward: bool, seq: int) -> None:
+        entry = self._pending.get((link, upward, seq))
+        if entry is None:
+            return  # acked in time
+        payload, attempt = entry
+        stats = self.stats[link]
+        sender = self.receiver(link, not upward)
+        if self._is_receiver_down(sender, self._tick()):
+            # A crashed PMU cannot run its retry timers.
+            self._pending.pop((link, upward, seq))
+            stats.expired += 1
+            return
+        if attempt >= self.config.retry.max_retries:
+            self._pending.pop((link, upward, seq))
+            stats.expired += 1
+            return
+        self._pending.pop((link, upward, seq))
+        self._transmit(link, upward, seq, payload, attempt + 1)
+
+    # ------------------------------------------------------------- helpers
+    def receiver(self, link: int, upward: bool) -> int:
+        """Node id that direction's payloads are addressed to."""
+        child_id, parent_id = self._endpoints[link]
+        return parent_id if upward else child_id
+
+    def _tick(self) -> int:
+        return int(round(self.env.now / self.tick_length))
+
+    def _at(self, delay_ticks: int, callback: Callable[[], None]) -> None:
+        if delay_ticks <= 0:
+            callback()
+        else:
+            self.env.call_at(
+                self.env.now + delay_ticks * self.tick_length, callback
+            )
+
+    def total_stats(self) -> LinkStats:
+        """Counters summed over every link."""
+        total = LinkStats()
+        for stats in self.stats.values():
+            total.add(stats)
+        return total
+
+    def in_flight(self) -> int:
+        """Payloads sent but neither acked nor given up on."""
+        return len(self._pending)

@@ -23,6 +23,7 @@ from typing import Callable, Dict
 from repro.experiments import (
     extensions,
     imbalance,
+    fig_degraded,
     fig04_thermal,
     fig05_power,
     fig06_temperature,
@@ -60,6 +61,7 @@ REGISTRY: Dict[str, Callable] = {
     "properties": properties.run,
     "extensions": extensions.run,
     "imbalance": imbalance.run,
+    "degraded": fig_degraded.run,
 }
 
 

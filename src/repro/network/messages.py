@@ -24,8 +24,26 @@ def max_messages_per_link(collector: MetricsCollector) -> Dict[int, int]:
 
 
 def verify_message_bound(collector: MetricsCollector, bound: int = 2) -> bool:
-    """True iff no link ever carried more than ``bound`` messages/tick."""
+    """True iff no link ever carried more than ``bound`` messages/tick.
+
+    The bound applies to *sent* control messages per link per tick --
+    under a lossy transport (:mod:`repro.control_plane`) dropped and
+    duplicated deliveries do not change the count, but retransmissions
+    are genuine sends and do.
+
+    Raises :class:`ValueError` if the collector recorded no messages at
+    all: an ``all()`` over an empty dict would be vacuously true, and a
+    run that never exchanged control traffic proves nothing about
+    Property 3 (most likely the controller never ran, or messages were
+    recorded into a different collector).
+    """
     worst = max_messages_per_link(collector)
+    if not worst:
+        raise ValueError(
+            "collector recorded no control messages; Property 3 cannot be "
+            "verified on an empty run (did the controller run, and with "
+            "this collector?)"
+        )
     return all(count <= bound for count in worst.values())
 
 

@@ -57,6 +57,31 @@ def test_invalid_arguments_rejected(argv, capsys):
     assert main(argv) == 2
 
 
+def test_degraded_subcommand(capsys):
+    assert main(
+        ["degraded", "--ticks", "8", "--drop", "0.1", "--latency", "1",
+         "--crashes", "1"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "transport stats" in out
+    assert "divergence vs ideal controller" in out
+    assert "thermal safety" in out
+    assert "VIOLATED" not in out
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["degraded", "--drop", "1.5"],
+        ["degraded", "--ticks", "0"],
+        ["degraded", "--utilization", "0"],
+        ["degraded", "--latency", "-1"],
+    ],
+)
+def test_degraded_invalid_arguments_rejected(argv, capsys):
+    assert main(argv) == 2
+
+
 def test_thermal_time_to_limit_exposed():
     # The CLI story relies on the calibrated window; sanity-check the
     # new thermal utility agrees with it end to end.

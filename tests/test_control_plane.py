@@ -1,0 +1,488 @@
+"""Distributed control-plane tests (transport, agents, faults, contract).
+
+Two pillars, mirroring ``tests/test_vectorized_equivalence.py``:
+
+* **Equivalence** -- with a perfect transport and no faults the
+  :class:`DistributedWillowController` reproduces the scalar controller
+  *exactly*: every budget, power and temperature sample, every
+  migration, and the control-message multiset.
+* **Safety under degradation** -- under any injected fault schedule
+  (loss, latency, duplication, reordering, crashes, partitions) no
+  server temperature exceeds ``T_limit`` and no budget goes negative,
+  asserted both on hand-picked scenarios and property-style over random
+  drop rates and seeds.
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control_plane import (
+    ControlPlaneConfig,
+    CrashWindow,
+    DistributedWillowController,
+    FaultSchedule,
+    LinkPartition,
+    LinkProfile,
+    RetryPolicy,
+    StalenessPolicy,
+    divergence_summary,
+    random_fault_schedule,
+    run_distributed,
+)
+from repro.core.config import WillowConfig
+from repro.core.controller import run_willow
+from repro.experiments.common import hot_zone_overrides
+from repro.network import verify_message_bound
+from repro.network.messages import messages_per_direction
+from repro.topology.builders import build_balanced, build_paper_simulation
+
+T_LIMIT = WillowConfig().thermal.t_limit
+
+
+def _server_series(collector, attr):
+    return np.array([getattr(s, attr) for s in collector.server_samples])
+
+
+def _assert_safe(collector):
+    """The two invariants every degraded run must keep."""
+    temps = _server_series(collector, "temperature")
+    budgets = _server_series(collector, "budget")
+    assert temps.max() <= T_LIMIT + 1e-6
+    assert budgets.min() >= 0.0
+
+
+class TestPerfectTransportEquivalence:
+    """The formal contract: a perfect transport is the scalar controller.
+
+    Hot zone + utilization 0.95 exercises thermal caps, deficits,
+    migrations, drops and consolidation -- the same stressed regime the
+    vectorized contract uses.
+    """
+
+    KW = dict(
+        target_utilization=0.95,
+        n_ticks=60,
+        seed=7,
+        ambient_overrides=hot_zone_overrides(),
+    )
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        _, ideal = run_willow(**self.KW)
+        controller, distributed = run_distributed(**self.KW)
+        return ideal, distributed, controller
+
+    def test_default_config_is_perfect(self, pair):
+        *_, controller = pair
+        assert isinstance(controller, DistributedWillowController)
+        assert controller.control_plane.is_perfect
+        assert controller.faults.empty
+
+    @pytest.mark.parametrize(
+        "attr", ["budget", "power", "temperature", "demand", "utilization"]
+    )
+    def test_server_series_bit_identical(self, pair, attr):
+        ideal, distributed, _ = pair
+        a, b = _server_series(ideal, attr), _server_series(distributed, attr)
+        assert a.shape == b.shape
+        assert np.array_equal(a, b), f"{attr} differs bit-wise"
+
+    def test_sleep_states_identical(self, pair):
+        ideal, distributed, _ = pair
+        assert [s.asleep for s in ideal.server_samples] == [
+            s.asleep for s in distributed.server_samples
+        ]
+
+    def test_migrations_identical(self, pair):
+        ideal, distributed, _ = pair
+        key = lambda m: (m.time, m.vm_id, m.src_id, m.dst_id, m.cause)
+        assert [key(m) for m in ideal.migrations] == [
+            key(m) for m in distributed.migrations
+        ]
+        assert len(ideal.migrations) > 0  # the run must exercise the path
+
+    def test_message_multiset_identical(self, pair):
+        # Ordering within a tick differs (agents send depth-first, the
+        # scalar loop level-order) but the (link, time, direction)
+        # multiset -- what Property 3 counts -- must match exactly.
+        ideal, distributed, _ = pair
+        key = lambda m: (m.link, m.time, m.upward)
+        assert Counter(map(key, ideal.messages)) == Counter(
+            map(key, distributed.messages)
+        )
+
+    def test_divergence_summary_all_zero(self, pair):
+        ideal, distributed, _ = pair
+        assert all(v == 0.0 for v in divergence_summary(ideal, distributed).values())
+
+    def test_no_retransmissions_or_leaks(self, pair):
+        *_, controller = pair
+        stats = controller.transport_stats()
+        assert stats.retransmits == 0
+        assert stats.delivered == stats.sent
+        assert stats.dropped_loss == stats.expired == 0
+        assert controller.transport.in_flight() == 0
+        assert controller.stale_discards() == 0
+
+
+class TestMessageAccounting:
+    """Per-link accounting: delivered vs dropped vs duplicated, and the
+    Property-3 bound on *sent* messages under a healthy network."""
+
+    def test_perfect_transport_direction_totals(self):
+        n_ticks, eta1 = 20, WillowConfig().eta1
+        tree = build_balanced([3, 3])
+        controller, collector = run_distributed(
+            tree=tree, target_utilization=0.5, n_ticks=n_ticks, seed=1
+        )
+        n_links = sum(1 for n in tree if not n.is_root)
+        split = messages_per_direction(collector)
+        # One report per link per tick; one directive per link per
+        # supply period (ticks 0, eta1, 2*eta1, ...).
+        assert split["upward"] == n_links * n_ticks
+        assert split["downward"] == n_links * ((n_ticks + eta1 - 1) // eta1)
+        assert verify_message_bound(collector, bound=2)
+
+    def test_healthy_latency_respects_bound(self):
+        # Latency alone (no loss) must not spawn retransmissions as long
+        # as the retry timeout covers the round trip -- so the paper's
+        # <= 2 sends per link per Delta_D survives the reliable layer.
+        cp = ControlPlaneConfig(
+            default_link=LinkProfile(latency_ticks=2),
+            retry=RetryPolicy(timeout_ticks=6),
+        )
+        controller, collector = run_distributed(
+            tree=build_balanced([3, 3]),
+            control_plane=cp,
+            target_utilization=0.5,
+            n_ticks=24,
+            seed=2,
+        )
+        assert controller.transport_stats().retransmits == 0
+        assert verify_message_bound(collector, bound=2)
+
+    def test_lossy_link_accounting_balances(self):
+        # Fire-and-forget: every transmission either delivers once or is
+        # counted against exactly one drop bucket; duplicates are extras.
+        cp = ControlPlaneConfig(
+            default_link=LinkProfile(
+                latency_ticks=1, drop_prob=0.3, dup_prob=0.2
+            ),
+            reliable=False,
+        )
+        controller, collector = run_distributed(
+            tree=build_balanced([3, 3]),
+            control_plane=cp,
+            target_utilization=0.5,
+            n_ticks=40,
+            seed=3,
+        )
+        stats = controller.transport_stats()
+        assert stats.retransmits == 0  # unreliable: no ARQ
+        assert stats.sent == stats.delivered + stats.dropped_loss
+        assert stats.dropped_loss > 0
+        assert stats.duplicates_delivered > 0
+        assert stats.duplicates_delivered <= stats.delivered
+        # Every payload transmission -- and nothing else -- was recorded
+        # as a control message, per link.
+        per_link = Counter(m.link for m in collector.messages)
+        for link, link_stats in controller.transport.stats.items():
+            assert per_link[link] == link_stats.sent + link_stats.retransmits
+
+    def test_retransmissions_are_recorded_as_sends(self):
+        cp = ControlPlaneConfig(
+            default_link=LinkProfile(drop_prob=0.4)
+        )
+        controller, collector = run_distributed(
+            tree=build_balanced([3, 3]),
+            control_plane=cp,
+            target_utilization=0.5,
+            n_ticks=30,
+            seed=4,
+        )
+        stats = controller.transport_stats()
+        assert stats.retransmits > 0
+        assert len(collector.messages) == stats.sent + stats.retransmits
+
+
+class TestStalenessDecay:
+    def test_orphaned_server_decays_to_thermal_floor(self):
+        # Cut one leaf's link right after the first allocation: past the
+        # TTL its budget must decay to floor_fraction x its hard cap.
+        tree = build_balanced([3, 3])
+        orphan = tree.servers()[0].node_id
+        faults = FaultSchedule(
+            partitions=(LinkPartition(orphan, start_tick=1, end_tick=10_000),)
+        )
+        controller, collector = run_distributed(
+            tree=tree,
+            faults=faults,
+            target_utilization=0.7,
+            n_ticks=60,
+            seed=5,
+        )
+        server = controller.servers[orphan]
+        floor_fraction = controller.control_plane.staleness.floor_fraction
+        assert server.budget == pytest.approx(
+            floor_fraction * server.hard_cap(), rel=0.05
+        )
+        # Unaffected servers keep hearing fresh directives.
+        for leaf in tree.servers():
+            if leaf.node_id == orphan:
+                continue
+            agent = controller.leaf_agents[leaf.node_id]
+            ttl = controller.control_plane.staleness.resolve_ttl(
+                controller.config.eta1
+            )
+            assert agent.ticks_since_budget <= controller.config.eta1 < ttl
+        _assert_safe(collector)
+
+    def test_budget_holds_within_ttl(self):
+        # A partition shorter than the TTL never triggers decay: the
+        # last directive is simply held.
+        tree = build_balanced([3, 3])
+        orphan = tree.servers()[0].node_id
+        ttl = 3 * WillowConfig().eta1
+        faults = FaultSchedule(
+            partitions=(
+                LinkPartition(orphan, start_tick=9, end_tick=9 + ttl - 2),
+            )
+        )
+        perfect, _ = run_distributed(
+            tree=build_balanced([3, 3]),
+            target_utilization=0.5,
+            n_ticks=9 + ttl,
+            seed=6,
+        )
+        partitioned, _ = run_distributed(
+            tree=tree,
+            faults=faults,
+            target_utilization=0.5,
+            n_ticks=9 + ttl,
+            seed=6,
+        )
+        # Same budget the healthy run last granted, still in force.
+        assert partitioned.servers[orphan].budget == pytest.approx(
+            perfect.servers[tree.servers()[0].node_id].budget
+        )
+
+
+class TestCrashRestart:
+    def test_crashed_pmu_drops_traffic_and_recovers(self):
+        tree = build_balanced([3, 3])
+        rack = tree.root.children[0]
+        faults = FaultSchedule(
+            crashes=(CrashWindow(rack.node_id, start_tick=10, end_tick=20),)
+        )
+        controller, collector = run_distributed(
+            tree=tree,
+            faults=faults,
+            target_utilization=0.6,
+            n_ticks=40,
+            seed=7,
+        )
+        stats = controller.transport_stats()
+        assert stats.dropped_crash > 0  # traffic addressed to the dead PMU
+        agent = controller.internal_agents[rack.node_id]
+        assert not agent.crashed  # window ended; the PMU is back
+        # Recovered: the subtree hears directives again after restart.
+        ttl = controller.control_plane.staleness.resolve_ttl(
+            controller.config.eta1
+        )
+        for child in rack.children:
+            assert (
+                controller.leaf_agents[child.node_id].ticks_since_budget < ttl
+            )
+        _assert_safe(collector)
+
+    def test_restart_rearms_at_floor(self):
+        # Crash a rack PMU until after the horizon: it restarts never,
+        # and its children decay on their own; the frozen PMU must not
+        # hand out budgets while down.
+        tree = build_balanced([3, 3])
+        rack = tree.root.children[1]
+        faults = FaultSchedule(
+            crashes=(CrashWindow(rack.node_id, start_tick=4, end_tick=10_000),)
+        )
+        controller, collector = run_distributed(
+            tree=tree,
+            faults=faults,
+            target_utilization=0.6,
+            n_ticks=50,
+            seed=8,
+        )
+        assert controller.internal_agents[rack.node_id].crashed
+        floor_fraction = controller.control_plane.staleness.floor_fraction
+        for child in rack.children:
+            server = controller.servers[child.node_id]
+            assert server.budget == pytest.approx(
+                floor_fraction * server.hard_cap(), rel=0.05
+            )
+        _assert_safe(collector)
+
+
+class TestFaultedRunSafety:
+    """The kitchen sink: loss + jitter + dup + reorder + crashes +
+    partitions on the paper topology, and the invariants still hold."""
+
+    def test_paper_fleet_survives_everything(self):
+        tree = build_paper_simulation()
+        faults = random_fault_schedule(
+            tree, seed=3, horizon_ticks=60, n_crashes=2, n_partitions=2
+        )
+        assert not faults.empty
+        cp = ControlPlaneConfig(
+            default_link=LinkProfile(
+                latency_ticks=1,
+                jitter_ticks=1,
+                drop_prob=0.3,
+                dup_prob=0.1,
+                reorder_prob=0.1,
+            )
+        )
+        controller, collector = run_distributed(
+            tree=tree,
+            control_plane=cp,
+            faults=faults,
+            target_utilization=0.6,
+            n_ticks=60,
+            seed=3,
+        )
+        _assert_safe(collector)
+        stats = controller.transport_stats()
+        assert stats.dropped_loss > 0
+        assert stats.retransmits > 0
+        assert controller.transport.in_flight() == 0  # no leaked timers
+
+
+class TestSafetyProperties:
+    """Property-style: thermal safety and non-negative budgets hold for
+    random drop rates, latencies and fault schedules."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        drop=st.floats(min_value=0.0, max_value=0.45),
+        latency=st.integers(min_value=0, max_value=2),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_lossy_runs_stay_safe(self, drop, latency, seed):
+        cp = ControlPlaneConfig(
+            default_link=LinkProfile(
+                latency_ticks=latency,
+                jitter_ticks=min(latency, 1),
+                drop_prob=drop,
+            )
+        )
+        _, collector = run_distributed(
+            tree=build_balanced([3, 3]),
+            control_plane=cp,
+            target_utilization=0.7,
+            n_ticks=24,
+            seed=seed,
+        )
+        _assert_safe(collector)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_faulted_runs_stay_safe(self, seed):
+        tree = build_balanced([3, 3])
+        faults = random_fault_schedule(
+            tree, seed=seed, horizon_ticks=24, n_crashes=1, n_partitions=1
+        )
+        _, collector = run_distributed(
+            tree=tree,
+            faults=faults,
+            control_plane=ControlPlaneConfig(
+                default_link=LinkProfile(drop_prob=0.15)
+            ),
+            target_utilization=0.7,
+            n_ticks=24,
+            seed=seed,
+        )
+        _assert_safe(collector)
+
+
+class TestFaultScheduleAPI:
+    def test_windows_are_half_open(self):
+        window = CrashWindow(node_id=1, start_tick=5, end_tick=10)
+        assert not window.covers(4)
+        assert window.covers(5)
+        assert window.covers(9)
+        assert not window.covers(10)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            CrashWindow(1, start_tick=-1, end_tick=3)
+        with pytest.raises(ValueError):
+            LinkPartition(1, start_tick=5, end_tick=5)
+
+    def test_schedule_queries(self):
+        schedule = FaultSchedule(
+            crashes=(CrashWindow(3, 0, 4), CrashWindow(5, 2, 6)),
+            partitions=(LinkPartition(7, 1, 3),),
+        )
+        assert schedule.is_crashed(3, 0) and not schedule.is_crashed(3, 4)
+        assert schedule.is_partitioned(7, 2) and not schedule.is_partitioned(8, 2)
+        assert schedule.crashed_nodes() == (3, 5)
+        assert not schedule.empty
+        assert FaultSchedule().empty
+
+    def test_random_schedule_deterministic_and_bounded(self):
+        tree = build_balanced([3, 3])
+        a = random_fault_schedule(
+            tree, seed=9, horizon_ticks=50, n_crashes=3, n_partitions=2
+        )
+        b = random_fault_schedule(
+            tree, seed=9, horizon_ticks=50, n_crashes=3, n_partitions=2
+        )
+        assert a == b
+        root = tree.root.node_id
+        for crash in a.crashes:
+            assert crash.node_id != root  # root excluded by default
+            assert 0 <= crash.start_tick < 50
+        for part in a.partitions:
+            assert 0 <= part.start_tick < 50
+
+
+class TestConfigValidation:
+    def test_link_profile_validation(self):
+        assert LinkProfile().is_perfect
+        assert not LinkProfile(latency_ticks=1).is_perfect
+        with pytest.raises(ValueError):
+            LinkProfile(drop_prob=1.0)
+        with pytest.raises(ValueError):
+            LinkProfile(latency_ticks=-1)
+
+    def test_retry_backoff_schedule(self):
+        policy = RetryPolicy(timeout_ticks=2, backoff=2.0, max_retries=3)
+        assert [policy.timeout_for_attempt(k) for k in range(4)] == [2, 4, 8, 16]
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_ticks=0)
+
+    def test_staleness_policy(self):
+        policy = StalenessPolicy(decay=0.5, floor_fraction=0.5)
+        assert policy.resolve_ttl(4) == 12  # default: three supply periods
+        assert StalenessPolicy(ttl_ticks=7).resolve_ttl(4) == 7
+        assert policy.decayed(100.0, 60.0) == pytest.approx(80.0)
+        assert policy.decayed(50.0, 60.0) == 50.0  # never decays upward
+        with pytest.raises(ValueError):
+            StalenessPolicy(decay=1.0)
+
+    def test_link_overrides(self):
+        slow = LinkProfile(latency_ticks=3)
+        cp = ControlPlaneConfig(link_overrides={4: slow})
+        assert cp.link(4) is slow
+        assert cp.link(5) is cp.default_link
+        assert not cp.is_perfect
+
+
+class TestDivergenceGuards:
+    def test_mismatched_runs_rejected(self):
+        _, a = run_willow(target_utilization=0.4, n_ticks=4, seed=1)
+        _, b = run_willow(target_utilization=0.4, n_ticks=6, seed=1)
+        with pytest.raises(ValueError, match="not comparable"):
+            divergence_summary(a, b)

@@ -83,6 +83,12 @@ class TestMessages:
         collector.record_message(ControlMessage(0.0, link=2, upward=False))
         assert messages_per_direction(collector) == {"upward": 1, "downward": 1}
 
+    def test_empty_collector_raises_not_vacuous_true(self):
+        # An all() over zero links would be vacuously True; a run that
+        # exchanged no control traffic must not "verify" Property 3.
+        with pytest.raises(ValueError, match="no control messages"):
+            verify_message_bound(MetricsCollector())
+
 
 class TestPaths:
     def _mig(self, hops, local):
