@@ -10,7 +10,7 @@ test:
 examples-smoke:
 	@set -e; for script in examples/*.py; do \
 		echo "== $$script"; \
-		WILLOW_EXAMPLE_TICKS=12 $(PYTHON) $$script > /dev/null; \
+		WILLOW_EXAMPLE_TICKS=12 timeout 120 $(PYTHON) $$script > /dev/null; \
 	done; echo "all examples OK"
 
 ## Full performance run: writes BENCH_tick.json / BENCH_sweep.json.

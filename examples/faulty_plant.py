@@ -1,0 +1,139 @@
+"""Faulty plant: Willow when the hardware itself misbehaves.
+
+The paper's controller assumes servers stay up, sensors tell the truth
+and the cooling plant keeps the inlet at 25 C.  This example runs the
+18-server fleet through a gauntlet of *physical* faults with the
+sensor-fault-tolerant controller (:mod:`repro.plant_faults`): a server
+crashes mid-run (its VMs are evacuated, then re-admitted after the
+S3/S4 resume), one thermal sensor gets stuck and another drifts (both
+are quarantined and the affected servers run open loop on the RC
+model), a CRAC unit derates and ramps one zone's ambient up, and a
+branch circuit trips, zeroing its subtree's budget.
+
+Quality of service degrades gracefully -- demand is dropped or
+rebalanced -- but the safety invariants hold: no server ever exceeds
+``T_limit`` and no budget goes negative.
+
+Run with::
+
+    python examples/faulty_plant.py
+
+Set ``WILLOW_EXAMPLE_TICKS`` to shorten the run (CI smoke uses 12).
+"""
+
+import os
+
+from repro.core import WillowConfig
+from repro.core.controller import run_willow
+from repro.core.events import MigrationCause
+from repro.plant_faults import (
+    SENSOR_DRIFT,
+    SENSOR_STUCK,
+    CircuitTrip,
+    CoolingDegradation,
+    PlantFaultSchedule,
+    SensorFault,
+    ServerCrash,
+    run_resilient,
+)
+from repro.topology import build_paper_simulation
+
+N_TICKS = int(os.environ.get("WILLOW_EXAMPLE_TICKS", "48"))
+SEED = 5
+UTILIZATION = 0.6
+
+
+def main() -> None:
+    config = WillowConfig()
+    run_kwargs = dict(
+        config=config,
+        target_utilization=UTILIZATION,
+        n_ticks=N_TICKS,
+        seed=SEED,
+    )
+
+    # The ideal twin: perfect hardware, honest sensors.
+    _, ideal = run_willow(**run_kwargs)
+
+    # Fault windows scale with the horizon so short smoke runs hit them.
+    tree = build_paper_simulation()
+    servers = tree.servers()
+    width = max(2, N_TICKS // 5)
+    third = max(1, N_TICKS // 3)
+    crash = ServerCrash(servers[2].node_id, third, third + width)
+    stuck = SensorFault(
+        servers[5].node_id, 2, 2 + 2 * width, kind=SENSOR_STUCK
+    )
+    drift = SensorFault(
+        servers[9].node_id, third, third + 2 * width,
+        kind=SENSOR_DRIFT, magnitude=1.0,
+    )
+    hot_zone = tree.root.children[-1]
+    cooling = CoolingDegradation(
+        2 * third, 2 * third + width, derate=0.8, zone_id=hot_zone.node_id
+    )
+    tripped = tree.root.children[0].children[0]
+    trip = CircuitTrip(tripped.node_id, third + 1, third + 1 + width)
+    schedule = PlantFaultSchedule(
+        crashes=(crash,),
+        sensor_faults=(stuck, drift),
+        cooling=(cooling,),
+        trips=(trip,),
+    )
+
+    controller, faulty = run_resilient(
+        tree=tree, plant_faults=schedule, outside_temp=38.0, **run_kwargs
+    )
+
+    print("Faulty plant -- 18 servers at U=60% under physical fault injection")
+    print(
+        f"fault: server {crash.server_id} crashed ticks "
+        f"[{crash.start_tick}, {crash.end_tick})"
+    )
+    print(
+        f"fault: sensor {stuck.server_id} stuck-at, sensor {drift.server_id} "
+        f"drifting +{drift.magnitude:.1f} C/tick"
+    )
+    print(
+        f"fault: cooling zone {cooling.zone_id} derated {cooling.derate:.0%} "
+        f"ticks [{cooling.start_tick}, {cooling.end_tick})"
+    )
+    print(
+        f"fault: circuit {trip.node_id} tripped ticks "
+        f"[{trip.start_tick}, {trip.end_tick})"
+    )
+    print()
+
+    counts = faulty.plant_event_counts()
+    for kind in sorted(counts):
+        print(f"plant event {kind:<18} : {counts[kind]}")
+    print(
+        "evacuation migrations      : "
+        f"{faulty.migration_count(MigrationCause.EVACUATION)}"
+    )
+    print()
+
+    ideal_dropped = ideal.total_dropped_power()
+    faulty_dropped = faulty.total_dropped_power()
+    print(f"dropped demand (ideal)     : {ideal_dropped:.0f} W*ticks")
+    print(f"dropped demand (faulty)    : {faulty_dropped:.0f} W*ticks")
+
+    t_limit = config.thermal.t_limit
+    worst = max(s.temperature for s in faulty.server_samples)
+    min_budget = min(s.budget for s in faulty.server_samples)
+    violations = sum(
+        s.thermal.violations for s in controller.servers.values()
+    )
+    print(f"worst temperature          : {worst:.1f} C (T_limit {t_limit:.0f} C)")
+    print(f"thermal violations         : {violations}")
+    print(f"minimum budget             : {min_budget:.1f} W (never negative)")
+    verdict = (
+        "held"
+        if worst <= t_limit + 1e-6 and min_budget >= 0.0 and not violations
+        else "VIOLATED"
+    )
+    print(f"safety invariants          : {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli bench                        # performance benchmarks
     python -m repro.cli bench --quick --out .        # CI smoke variant
     python -m repro.cli degraded --drop 0.2 --latency 1 --crashes 2
+    python -m repro.cli resilience --crashes 3 --sensor-faults 4 --trips 1
 
 Builds the paper's 18-server data center (or a custom balanced tree),
 runs the controller, and prints a summary; optional CSV/JSON export.
@@ -16,6 +17,10 @@ runs the controller, and prints a summary; optional CSV/JSON export.
 ``BENCH_sweep.json``.  ``degraded`` runs the distributed control plane
 (:mod:`repro.control_plane`) under lossy transport and fault injection
 and reports the divergence from the ideal synchronous controller.
+``resilience`` injects *physical* faults (server crashes, lying thermal
+sensors, cooling derates, circuit trips) through the sensor-fault-
+tolerant controller (:mod:`repro.plant_faults`) and reports QoS loss
+and the thermal-safety verdict.
 """
 
 from __future__ import annotations
@@ -300,12 +305,157 @@ def degraded_main(argv: List[str]) -> int:
     return 0
 
 
+def build_resilience_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli resilience",
+        description=(
+            "Run Willow under physical plant faults (crashes, sensor "
+            "faults, cooling derates, circuit trips) with the sensor-"
+            "fault-tolerant controller; report QoS loss and safety."
+        ),
+    )
+    parser.add_argument(
+        "--ticks", type=int, default=80, help="control ticks to run"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    parser.add_argument(
+        "--utilization", type=float, default=0.5,
+        help="target mean utilization in (0, 1] (default 0.5)",
+    )
+    parser.add_argument(
+        "--crashes", type=int, default=0, metavar="N",
+        help="inject N seeded server crash/restart windows",
+    )
+    parser.add_argument(
+        "--sensor-faults", type=int, default=0, metavar="N",
+        help="inject N seeded thermal-sensor fault windows",
+    )
+    parser.add_argument(
+        "--cooling-events", type=int, default=0, metavar="N",
+        help="inject N seeded CRAC derate windows",
+    )
+    parser.add_argument(
+        "--trips", type=int, default=0, metavar="N",
+        help="inject N seeded branch-circuit trip windows",
+    )
+    parser.add_argument(
+        "--outside", type=float, default=35.0, metavar="DEGC",
+        help="outside air temperature mixed in by degraded cooling",
+    )
+    return parser
+
+
+def resilience_main(argv: List[str]) -> int:
+    args = build_resilience_parser().parse_args(argv)
+    if not 0.0 < args.utilization <= 1.0:
+        print("--utilization must be in (0, 1]", file=sys.stderr)
+        return 2
+    if args.ticks < 1:
+        print("--ticks must be >= 1", file=sys.stderr)
+        return 2
+    for name in ("crashes", "sensor_faults", "cooling_events", "trips"):
+        if getattr(args, name) < 0:
+            print(
+                f"--{name.replace('_', '-')} must be >= 0", file=sys.stderr
+            )
+            return 2
+
+    from repro.core import WillowConfig
+    from repro.core.events import MigrationCause
+    from repro.metrics import summarize_run
+    from repro.plant_faults import (
+        PlantFaultSchedule,
+        random_plant_schedule,
+        run_resilient,
+    )
+    from repro.topology import build_paper_simulation
+
+    config = WillowConfig()
+    tree = build_paper_simulation()
+    schedule = PlantFaultSchedule()
+    if args.crashes or args.sensor_faults or args.cooling_events or args.trips:
+        schedule = random_plant_schedule(
+            tree,
+            seed=args.seed,
+            horizon_ticks=args.ticks,
+            n_crashes=args.crashes,
+            n_sensor_faults=args.sensor_faults,
+            n_cooling_events=args.cooling_events,
+            n_circuit_trips=args.trips,
+        )
+
+    controller, collector = run_resilient(
+        tree=tree,
+        config=config,
+        plant_faults=schedule,
+        outside_temp=args.outside,
+        target_utilization=args.utilization,
+        n_ticks=args.ticks,
+        seed=args.seed,
+    )
+
+    print(
+        f"Resilient Willow run: {len(tree.servers())} servers, "
+        f"U={args.utilization:.0%}, {args.ticks} ticks, seed {args.seed}"
+    )
+    print(
+        f"plant faults: crashes={len(schedule.crashes)} "
+        f"sensor={len(schedule.sensor_faults)} "
+        f"cooling={len(schedule.cooling)} trips={len(schedule.trips)} "
+        f"(outside {args.outside:.0f} C)"
+    )
+    for crash in schedule.crashes:
+        print(
+            f"fault: server {crash.server_id} crashed ticks "
+            f"[{crash.start_tick}, {crash.end_tick})"
+        )
+    for fault in schedule.sensor_faults:
+        print(
+            f"fault: sensor {fault.server_id} {fault.kind} ticks "
+            f"[{fault.start_tick}, {fault.end_tick})"
+        )
+    for event in schedule.cooling:
+        zone = "facility" if event.zone_id is None else f"zone {event.zone_id}"
+        print(
+            f"fault: cooling {zone} derate {event.derate:.0%} ticks "
+            f"[{event.start_tick}, {event.end_tick})"
+        )
+    for trip in schedule.trips:
+        print(
+            f"fault: circuit {trip.node_id} tripped ticks "
+            f"[{trip.start_tick}, {trip.end_tick})"
+        )
+    print(summarize_run(collector).format())
+    print(
+        f"evacuations          : "
+        f"{collector.migration_count(MigrationCause.EVACUATION)}"
+    )
+    t_limit = config.thermal.t_limit
+    worst = max(s.temperature for s in collector.server_samples)
+    min_budget = min(s.budget for s in collector.server_samples)
+    violations = sum(
+        s.thermal.violations for s in controller.servers.values()
+    )
+    print(
+        f"thermal safety: worst temperature {worst:.2f} C vs "
+        f"T_limit {t_limit:.0f} C, {violations} violations "
+        f"({'OK' if worst <= t_limit + 1e-6 and not violations else 'VIOLATED'})"
+    )
+    print(
+        f"budget floor: {min_budget:.2f} W "
+        f"({'OK' if min_budget >= 0 else 'VIOLATED'})"
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "bench":
         return bench_main(argv[1:])
     if argv and argv[0] == "degraded":
         return degraded_main(argv[1:])
+    if argv and argv[0] == "resilience":
+        return resilience_main(argv[1:])
     args = build_parser().parse_args(argv)
     if not 0.0 < args.utilization <= 1.0:
         print("--utilization must be in (0, 1]", file=sys.stderr)

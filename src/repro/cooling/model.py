@@ -85,6 +85,35 @@ class CoolingModel:
         result = 1.0 + 1.0 / np.asarray(cop, dtype=float)
         return float(result) if result.ndim == 0 else result
 
+    def degraded_supply_temperature(
+        self,
+        base_ambient: float,
+        outside_temp: float,
+        derate: float,
+        *,
+        return_delta: float = 15.0,
+    ) -> float:
+        """Rack-inlet temperature under a partial CRAC failure.
+
+        A healthy cooling plant supplies air at ``base_ambient``
+        regardless of the weather.  When a CRAC unit derates by
+        ``derate`` (0 = healthy, 1 = total failure), the uncooled
+        fraction of the airflow is hot return air pulled toward the
+        outside temperature, so the inlet mix rises linearly toward
+        ``outside_temp + return_delta``::
+
+            T_inlet = base + derate * (max(outside - base, 0) + return_delta)
+
+        The result feeds :meth:`ServerRuntime.set_ambient` to shrink
+        the affected zone's Eq. 3 thermal caps.
+        """
+        if not 0.0 <= derate <= 1.0:
+            raise ValueError(f"derate must be in [0, 1], got {derate}")
+        if return_delta < 0:
+            raise ValueError("return_delta must be non-negative")
+        excess = max(outside_temp - base_ambient, 0.0)
+        return base_ambient + derate * (excess + return_delta)
+
 
 def effective_it_budget(
     facility_supply: float, model: CoolingModel, outside_temp: float

@@ -191,6 +191,11 @@ class WillowController:
             server.expire_costs()
             server.tick_wake()
 
+        # 0b. plant-fault hook: crash/restart windows, cooling ramps,
+        # circuit trips and emergency evacuations advance here, before
+        # demand is sampled (no-op in the ideal plant).
+        self._begin_tick(now)
+
         # 1. sample this tick's demand.
         self.demand_source.sample_tick()
 
@@ -199,8 +204,9 @@ class WillowController:
             server.observe_demand()
         self._aggregate_demands(now)
 
-        # 3. supply-side adaptation every Delta_S.
-        if self._tick_index % config.eta1 == 0:
+        # 3. supply-side adaptation every Delta_S (or sooner, when a
+        # plant fault invalidated the standing allocation).
+        if self._allocation_due():
             self._allocate_budgets(now)
 
         # 4. demand-side migrations (constraint tightening only).
@@ -228,6 +234,23 @@ class WillowController:
             total_demand += server.raw_demand
             if not server.is_awake:
                 server.served_power = 0.0
+                # A non-awake server normally hosts nothing; after a
+                # crash, VMs stranded on it (awaiting evacuation) lose
+                # their whole demand this tick.
+                for vm in sorted(
+                    server.vms.values(),
+                    key=lambda v: (v.app.priority, v.vm_id),
+                ):
+                    if vm.current_demand > _EPS:
+                        self.collector.record_drop(
+                            Drop(
+                                now,
+                                server.node.node_id,
+                                vm.vm_id,
+                                vm.current_demand,
+                            )
+                        )
+                        self._dropped_since_consolidation += vm.current_demand
                 continue
             available = max(
                 server.budget
@@ -258,7 +281,7 @@ class WillowController:
         # 7. thermal update and per-server sample.
         for server in self.servers.values():
             wall = server.actual_power()
-            temperature = server.update_temperature(wall, config.delta_d)
+            temperature = self._advance_plant(server, wall, config.delta_d)
             self.collector.record_server(
                 ServerSample(
                     time=now,
@@ -285,6 +308,48 @@ class WillowController:
 
         self._tick_index += 1
 
+    # ------------------------------------------------ plant-fault hooks
+    def _begin_tick(self, now: float) -> None:
+        """Hook: the plant-fault layer advances fault state here.
+
+        Runs after housekeeping and before demand sampling.  The ideal
+        plant has no faults, so the base implementation does nothing.
+        """
+
+    def _allocation_due(self) -> bool:
+        """Is a supply-side allocation due this tick?
+
+        The base cadence is every ``eta1`` ticks (Delta_S); fault-aware
+        subclasses also force one when a fault transition invalidated
+        the standing budgets (circuit trip, crash, ambient change).
+        """
+        return self._tick_index % self.config.eta1 == 0
+
+    def _server_cap(self, server: ServerRuntime) -> float:
+        """Hook: the hard cap the allocator sees for ``server``.
+
+        The ideal plant trusts the true thermal state; the sensor-fault
+        layer substitutes its *believed* temperature (possibly with an
+        uncertainty margin) and zero for tripped or failed nodes.
+        """
+        return server.hard_cap()
+
+    def _advance_plant(self, server: ServerRuntime, wall: float, dt: float) -> float:
+        """Hook: advance the physical plant one tick; return the truth.
+
+        The fault layer wraps this to also produce the *measured*
+        temperature through the sensor models.
+        """
+        return server.update_temperature(wall, dt)
+
+    def _may_wake(self, server: ServerRuntime) -> bool:
+        """Hook: may consolidation wake this sleeping server now?
+
+        The fault layer vetoes wakes into tripped circuits or zones too
+        hot to even pay the static floor; the ideal plant allows all.
+        """
+        return True
+
     # ------------------------------------------------------- demand reports
     def _aggregate_demands(self, now: float) -> None:
         """Propagate smoothed demand bottom-up; one message per link."""
@@ -306,7 +371,7 @@ class WillowController:
         """Proportional top-down division with hard caps (Sec. IV-D)."""
         caps: Dict[int, float] = {}
         for server in self.servers.values():
-            caps[server.node.node_id] = server.hard_cap()
+            caps[server.node.node_id] = self._server_cap(server)
         for level in range(1, self.tree.root.level + 1):
             for node in self.tree.nodes_at_level(level):
                 caps[node.node_id] = sum(
@@ -408,6 +473,8 @@ class WillowController:
             if not server.vms:  # all moves executed; drain complete
                 server.sleep()
         for server in plan.to_wake:
+            if not self._may_wake(server):
+                continue
             server.begin_wake()
             # Prime the demand forecast with the unserved demand the
             # server is being woken to absorb: budgets derive from
@@ -419,7 +486,7 @@ class WillowController:
                 self.config.eta2, 1
             )
             forecast = min(
-                server.hard_cap(),
+                self._server_cap(server),
                 server.model.static_power + per_tick_dropped,
             )
             server.smoother.reset(initial=forecast)

@@ -16,6 +16,7 @@ __all__ = [
     "Drop",
     "BudgetChange",
     "ControlMessage",
+    "PlantEvent",
 ]
 
 
@@ -24,6 +25,7 @@ class MigrationCause(enum.Enum):
 
     DEMAND = "demand"  # constraint tightening: deficit at the source
     CONSOLIDATION = "consolidation"  # draining an under-utilised server
+    EVACUATION = "evacuation"  # emergency: host crashed or shut down
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -81,6 +83,28 @@ class BudgetChange:
     def reduced(self) -> bool:
         """Did this event tighten the node's constraint?"""
         return self.new_budget < self.old_budget - 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class PlantEvent:
+    """One physical-plant fault transition (crash, trip, quarantine...).
+
+    ``kind`` is a short slug -- the fault layer uses ``server_crash``,
+    ``server_restart``, ``server_recovered``, ``thermal_shutdown``,
+    ``sensor_quarantine``, ``sensor_restore``, ``circuit_trip``,
+    ``circuit_restore``, ``cooling_degraded`` and ``cooling_restored``.
+    ``node_id`` is the affected tree node (server or PMU subtree root);
+    ``detail`` carries free-form context for logs.
+    """
+
+    time: float
+    kind: str
+    node_id: int
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ValueError("plant event kind must be non-empty")
 
 
 @dataclass(frozen=True, slots=True)

@@ -29,6 +29,9 @@ class SleepState(enum.Enum):
     AWAKE = "awake"
     ASLEEP = "asleep"
     WAKING = "waking"
+    #: Hard-stopped by a crash or thermal emergency (plant-fault layer).
+    #: Unlike ASLEEP the server may still hold VMs awaiting evacuation.
+    FAILED = "failed"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -93,6 +96,7 @@ class ServerRuntime:
         self.smoothed_demand: float = 0.0
         self.served_power: float = 0.0  # dynamic watts served this tick
         self.asleep_ticks: int = 0
+        self.failed_ticks: int = 0
 
     # -- demand ------------------------------------------------------------
     @property
@@ -112,7 +116,11 @@ class ServerRuntime:
         measured in wall watts; VM demands are dynamic watts on top of
         the static floor an awake server always pays.
         """
-        if self.sleep_state is SleepState.ASLEEP:
+        if self.sleep_state is SleepState.FAILED:
+            # A crashed server draws nothing and wants nothing; its
+            # smoothed demand decays so allocations flow elsewhere.
+            self.raw_demand = 0.0
+        elif self.sleep_state is SleepState.ASLEEP:
             self.raw_demand = self.model.standby_power
         elif self.sleep_state is SleepState.WAKING:
             # Keep reporting the wake forecast (primed at begin_wake)
@@ -151,7 +159,7 @@ class ServerRuntime:
         self.budget = float(budget)
         self.budget_reduced = self.budget < self.previous_budget - 1e-9
 
-    def hard_cap(self) -> float:
+    def hard_cap(self, temperature: Optional[float] = None) -> float:
         """Hard constraint: min(thermal cap, circuit rating) in watts.
 
         In ``window_reset`` mode the thermal cap is the constant zone
@@ -159,6 +167,11 @@ class ServerRuntime:
         25 C zone and 300 W for the 40 C zone with the paper's
         constants.  In ``integrated`` mode it depends on the current
         integrated temperature.
+
+        ``temperature`` overrides the Eq. 3 starting temperature ``t0``
+        (both modes): the sensor-fault layer passes its *believed*
+        temperature here, which may be more pessimistic than the plant
+        truth while a sensor is quarantined.
         """
         cap = self.config.circuit_limit
         if self.config.thermal_enabled:
@@ -167,15 +180,31 @@ class ServerRuntime:
             if self.devices is not None:
                 return min(cap, self.devices.server_cap())
             if self.config.thermal_mode == "window_reset":
-                thermal_cap = power_cap(
-                    self.thermal_params,
-                    self.thermal_params.t_ambient,
-                    self.thermal_window,
+                t0 = (
+                    self.thermal_params.t_ambient
+                    if temperature is None
+                    else temperature
                 )
-            else:
+                thermal_cap = power_cap(
+                    self.thermal_params, t0, self.thermal_window
+                )
+            elif temperature is None:
                 thermal_cap = self.thermal.power_cap(self.thermal_window)
+            else:
+                thermal_cap = power_cap(
+                    self.thermal_params, temperature, self.thermal_window
+                )
             cap = min(cap, thermal_cap)
         return cap
+
+    def set_ambient(self, t_ambient: float) -> None:
+        """Move this server's inlet ambient (cooling degradation).
+
+        Callers must keep ``t_ambient`` strictly below ``t_limit``
+        (:class:`ThermalParams` rejects anything else).
+        """
+        self.thermal_params = self.thermal_params.with_ambient(t_ambient)
+        self.thermal.params = self.thermal_params
 
     def update_temperature(self, wall_power: float, dt: float) -> float:
         """Advance the server temperature given this tick's wall power."""
@@ -220,6 +249,8 @@ class ServerRuntime:
     def actual_power(self) -> float:
         """Wall power this tick: static floor + served dynamic demand,
         or standby draw while asleep/waking."""
+        if self.sleep_state is SleepState.FAILED:
+            return 0.0
         if self.sleep_state is SleepState.ASLEEP:
             return self.model.standby_power
         if self.sleep_state is SleepState.WAKING:
@@ -253,3 +284,33 @@ class ServerRuntime:
                 self.sleep_state = SleepState.AWAKE
         elif self.sleep_state is SleepState.ASLEEP:
             self.asleep_ticks += 1
+        elif self.sleep_state is SleepState.FAILED:
+            self.failed_ticks += 1
+
+    def fail(self) -> None:
+        """Hard-stop this server (crash or thermal emergency).
+
+        Unlike :meth:`sleep` this tolerates hosted VMs -- a crash does
+        not wait for a drain.  The VMs stay attached so the controller
+        can evacuate them; wall power drops to zero immediately and any
+        in-flight migration-cost demand is forgotten with the host.
+        """
+        self.sleep_state = SleepState.FAILED
+        self.served_power = 0.0
+        self.wake_ticks_left = 0
+        self._pending_costs = {}
+
+    def repair(self) -> None:
+        """Begin restart after a failure.
+
+        Re-admission pays the same S3/S4 resume latency as a wake from
+        sleep (Sec. IV-C): the server transitions FAILED -> WAKING and
+        becomes AWAKE after ``wake_latency_ticks`` ticks.
+        """
+        if self.sleep_state is not SleepState.FAILED:
+            raise RuntimeError(f"{self.node.name} is not failed")
+        if self.config.wake_latency_ticks == 0:
+            self.sleep_state = SleepState.AWAKE
+        else:
+            self.sleep_state = SleepState.WAKING
+            self.wake_ticks_left = self.config.wake_latency_ticks

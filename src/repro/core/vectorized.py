@@ -199,6 +199,11 @@ class VectorizedWillowController(WillowController):
         if costs_dirty:
             fleet.gather_costs()
 
+        # 0b. plant-fault hook (no-op in the ideal plant).  Subclasses
+        # that mutate sleep states here must call fleet.gather_sleep()
+        # themselves.
+        self._begin_tick(now)
+
         # 1+2. sample demand, aggregate per host, smooth (Eq. 4).
         vm_demands = self._sample_vm_demands()
         if vm_demands is not None:
@@ -230,8 +235,9 @@ class VectorizedWillowController(WillowController):
             server.smoother._value = smoothed_list[i]
         self._aggregate_demands(now)
 
-        # 3. supply-side adaptation every Delta_S.
-        if self._tick_index % config.eta1 == 0:
+        # 3. supply-side adaptation every Delta_S (or sooner when a
+        # fault-aware subclass forces one).
+        if self._allocation_due():
             self._allocate_budgets(now)
             budget = fleet.budget
             for i, server in enumerate(fleet.servers):

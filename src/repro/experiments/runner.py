@@ -24,6 +24,7 @@ from repro.experiments import (
     extensions,
     imbalance,
     fig_degraded,
+    fig_resilience,
     fig04_thermal,
     fig05_power,
     fig06_temperature,
@@ -62,6 +63,7 @@ REGISTRY: Dict[str, Callable] = {
     "extensions": extensions.run,
     "imbalance": imbalance.run,
     "degraded": fig_degraded.run,
+    "resilience": fig_resilience.run,
 }
 
 

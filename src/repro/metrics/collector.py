@@ -12,7 +12,13 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.core.events import ControlMessage, Drop, Migration, MigrationCause
+from repro.core.events import (
+    ControlMessage,
+    Drop,
+    Migration,
+    MigrationCause,
+    PlantEvent,
+)
 
 __all__ = ["ServerSample", "SwitchSample", "MetricsCollector"]
 
@@ -56,6 +62,9 @@ class MetricsCollector:
     unmatched_deficits: List[Drop] = field(default_factory=list)
     messages: List[ControlMessage] = field(default_factory=list)
     imbalance: List[tuple] = field(default_factory=list)  # (time, watts)
+    #: Physical-plant fault transitions (crashes, sensor quarantines,
+    #: circuit trips, cooling events and their recoveries).
+    plant_events: List[PlantEvent] = field(default_factory=list)
 
     # -- recording ---------------------------------------------------------
     def record_server(self, sample: ServerSample) -> None:
@@ -78,6 +87,21 @@ class MetricsCollector:
 
     def record_imbalance(self, time: float, watts: float) -> None:
         self.imbalance.append((time, watts))
+
+    def record_plant_event(self, event: PlantEvent) -> None:
+        self.plant_events.append(event)
+
+    # -- plant faults --------------------------------------------------------
+    def plant_event_counts(self) -> Dict[str, int]:
+        """Number of plant-fault transitions per event kind."""
+        counts: Dict[str, int] = {}
+        for event in self.plant_events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def plant_events_for(self, node_id: int) -> List[PlantEvent]:
+        """Time-ordered plant events touching one node."""
+        return [e for e in self.plant_events if e.node_id == node_id]
 
     # -- server series -------------------------------------------------------
     def server_ids(self) -> List[int]:

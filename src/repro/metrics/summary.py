@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List
 
 import numpy as np
@@ -32,6 +32,8 @@ class RunSummary:
     local_migration_fraction: float
     dropped_power: float  # W*ticks
     asleep_fraction: float  # server-ticks asleep / total
+    #: Plant-fault transitions by kind (empty for an ideal plant).
+    plant_events: Dict[str, int] = field(default_factory=dict)
 
     def format(self) -> str:
         lines = [
@@ -44,6 +46,12 @@ class RunSummary:
             f"dropped demand       : {self.dropped_power:10.1f} W*ticks",
             f"server-ticks asleep  : {self.asleep_fraction:10.1%}",
         ]
+        if self.plant_events:
+            counts = ", ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(self.plant_events.items())
+            )
+            lines.append(f"plant events         : {counts}")
         return "\n".join(lines)
 
 
@@ -77,6 +85,7 @@ def summarize_run(collector: MetricsCollector) -> RunSummary:
         asleep_fraction=float(
             np.mean([s.asleep for s in collector.server_samples])
         ),
+        plant_events=collector.plant_event_counts(),
     )
 
 

@@ -1,0 +1,50 @@
+"""Physical fault injection and sensor-fault-tolerant control.
+
+Public surface:
+
+* :mod:`repro.plant_faults.schedule` -- deterministic fault windows
+  (crashes, sensor faults, cooling degradation, circuit trips) and the
+  seeded :func:`random_plant_schedule` generator.
+* :mod:`repro.plant_faults.sensors` -- the :class:`SensorBank` between
+  plant and controller, with validation and quarantine.
+* :mod:`repro.plant_faults.controller` -- the
+  :class:`FaultTolerantWillowController` and the one-call
+  :func:`run_resilient` runner.
+
+See docs/resilience.md for the design and the safety argument.
+"""
+
+from repro.plant_faults.controller import (
+    FaultTolerantWillowController,
+    run_resilient,
+)
+from repro.plant_faults.schedule import (
+    SENSOR_DRIFT,
+    SENSOR_DROPOUT,
+    SENSOR_NOISE,
+    SENSOR_STUCK,
+    CircuitTrip,
+    CoolingDegradation,
+    PlantFaultSchedule,
+    SensorFault,
+    ServerCrash,
+    random_plant_schedule,
+)
+from repro.plant_faults.sensors import SensorBank, SensorValidatorConfig
+
+__all__ = [
+    "FaultTolerantWillowController",
+    "run_resilient",
+    "SENSOR_DRIFT",
+    "SENSOR_DROPOUT",
+    "SENSOR_NOISE",
+    "SENSOR_STUCK",
+    "CircuitTrip",
+    "CoolingDegradation",
+    "PlantFaultSchedule",
+    "SensorFault",
+    "ServerCrash",
+    "random_plant_schedule",
+    "SensorBank",
+    "SensorValidatorConfig",
+]

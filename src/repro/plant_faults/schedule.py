@@ -1,0 +1,279 @@
+"""Deterministic physical-plant fault schedules.
+
+Where :mod:`repro.control_plane.faults` breaks the *messages*, this
+module breaks the *hardware*: servers crash and restart, thermal
+sensors lie (stuck-at, drift, additive noise, dropout), CRAC units
+derate and let the rack-inlet ambient ramp up, and branch circuits trip
+and zero a subtree's budget.  Every fault is a half-open tick interval
+over named tree nodes, so a schedule is reproducible from its literal
+contents; :func:`random_plant_schedule` draws one from a seed with the
+same ``numpy`` generator discipline the rest of the repo uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.topology.tree import Tree
+
+__all__ = [
+    "SENSOR_STUCK",
+    "SENSOR_DRIFT",
+    "SENSOR_NOISE",
+    "SENSOR_DROPOUT",
+    "ServerCrash",
+    "SensorFault",
+    "CoolingDegradation",
+    "CircuitTrip",
+    "PlantFaultSchedule",
+    "random_plant_schedule",
+]
+
+#: Sensor fault kinds (:class:`SensorFault.kind`).
+SENSOR_STUCK = "stuck"  # reading frozen at its value when the fault began
+SENSOR_DRIFT = "drift"  # reading ramps away from truth (deg C per tick)
+SENSOR_NOISE = "noise"  # additive Gaussian noise (deg C std-dev)
+SENSOR_DROPOUT = "dropout"  # no reading at all
+
+_SENSOR_KINDS = (SENSOR_STUCK, SENSOR_DRIFT, SENSOR_NOISE, SENSOR_DROPOUT)
+
+
+def _check_window(start_tick: int, end_tick: int) -> None:
+    if start_tick < 0:
+        raise ValueError("start_tick must be >= 0")
+    if end_tick <= start_tick:
+        raise ValueError("end_tick must exceed start_tick")
+
+
+@dataclass(frozen=True)
+class ServerCrash:
+    """One server outage: hard-down for ticks in ``[start_tick, end_tick)``.
+
+    The server draws zero watts and serves nothing; hosted VMs stay
+    stranded until the controller evacuates them.  At ``end_tick`` the
+    server restarts through the S3/S4 resume latency.
+    """
+
+    server_id: int
+    start_tick: int
+    end_tick: int
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_tick, self.end_tick)
+
+    def covers(self, tick: int) -> bool:
+        return self.start_tick <= tick < self.end_tick
+
+
+@dataclass(frozen=True)
+class SensorFault:
+    """One thermal-sensor fault window on one server.
+
+    ``magnitude`` is kind-specific: deg C per tick for ``drift``, the
+    Gaussian std-dev in deg C for ``noise``; ``stuck`` and ``dropout``
+    ignore it.
+    """
+
+    server_id: int
+    start_tick: int
+    end_tick: int
+    kind: str
+    magnitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_tick, self.end_tick)
+        if self.kind not in _SENSOR_KINDS:
+            raise ValueError(
+                f"kind must be one of {_SENSOR_KINDS}, got {self.kind!r}"
+            )
+        if self.magnitude < 0:
+            raise ValueError("magnitude must be non-negative")
+
+    def covers(self, tick: int) -> bool:
+        return self.start_tick <= tick < self.end_tick
+
+
+@dataclass(frozen=True)
+class CoolingDegradation:
+    """A CRAC derate over ``[start_tick, end_tick)``.
+
+    ``derate`` in (0, 1] is the lost cooling fraction; the affected
+    rack-inlet ambient ramps linearly toward
+    :meth:`CoolingModel.degraded_supply_temperature` over ``ramp_ticks``
+    ticks and ramps back down after ``end_tick`` (thermal mass -- the
+    room neither heats nor cools instantly).  ``zone_id`` names the
+    subtree whose servers sit in the affected zone; ``None`` degrades
+    the whole facility.
+    """
+
+    start_tick: int
+    end_tick: int
+    derate: float
+    zone_id: Optional[int] = None
+    ramp_ticks: int = 4
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_tick, self.end_tick)
+        if not 0.0 < self.derate <= 1.0:
+            raise ValueError(f"derate must be in (0, 1], got {self.derate}")
+        if self.ramp_ticks < 1:
+            raise ValueError("ramp_ticks must be >= 1")
+
+    def effective_derate(self, tick: int) -> float:
+        """Ramp-shaped derate at ``tick`` (0 when fully recovered)."""
+        if tick < self.start_tick:
+            return 0.0
+        if tick < self.end_tick:
+            frac = (tick - self.start_tick + 1) / self.ramp_ticks
+        else:
+            frac = 1.0 - (tick - self.end_tick + 1) / self.ramp_ticks
+        return self.derate * min(max(frac, 0.0), 1.0)
+
+
+@dataclass(frozen=True)
+class CircuitTrip:
+    """A branch-circuit trip: the subtree under ``node_id`` has zero
+    budget for ticks in ``[start_tick, end_tick)``.
+
+    Servers ride the outage through on their static draw (local UPS);
+    the allocator sees a zero cap for the subtree, so every VM under it
+    is shed to surplus elsewhere through the ordinary deficit-driven
+    migration machinery.
+    """
+
+    node_id: int
+    start_tick: int
+    end_tick: int
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_tick, self.end_tick)
+
+    def covers(self, tick: int) -> bool:
+        return self.start_tick <= tick < self.end_tick
+
+
+@dataclass(frozen=True)
+class PlantFaultSchedule:
+    """A deterministic set of physical faults for one run."""
+
+    crashes: Tuple[ServerCrash, ...] = ()
+    sensor_faults: Tuple[SensorFault, ...] = ()
+    cooling: Tuple[CoolingDegradation, ...] = ()
+    trips: Tuple[CircuitTrip, ...] = ()
+
+    @property
+    def empty(self) -> bool:
+        return not (
+            self.crashes or self.sensor_faults or self.cooling or self.trips
+        )
+
+    def is_crashed(self, server_id: int, tick: int) -> bool:
+        """Is the server hard-down at ``tick``?"""
+        return any(
+            c.server_id == server_id and c.covers(tick) for c in self.crashes
+        )
+
+    def sensor_faults_at(
+        self, server_id: int, tick: int
+    ) -> Tuple[SensorFault, ...]:
+        """Active sensor faults on one server at ``tick``."""
+        return tuple(
+            f
+            for f in self.sensor_faults
+            if f.server_id == server_id and f.covers(tick)
+        )
+
+    def tripped_roots(self, tick: int) -> Tuple[int, ...]:
+        """Distinct subtree roots with an active trip at ``tick``, sorted."""
+        return tuple(
+            sorted({t.node_id for t in self.trips if t.covers(tick)})
+        )
+
+
+def random_plant_schedule(
+    tree: Tree,
+    *,
+    seed: int,
+    horizon_ticks: int,
+    n_crashes: int = 0,
+    n_sensor_faults: int = 0,
+    n_cooling_events: int = 0,
+    n_circuit_trips: int = 0,
+    min_duration: int = 4,
+    max_duration: int = 12,
+    max_derate: float = 1.0,
+) -> PlantFaultSchedule:
+    """Draw a reproducible plant-fault schedule for one run.
+
+    Crash and sensor-fault victims are drawn among the servers, trip
+    victims among non-root internal nodes (tripping the root breaker
+    blacks out the whole facility -- build that by hand if you want
+    it), and cooling zones among internal nodes with the whole facility
+    as one more option.  Windows are uniform in ``[min_duration,
+    max_duration]`` ticks and start early enough to recover before
+    ``horizon_ticks`` when possible, so runs observe fault *and*
+    recovery.
+    """
+    if horizon_ticks < 1:
+        raise ValueError("horizon_ticks must be >= 1")
+    if not 1 <= min_duration <= max_duration:
+        raise ValueError("need 1 <= min_duration <= max_duration")
+    if not 0.0 < max_derate <= 1.0:
+        raise ValueError("max_derate must be in (0, 1]")
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 0x9FA17]))
+    server_ids = [s.node_id for s in tree.servers()]
+    internal_ids = [
+        n.node_id for n in tree if not n.is_leaf and not n.is_root
+    ]
+
+    def window(pool) -> tuple:
+        victim = int(rng.choice(pool)) if pool else None
+        duration = int(rng.integers(min_duration, max_duration + 1))
+        latest = max(horizon_ticks - duration, 1)
+        start = int(rng.integers(0, latest))
+        return victim, start, start + duration
+
+    crashes = []
+    for _ in range(n_crashes):
+        victim, start, end = window(server_ids)
+        crashes.append(ServerCrash(victim, start, end))
+
+    sensor_faults = []
+    for _ in range(n_sensor_faults):
+        victim, start, end = window(server_ids)
+        kind = _SENSOR_KINDS[int(rng.integers(0, len(_SENSOR_KINDS)))]
+        if kind == SENSOR_DRIFT:
+            magnitude = float(rng.uniform(0.3, 1.5))
+        elif kind == SENSOR_NOISE:
+            magnitude = float(rng.uniform(0.5, 3.0))
+        else:
+            magnitude = 0.0
+        sensor_faults.append(SensorFault(victim, start, end, kind, magnitude))
+
+    cooling = []
+    for _ in range(n_cooling_events):
+        # Zone pool: every internal node plus "whole facility" (None).
+        pool = internal_ids + [None]
+        zone = pool[int(rng.integers(0, len(pool)))]
+        _victim, start, end = window(server_ids)
+        derate = float(rng.uniform(0.3, max_derate))
+        cooling.append(
+            CoolingDegradation(start, end, derate, zone_id=zone)
+        )
+
+    trips = []
+    for _ in range(n_circuit_trips):
+        if not internal_ids:
+            break
+        victim, start, end = window(internal_ids)
+        trips.append(CircuitTrip(victim, start, end))
+
+    return PlantFaultSchedule(
+        crashes=tuple(crashes),
+        sensor_faults=tuple(sensor_faults),
+        cooling=tuple(cooling),
+        trips=tuple(trips),
+    )

@@ -1,0 +1,271 @@
+"""Thermal-sensor fault models, validation and quarantine.
+
+The :class:`SensorBank` sits between the physical plant and the
+controller: every temperature the controller consumes passes through
+it.  Each tick it
+
+1. advances a per-server **open-loop RC prediction** -- Eq. 1 driven by
+   the commanded wall power, never by measurements, so a lying sensor
+   cannot poison it;
+2. applies the scheduled sensor faults to the plant truth to produce
+   the **measured** value (or ``None`` on dropout);
+3. **validates** the measurement against the RC prediction (the
+   residual check), refining the failure reason with a physical range
+   check and a rate-of-change check, and quarantines the sensor when
+   validation fails.
+
+While a sensor is quarantined the controller runs that server open
+loop: budgets derive from the RC prediction plus an uncertainty margin
+(:meth:`SensorBank.cap_temperature`), which can only shrink the Eq. 3
+cap, so degradation is graceful and never admits a ``T_limit``
+violation.  After ``quarantine_ticks`` the measurement is re-validated
+and the sensor restored once it agrees with physics again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import WillowConfig
+from repro.core.state import ServerRuntime
+from repro.plant_faults.schedule import (
+    PlantFaultSchedule,
+    SENSOR_DRIFT,
+    SENSOR_DROPOUT,
+    SENSOR_NOISE,
+    SENSOR_STUCK,
+)
+from repro.thermal.model import temperature_after
+
+__all__ = ["SensorValidatorConfig", "SensorBank"]
+
+
+@dataclass(frozen=True)
+class SensorValidatorConfig:
+    """Tunables for sensor validation and quarantine.
+
+    Attributes
+    ----------
+    residual_tol:
+        Maximum |measured - RC prediction| before the sensor is
+        suspect (deg C).  This is the authoritative check: a reading
+        the open-loop model corroborates is physics, never a fault.
+    min_valid:
+        Rejected readings below this (deg C) report reason ``range``.
+    range_margin:
+        Rejected readings above ``t_limit + range_margin`` report
+        reason ``range``.
+    max_rate:
+        Rejected readings that moved more than this (deg C per tick)
+        since the last one report reason ``rate``.
+    quarantine_ticks:
+        Ticks a quarantined sensor sits out before re-validation.
+    uncertainty_margin:
+        Deg C added to the open-loop belief while the sensor is
+        untrusted; inflating the Eq. 3 starting temperature shrinks the
+        cap, which is the conservative direction.
+    """
+
+    min_valid: float = 0.0
+    range_margin: float = 10.0
+    max_rate: float = 40.0
+    residual_tol: float = 2.0
+    quarantine_ticks: int = 4
+    uncertainty_margin: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.range_margin < 0:
+            raise ValueError("range_margin must be non-negative")
+        if self.max_rate <= 0:
+            raise ValueError("max_rate must be positive")
+        if self.residual_tol <= 0:
+            raise ValueError("residual_tol must be positive")
+        if self.quarantine_ticks < 1:
+            raise ValueError("quarantine_ticks must be >= 1")
+        if self.uncertainty_margin < 0:
+            raise ValueError("uncertainty_margin must be non-negative")
+
+
+class SensorBank:
+    """Fault injection plus validation for every server's thermal sensor."""
+
+    def __init__(
+        self,
+        servers: Dict[int, ServerRuntime],
+        config: WillowConfig,
+        schedule: PlantFaultSchedule,
+        validator: SensorValidatorConfig,
+        rng: np.random.Generator,
+    ):
+        self.config = config
+        self.schedule = schedule
+        self.validator = validator
+        self.rng = rng
+        self._mode = config.thermal_mode
+        self._window = config.resolved_thermal_window()
+        self._dt = config.delta_d
+        # Open-loop RC model chain, seeded at each server's initial
+        # temperature (its zone ambient).  Advanced from commanded wall
+        # power only, so it is immune to sensor faults; with the model
+        # matching the plant it reproduces the truth bit for bit, which
+        # makes the healthy residual exactly zero.
+        self._model_temp: Dict[int, float] = {
+            sid: server.thermal.temperature for sid, server in servers.items()
+        }
+        self._measured: Dict[int, Optional[float]] = {}
+        self._trusted: Dict[int, bool] = {sid: True for sid in servers}
+        self._quarantine_left: Dict[int, int] = {sid: 0 for sid in servers}
+        self._reason: Dict[int, str] = {sid: "" for sid in servers}
+        # Stuck-at faults freeze the value observed at onset, keyed by
+        # (server, fault window) so repeated windows re-freeze.
+        self._stuck_values: Dict[tuple, float] = {}
+
+    # -- fault application -------------------------------------------------
+    def _measure(self, server_id: int, truth: float, tick: int) -> Optional[float]:
+        """Plant truth filtered through this tick's active sensor faults."""
+        faults = self.schedule.sensor_faults_at(server_id, tick)
+        if not faults:
+            return truth
+        if any(f.kind == SENSOR_DROPOUT for f in faults):
+            return None
+        value = truth
+        for fault in faults:
+            if fault.kind == SENSOR_STUCK:
+                key = (server_id, fault.start_tick)
+                if key not in self._stuck_values:
+                    self._stuck_values[key] = truth
+                value = self._stuck_values[key]
+        for fault in faults:
+            if fault.kind == SENSOR_DRIFT:
+                value += fault.magnitude * (tick - fault.start_tick + 1)
+            elif fault.kind == SENSOR_NOISE:
+                value += float(self.rng.normal(0.0, fault.magnitude))
+        return value
+
+    # -- validation --------------------------------------------------------
+    def _validate(
+        self,
+        server: ServerRuntime,
+        measured: Optional[float],
+        previous: Optional[float],
+        predicted: float,
+    ) -> Tuple[bool, str]:
+        v = self.validator
+        if measured is None:
+            return False, "dropout"
+        # A reading the open-loop prediction corroborates is physics,
+        # never a sensor fault: integrated-mode budget windows
+        # legitimately push temperatures far past the nominal range and
+        # jump them by tens of degrees per tick.  The residual is thus
+        # the authoritative check; range and rate only refine the
+        # *reason* once the model has already rejected the reading.
+        if abs(measured - predicted) <= v.residual_tol:
+            return True, ""
+        t_limit = server.thermal_params.t_limit
+        if not v.min_valid <= measured <= t_limit + v.range_margin:
+            return False, "range"
+        if previous is not None and abs(measured - previous) > v.max_rate:
+            return False, "rate"
+        return False, "residual"
+
+    # -- per-tick observation ----------------------------------------------
+    def observe(
+        self, server: ServerRuntime, truth: float, wall: float, tick: int
+    ) -> List[Tuple[str, str]]:
+        """Ingest one tick's reading; return trust transitions.
+
+        ``truth`` is the plant temperature after this tick, ``wall`` the
+        wall power that produced it.  Returns ``[("quarantine", reason)]``
+        or ``[("restore", "")]`` on a trust transition, else ``[]``.
+        """
+        sid = server.node.node_id
+        params = server.thermal_params
+        if self._mode == "window_reset":
+            predicted = temperature_after(
+                params, params.t_ambient, wall, self._window
+            )
+        else:
+            predicted = temperature_after(
+                params, self._model_temp[sid], wall, self._dt
+            )
+        self._model_temp[sid] = predicted
+
+        previous = self._measured.get(sid)
+        measured = self._measure(sid, truth, tick)
+        self._measured[sid] = measured
+        valid, reason = self._validate(server, measured, previous, predicted)
+
+        transitions: List[Tuple[str, str]] = []
+        if self._trusted[sid]:
+            if not valid:
+                self._trusted[sid] = False
+                self._quarantine_left[sid] = self.validator.quarantine_ticks
+                self._reason[sid] = reason
+                transitions.append(("quarantine", reason))
+        else:
+            self._quarantine_left[sid] -= 1
+            if self._quarantine_left[sid] <= 0:
+                if valid:
+                    self._trusted[sid] = True
+                    self._reason[sid] = ""
+                    transitions.append(("restore", ""))
+                else:
+                    # Still lying: re-arm the quarantine window.
+                    self._quarantine_left[sid] = self.validator.quarantine_ticks
+                    self._reason[sid] = reason
+        return transitions
+
+    # -- controller-facing views -------------------------------------------
+    def trusted(self, server_id: int) -> bool:
+        return self._trusted[server_id]
+
+    def quarantine_reason(self, server_id: int) -> str:
+        return self._reason[server_id]
+
+    def believed_temperature(self, server_id: int) -> float:
+        """The controller's belief: the measurement while trusted, the
+        open-loop RC prediction while quarantined (or before any
+        reading exists)."""
+        measured = self._measured.get(server_id)
+        if self._trusted[server_id] and measured is not None:
+            return measured
+        return self._model_temp[server_id]
+
+    def cap_temperature(self, server: ServerRuntime) -> Optional[float]:
+        """Eq. 3 starting temperature the allocator should use.
+
+        ``None`` means "use the plant default" -- chosen precisely when
+        that default already matches the belief, which keeps a fully
+        healthy run bit-identical to the ideal-plant controller.
+
+        While the sensor is untrusted, the open-loop prediction plus
+        ``uncertainty_margin`` is used instead.  The prediction equals
+        the plant truth (same model, same inputs), so the inflated
+        starting temperature can only shrink the cap: conservative by
+        construction.
+        """
+        sid = server.node.node_id
+        trusted = self._trusted[sid]
+        if self._mode == "window_reset":
+            if trusted:
+                # Healthy window-reset caps start from the zone ambient
+                # regardless of the reading; nothing to override.
+                return None
+            return (
+                server.thermal_params.t_ambient
+                + self.validator.uncertainty_margin
+            )
+        measured = self._measured.get(sid)
+        if trusted:
+            if measured is None:
+                # Before the first reading: the plant default (the
+                # integrator's own temperature) is the belief.
+                return None
+            # Defensive asymmetry: believe whichever is hotter.  With
+            # the model exact they coincide; if the plant ever ran
+            # hotter than modelled, the hotter belief wins.
+            return max(measured, self._model_temp[sid])
+        return self._model_temp[sid] + self.validator.uncertainty_margin

@@ -143,7 +143,11 @@ def allocate_proportional(
     # once every demand-weighted child has hit its cap, at which point
     # the leftover flows to idle capacity instead of being stranded.
     headroom = caps - alloc
-    floor = max(float(demands.sum()), 1.0) * 1e-9
+    # Proportional to the demand sum so the allocation is scale
+    # invariant; the 1.0 W stand-in only applies when demand is zero
+    # everywhere (uniform weights, still scale invariant).
+    demand_sum = float(demands.sum())
+    floor = (demand_sum if demand_sum > 0.0 else 1.0) * 1e-9
     extra = _waterfill(leftover, weights=demands + floor, limits=headroom)
     alloc = alloc + extra
     return alloc, float(max(total - alloc.sum(), 0.0))
@@ -223,7 +227,8 @@ def allocate_level(
     # surplus groups start from `satisfiable` and waterfill the leftover
     # under the cap headroom with the vanishing uniform weight floor
     # (see allocate_proportional).
-    floor = np.maximum(segment_sums(weights), 1.0) * 1e-9
+    weight_sums = segment_sums(weights)
+    floor = np.where(weight_sums > 0.0, weight_sums, 1.0) * 1e-9
     fill_amount = np.where(deficit, totals, totals - need)
     fill_weights = np.where(deficit[seg], weights, weights + floor[seg])
     fill_limits = np.where(deficit[seg], satisfiable, caps - satisfiable)

@@ -18,6 +18,7 @@ paper's experimental profiles:
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Sequence
@@ -51,6 +52,12 @@ class SupplyTrace:
             raise ValueError("times and budgets must have equal length")
         if not self.times:
             raise ValueError("trace must have at least one segment")
+        # NaN slips through ordering comparisons (every comparison with
+        # NaN is False), so finiteness is checked explicitly.
+        if any(not math.isfinite(t) for t in self.times):
+            raise ValueError("times must be finite")
+        if any(not math.isfinite(b) for b in self.budgets):
+            raise ValueError("budgets must be finite")
         if self.times[0] != 0:
             raise ValueError(f"first segment must start at 0, got {self.times[0]}")
         if any(b < 0 for b in self.budgets):
@@ -60,8 +67,9 @@ class SupplyTrace:
 
     def at(self, time: float) -> float:
         """Budget in force at simulation ``time``."""
-        if time < 0:
-            raise ValueError(f"time must be >= 0, got {time}")
+        # NaN compares False with 0, so check finiteness explicitly.
+        if not math.isfinite(time) or time < 0:
+            raise ValueError(f"time must be finite and >= 0, got {time}")
         index = bisect_right(self.times, time) - 1
         return float(self.budgets[index])
 

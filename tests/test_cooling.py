@@ -70,6 +70,68 @@ class TestEffectiveBudget:
         with pytest.raises(ValueError):
             effective_it_budget(-1.0, CoolingModel(), 10.0)
 
+    @pytest.mark.parametrize("outside", [-60.0, 0.0, 45.0, 80.0, 200.0])
+    def test_never_negative_at_extreme_outside_temps(self, outside):
+        model = CoolingModel()
+        budget = effective_it_budget(1000.0, model, outside)
+        assert budget >= 0.0
+        assert budget <= 1000.0  # cooling overhead only ever subtracts
+
+    def test_floors_at_zero_supply(self):
+        assert effective_it_budget(0.0, CoolingModel(), 45.0) == 0.0
+        assert effective_it_budget(0.0, CoolingModel(), -20.0) == 0.0
+
+    def test_extreme_heat_converges_to_min_cop_share(self):
+        # Past the COP floor the budget stops shrinking: the chiller is
+        # as inefficient as it gets.
+        model = CoolingModel()
+        at_floor = 1000.0 * model.min_cop / (model.min_cop + 1.0)
+        assert effective_it_budget(1000.0, model, 150.0) == pytest.approx(at_floor)
+        assert effective_it_budget(1000.0, model, 500.0) == pytest.approx(at_floor)
+
+    def test_monotone_non_increasing_in_outside_temp(self):
+        model = CoolingModel()
+        sweep = [
+            effective_it_budget(1000.0, model, t)
+            for t in np.linspace(-40.0, 120.0, 33)
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(sweep, sweep[1:]))
+
+
+class TestDegradedSupplyTemperature:
+    def test_healthy_is_base_ambient(self):
+        model = CoolingModel()
+        assert model.degraded_supply_temperature(25.0, 45.0, 0.0) == 25.0
+
+    def test_total_failure_reaches_hot_return_air(self):
+        model = CoolingModel()
+        t = model.degraded_supply_temperature(25.0, 45.0, 1.0, return_delta=15.0)
+        assert t == pytest.approx(45.0 + 15.0)
+
+    def test_cold_outside_still_heats_by_return_delta(self):
+        # Return air is warm even in winter; failure can never *cool*.
+        model = CoolingModel()
+        t = model.degraded_supply_temperature(25.0, -10.0, 1.0, return_delta=15.0)
+        assert t == pytest.approx(25.0 + 15.0)
+        assert model.degraded_supply_temperature(25.0, -10.0, 0.5) >= 25.0
+
+    def test_monotone_in_derate(self):
+        model = CoolingModel()
+        sweep = [
+            model.degraded_supply_temperature(25.0, 40.0, d)
+            for d in np.linspace(0.0, 1.0, 11)
+        ]
+        assert all(b >= a for a, b in zip(sweep, sweep[1:]))
+
+    def test_validation(self):
+        model = CoolingModel()
+        with pytest.raises(ValueError):
+            model.degraded_supply_temperature(25.0, 40.0, 1.5)
+        with pytest.raises(ValueError):
+            model.degraded_supply_temperature(25.0, 40.0, -0.1)
+        with pytest.raises(ValueError):
+            model.degraded_supply_temperature(25.0, 40.0, 0.5, return_delta=-1.0)
+
 
 class TestFacilityReport:
     def test_report_over_real_run(self):

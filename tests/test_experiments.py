@@ -275,7 +275,7 @@ class TestRunner:
             "fig04", "fig05", "fig06", "fig07", "fig09", "fig10", "fig11",
             "fig12", "table1", "fig14", "fig15_16", "fig17_18",
             "fig19_table3", "table2", "properties", "extensions",
-            "imbalance", "degraded",
+            "imbalance", "degraded", "resilience",
         }
         assert set(REGISTRY) == expected
 

@@ -35,6 +35,34 @@ def test_empty_collector_rejected():
         summarize_run(MetricsCollector())
 
 
+def test_plant_events_absent_from_healthy_summary():
+    _, collector = run_willow(target_utilization=0.4, n_ticks=10, seed=3)
+    summary = summarize_run(collector)
+    assert summary.plant_events == {}
+    assert "plant events" not in summary.format()
+
+
+def test_plant_event_counts_surface_in_summary():
+    from repro.core.events import PlantEvent
+
+    _, collector = run_willow(target_utilization=0.4, n_ticks=10, seed=3)
+    collector.record_plant_event(PlantEvent(2.0, "server_crash", 3))
+    collector.record_plant_event(PlantEvent(4.0, "server_restart", 3))
+    collector.record_plant_event(
+        PlantEvent(5.0, "sensor_quarantine", 7, detail="stuck")
+    )
+    collector.record_plant_event(PlantEvent(6.0, "sensor_quarantine", 8))
+    summary = summarize_run(collector)
+    assert summary.plant_events == {
+        "server_crash": 1,
+        "server_restart": 1,
+        "sensor_quarantine": 2,
+    }
+    text = summary.format()
+    assert "plant events" in text
+    assert "sensor_quarantine=2" in text
+
+
 def test_no_migrations_yields_zero_local_fraction():
     # Single-server run can't migrate; local fraction is defined as 0.
     from repro.core import WillowConfig, WillowController

@@ -43,6 +43,26 @@ class TestSupplyTrace:
         with pytest.raises(ValueError):
             step_supply([(0.0, -5.0)])
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_budget_rejected(self, bad):
+        # NaN compares False against everything, so without an explicit
+        # finiteness check it slips past the ordering validation.
+        with pytest.raises(ValueError):
+            step_supply([(0.0, 10.0), (5.0, bad)])
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_time_rejected(self, bad):
+        with pytest.raises(ValueError):
+            step_supply([(0.0, 10.0), (bad, 20.0)])
+
+    def test_non_monotone_times_rejected(self):
+        with pytest.raises(ValueError):
+            SupplyTrace(times=(0.0, 5.0, 3.0), budgets=(1.0, 2.0, 3.0))
+
+    def test_nan_lookup_time_rejected(self):
+        with pytest.raises(ValueError):
+            constant_supply(1.0).at(float("nan"))
+
     def test_mean(self):
         trace = step_supply([(0.0, 10.0), (5.0, 20.0)])
         assert trace.mean(10.0) == pytest.approx(15.0)
