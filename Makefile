@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-guard examples-smoke experiments clean-cache
+.PHONY: test bench bench-smoke bench-guard trace-smoke examples-smoke experiments clean-cache
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -24,7 +24,18 @@ bench-smoke:
 
 ## Regression guard against the recorded BENCH_tick.json.
 bench-guard:
-	$(PYTHON) -m pytest benchmarks/test_bench_hotpath.py -q
+	$(PYTHON) -m pytest benchmarks/test_bench_hotpath.py benchmarks/test_bench_trace.py -q
+
+## Record a faulty-plant run with tracing on, then replay it through
+## the trace CLI (overview, per-server explanation, fault edges).
+trace-smoke:
+	@set -e; trace=$$(mktemp -d)/run.trace; \
+	$(PYTHON) -m repro.cli resilience --ticks 60 --seed 7 \
+		--crashes 2 --sensor-faults 1 --trips 1 --trace $$trace > /dev/null; \
+	$(PYTHON) -m repro.cli trace $$trace; \
+	$(PYTHON) -m repro.cli trace $$trace --tick 40; \
+	$(PYTHON) -m repro.cli trace $$trace --histogram --events; \
+	rm -rf $$(dirname $$trace); echo "trace round-trip OK"
 
 experiments:
 	$(PYTHON) -m repro.experiments.runner all

@@ -22,6 +22,16 @@ runs:
     The paper's utilization sweep over a process pool at increasing
     worker counts; reports wall-clock and parallel efficiency.
 
+``bench_trace``
+    Tracing overhead: ms/tick with tracing off (the default), enabled
+    into a null sink (frame-building cost alone), and enabled into a
+    rotating JSONL file (full serialization cost).  Also emits a
+    deterministic model row for the *disabled* cost -- the measured
+    nanoseconds of one ``tracer.enabled`` guard check times the guarded
+    sites actually hit per tick -- which is what the regression guard
+    (``benchmarks/test_bench_trace.py``) bounds at <= 2% of a tick,
+    immune to wall-clock noise on shared CI runners.
+
 Run via ``python -m repro.cli bench`` (or ``python benchmarks/harness.py``),
 which writes ``BENCH_tick.json`` and ``BENCH_sweep.json``.
 """
@@ -40,6 +50,7 @@ __all__ = [
     "bench_tick",
     "bench_kernels",
     "bench_sweep_scaling",
+    "bench_trace",
     "run_benchmarks",
 ]
 
@@ -62,7 +73,9 @@ def _best_of(fn, repeats: int) -> float:
 
 
 # -------------------------------------------------------------- end-to-end
-def _run_once(n_servers: int, ticks: int, vectorized: bool, seed: int = 11):
+def _run_once(
+    n_servers: int, ticks: int, vectorized: bool, seed: int = 11, tracer=None
+):
     from repro.core.config import WillowConfig
     from repro.core.controller import run_willow
     from repro.power.supply import constant_supply
@@ -79,6 +92,7 @@ def _run_once(n_servers: int, ticks: int, vectorized: bool, seed: int = 11):
         n_ticks=ticks,
         seed=seed,
         vectorized=vectorized,
+        tracer=tracer,
     )
 
 
@@ -334,6 +348,127 @@ def bench_sweep_scaling(
     return rows
 
 
+# ----------------------------------------------------------------- tracing
+def _guard_cost_ns(iters: int = 500_000) -> float:
+    """Measured cost of one disabled ``tracer.enabled`` guard check.
+
+    Includes the bare loop overhead, so this *over*-estimates the real
+    per-site cost (an attribute load and a branch) -- which is the safe
+    direction for the regression guard built on it.
+    """
+    from repro.trace.tracer import NULL_TRACER
+
+    tracer = NULL_TRACER
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        if tracer.enabled:  # pragma: no cover - never true
+            raise AssertionError("NULL_TRACER must stay disabled")
+    return (time.perf_counter() - t0) / iters * 1e9
+
+
+def _frame_record_count(frame: dict) -> int:
+    """Entries in one tick frame: an upper bound on guarded call sites
+    (loops like the per-server demand pass are guarded once but emit
+    one record per server)."""
+    count = 0
+    for key, value in frame.items():
+        if isinstance(value, list):
+            count += len(value)
+        elif key in ("root", "imbalance"):
+            count += 1
+    return count
+
+
+def bench_trace(
+    n_servers: int = 64,
+    ticks: int = 200,
+    repeats: int = 3,
+    vectorized: bool = True,
+) -> List[dict]:
+    """Tracing cost per tick: off vs. null sink vs. JSONL file.
+
+    Emits one row per mode plus a ``disabled_guard_model`` row: the
+    measured nanoseconds of one ``tracer.enabled`` check times the
+    per-tick record count of an enabled run (itself an upper bound on
+    guarded sites), as a percentage of the traced-off tick.  That model
+    is what CI bounds -- wall-clock deltas between two ~equal runs on a
+    noisy runner cannot resolve a sub-percent overhead, the model can.
+    """
+    import tempfile
+
+    from repro.trace.tracer import Tracer
+    from repro.trace.writer import (
+        JsonlTraceWriter,
+        MemoryTraceWriter,
+        NullTraceWriter,
+    )
+
+    off = _best_of(
+        lambda: _run_once(n_servers, ticks, vectorized), repeats
+    )
+    null_sink = _best_of(
+        lambda: _run_once(
+            n_servers, ticks, vectorized, tracer=Tracer(NullTraceWriter())
+        ),
+        repeats,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "bench.jsonl"
+
+        def jsonl_run():
+            tracer = Tracer(JsonlTraceWriter(path, max_bytes=None))
+            _run_once(n_servers, ticks, vectorized, tracer=tracer)
+            tracer.close()
+
+        jsonl = _best_of(jsonl_run, repeats)
+        trace_bytes = path.stat().st_size
+
+    memory = MemoryTraceWriter()
+    tracer = Tracer(memory)
+    _run_once(n_servers, ticks, vectorized, tracer=tracer)
+    tracer.flush()
+    tick_frames = [f for f in memory.frames if f.get("type") == "tick"]
+    sites_per_tick = sum(
+        _frame_record_count(f) for f in tick_frames
+    ) / max(len(tick_frames), 1)
+
+    off_ms = off / ticks * 1e3
+    guard_ns = _guard_cost_ns()
+    rows = [
+        {
+            "mode": "off",
+            "n_servers": int(n_servers),
+            "ticks": int(ticks),
+            "ms_per_tick": off_ms,
+            "overhead_pct": 0.0,
+        },
+        {
+            "mode": "null_sink",
+            "n_servers": int(n_servers),
+            "ticks": int(ticks),
+            "ms_per_tick": null_sink / ticks * 1e3,
+            "overhead_pct": (null_sink / off - 1.0) * 100.0,
+        },
+        {
+            "mode": "jsonl",
+            "n_servers": int(n_servers),
+            "ticks": int(ticks),
+            "ms_per_tick": jsonl / ticks * 1e3,
+            "overhead_pct": (jsonl / off - 1.0) * 100.0,
+            "bytes_per_tick": trace_bytes / ticks,
+        },
+        {
+            "mode": "disabled_guard_model",
+            "n_servers": int(n_servers),
+            "ticks": int(ticks),
+            "guard_ns_per_site": guard_ns,
+            "sites_per_tick": sites_per_tick,
+            "overhead_pct": guard_ns * sites_per_tick / (off_ms * 1e6) * 100.0,
+        },
+    ]
+    return rows
+
+
 # ------------------------------------------------------------------ driver
 def run_benchmarks(
     out_dir: str | Path = ".",
@@ -367,6 +502,11 @@ def run_benchmarks(
         "meta": meta,
         "end_to_end": bench_tick(tick_sizes, ticks=ticks),
         "kernels": bench_kernels(kernel_sizes, iters=iters),
+        "trace": bench_trace(
+            n_servers=64,
+            ticks=60 if quick else 200,
+            repeats=2 if quick else 3,
+        ),
     }
     tick_path = out_dir / "BENCH_tick.json"
     tick_path.write_text(json.dumps(tick_payload, indent=2) + "\n")
@@ -403,6 +543,24 @@ def format_report(paths: Dict[str, Path]) -> str:
             f"  vectorized {row['vectorized_us_per_iter']:9.1f} us"
             f"  speedup {row['speedup']:6.1f}x"
         )
+    lines.append("tracing overhead per tick:")
+    for row in tick.get("trace", []):
+        if row["mode"] == "disabled_guard_model":
+            lines.append(
+                f"  disabled (model)    {row['guard_ns_per_site']:6.1f} ns/site"
+                f" x {row['sites_per_tick']:6.1f} sites/tick"
+                f"  overhead {row['overhead_pct']:6.3f}%"
+            )
+        else:
+            extra = (
+                f"  {row['bytes_per_tick'] / 1024:7.1f} KiB/tick"
+                if "bytes_per_tick" in row
+                else ""
+            )
+            lines.append(
+                f"  {row['mode']:<18s}  {row['ms_per_tick']:8.3f} ms/tick"
+                f"  overhead {row['overhead_pct']:6.2f}%{extra}"
+            )
     lines.append("sweep scaling (9-point paper sweep):")
     for row in sweep["scaling"]:
         lines.append(

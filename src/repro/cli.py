@@ -9,6 +9,8 @@ Usage::
     python -m repro.cli bench --quick --out .        # CI smoke variant
     python -m repro.cli degraded --drop 0.2 --latency 1 --crashes 2
     python -m repro.cli resilience --crashes 3 --sensor-faults 4 --trips 1
+    python -m repro.cli resilience --trips 2 --trace run.trace
+    python -m repro.cli trace run.trace --server 3 --tick 40
 
 Builds the paper's 18-server data center (or a custom balanced tree),
 runs the controller, and prints a summary; optional CSV/JSON export.
@@ -21,6 +23,11 @@ and reports the divergence from the ideal synchronous controller.
 sensors, cooling derates, circuit trips) through the sensor-fault-
 tolerant controller (:mod:`repro.plant_faults`) and reports QoS loss
 and the thermal-safety verdict.
+
+Every run subcommand takes ``--trace FILE`` to record the structured
+tick trace (:mod:`repro.trace`); ``trace`` replays a recorded file into
+a per-node causal explanation -- the budget's path down the tree with
+the constraint that bound at each level (see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -87,7 +94,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--export-json", type=str, default=None, metavar="FILE",
         help="write the full run as JSON",
     )
+    _add_trace_argument(parser)
     return parser
+
+
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", type=str, default=None, metavar="FILE",
+        help="record a structured tick trace (JSONL; replay with "
+             "'python -m repro.cli trace FILE')",
+    )
+
+
+def _open_tracer(path: Optional[str]):
+    """A recording tracer for ``--trace FILE``, or None when unset."""
+    if not path:
+        return None
+    from repro.trace import JsonlTraceWriter, Tracer
+
+    return Tracer(JsonlTraceWriter(path))
+
+
+def _close_tracer(tracer, path: Optional[str]) -> None:
+    if tracer is not None:
+        tracer.close()
+        print(f"wrote trace to {path}")
 
 
 def build_bench_parser() -> argparse.ArgumentParser:
@@ -186,6 +217,7 @@ def build_degraded_parser() -> argparse.ArgumentParser:
         "--unreliable", action="store_true",
         help="disable acks/retries (fire-and-forget transport)",
     )
+    _add_trace_argument(parser)
     return parser
 
 
@@ -251,9 +283,12 @@ def degraded_main(argv: List[str]) -> int:
         n_ticks=args.ticks,
         seed=args.seed,
     )
+    tracer = _open_tracer(args.trace)
     controller, collector = run_distributed(
-        tree=tree, control_plane=control_plane, faults=faults, **run_kwargs
+        tree=tree, control_plane=control_plane, faults=faults,
+        tracer=tracer, **run_kwargs
     )
+    _close_tracer(tracer, args.trace)
     _, ideal = run_willow(**run_kwargs)
 
     print(
@@ -342,6 +377,7 @@ def build_resilience_parser() -> argparse.ArgumentParser:
         "--outside", type=float, default=35.0, metavar="DEGC",
         help="outside air temperature mixed in by degraded cooling",
     )
+    _add_trace_argument(parser)
     return parser
 
 
@@ -384,6 +420,7 @@ def resilience_main(argv: List[str]) -> int:
             n_circuit_trips=args.trips,
         )
 
+    tracer = _open_tracer(args.trace)
     controller, collector = run_resilient(
         tree=tree,
         config=config,
@@ -392,7 +429,9 @@ def resilience_main(argv: List[str]) -> int:
         target_utilization=args.utilization,
         n_ticks=args.ticks,
         seed=args.seed,
+        tracer=tracer,
     )
+    _close_tracer(tracer, args.trace)
 
     print(
         f"Resilient Willow run: {len(tree.servers())} servers, "
@@ -448,6 +487,117 @@ def resilience_main(argv: List[str]) -> int:
     return 0
 
 
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli trace",
+        description=(
+            "Replay a recorded tick trace: explain one server's budget "
+            "at one tick (the allocation path down the tree with the "
+            "binding constraint at each level), or summarise the run."
+        ),
+    )
+    parser.add_argument(
+        "file", type=str, metavar="FILE",
+        help="trace file recorded with --trace (rotated segments found "
+             "automatically)",
+    )
+    parser.add_argument(
+        "--server", type=int, default=None, metavar="ID",
+        help="server (leaf) node id to explain (default: first leaf)",
+    )
+    parser.add_argument(
+        "--tick", type=int, default=None, metavar="N",
+        help="control tick to explain (default: last recorded)",
+    )
+    parser.add_argument(
+        "--run", type=int, default=-1, metavar="I",
+        help="which run in the file when it holds several (default: last)",
+    )
+    parser.add_argument(
+        "--histogram", action="store_true",
+        help="print the binding-constraint histogram over the whole run",
+    )
+    parser.add_argument(
+        "--level", type=int, default=None, metavar="L",
+        help="restrict --histogram to one tree level",
+    )
+    parser.add_argument(
+        "--events", action="store_true",
+        help="print plant / control-plane fault edges",
+    )
+    return parser
+
+
+def trace_main(argv: List[str]) -> int:
+    args = build_trace_parser().parse_args(argv)
+    from repro.trace import TraceReader
+
+    try:
+        reader = TraceReader(args.file, run=args.run)
+    except (OSError, ValueError, IndexError) as error:
+        print(f"trace: {error}", file=sys.stderr)
+        return 2
+
+    run = reader.run
+    did_something = False
+    if args.histogram:
+        counts = reader.constraint_histogram(level=args.level)
+        where = f" at level {args.level}" if args.level is not None else ""
+        print(f"binding constraints{where}:")
+        for binding, count in sorted(
+            counts.items(), key=lambda kv: -kv[1]
+        ):
+            print(f"  {binding:15s} {count}")
+        did_something = True
+    if args.events:
+        events = reader.events()
+        print(f"{len(events)} fault edge(s):")
+        for event in events:
+            detail = f" ({event['detail']})" if event["detail"] else ""
+            print(
+                f"  tick {event['tick']:>5} t={event['t']:g}: "
+                f"{event['kind']} @ node {event['node']}{detail}"
+            )
+        did_something = True
+    if args.server is not None or args.tick is not None:
+        server = args.server
+        if server is None:
+            leaves = run.leaf_ids()
+            if not leaves:
+                print("trace: meta frame lists no leaves", file=sys.stderr)
+                return 2
+            server = leaves[0]
+        tick = args.tick if args.tick is not None else reader.last_tick()
+        try:
+            print(reader.explain(server, tick))
+        except (KeyError, ValueError) as error:
+            print(f"trace: {error}", file=sys.stderr)
+            return 2
+        did_something = True
+    if not did_something:
+        ticks = len(run.frames)
+        print(
+            f"trace of {run.controller or 'unknown controller'}: "
+            f"{len(reader.runs)} run(s), {ticks} tick frame(s) in "
+            f"run {args.run}, {len(run.leaf_ids())} servers"
+        )
+        counts = reader.constraint_histogram()
+        total = sum(counts.values()) or 1
+        print("binding constraints:")
+        for binding, count in sorted(
+            counts.items(), key=lambda kv: -kv[1]
+        ):
+            print(f"  {binding:15s} {count} ({count / total:.0%})")
+        events = reader.events()
+        print(f"{len(events)} fault edge(s); use --events to list them")
+        print(
+            "explain a server with: --server ID --tick N "
+            f"(servers: {run.leaf_ids()[:6]}..., last tick "
+            f"{reader.last_tick() if ticks else 'n/a'})"
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "bench":
@@ -456,6 +606,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return degraded_main(argv[1:])
     if argv and argv[0] == "resilience":
         return resilience_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     if not 0.0 < args.utilization <= 1.0:
         print("--utilization must be in (0, 1]", file=sys.stderr)
@@ -531,11 +683,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     controller_cls = (
         VectorizedWillowController if args.vectorized else WillowController
     )
+    tracer = _open_tracer(args.trace)
     controller = controller_cls(
         tree, config, supply, placement,
-        ambient_overrides=overrides, seed=args.seed,
+        ambient_overrides=overrides, seed=args.seed, tracer=tracer,
     )
     collector = controller.run(args.ticks)
+    _close_tracer(tracer, args.trace)
 
     print(
         f"Willow run: {len(servers)} servers, U={args.utilization:.0%}, "

@@ -28,13 +28,14 @@ reordered frames can never roll state backwards.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.control_plane.config import StalenessPolicy
 from repro.control_plane.transport import Transport
 from repro.core.state import NodeRuntime, ServerRuntime
 from repro.power.budget import allocate_proportional
 from repro.topology.tree import Node
+from repro.trace.tracer import NULL_TRACER
 
 __all__ = ["DemandReport", "BudgetDirective", "LeafAgent", "InternalAgent"]
 
@@ -72,6 +73,9 @@ class _AgentBase:
         self._last_directive_seq = -1
         #: reordered/retransmitted frames discarded as stale
         self.stale_discards = 0
+        #: observability (set by the owning controller when tracing)
+        self.tracer = NULL_TRACER
+        self.circuit_limit: Optional[float] = None
 
     # Subclasses bind these to their runtime object.
     def _budget(self) -> float:  # pragma: no cover - abstract
@@ -94,6 +98,13 @@ class _AgentBase:
         decayed = self.staleness.decayed(self._budget(), floor)
         if decayed != self._budget():
             self._set_budget(decayed)
+            if self.tracer.enabled:
+                self.tracer.record_event(
+                    "cp_budget_decay",
+                    self.node.node_id,
+                    f"stale {self.ticks_since_budget} ticks, "
+                    f"budget -> {decayed:.1f} W",
+                )
 
     def _accept_directive(self, directive: BudgetDirective, seq: int) -> bool:
         """Order-guarded application of a budget directive."""
@@ -257,7 +268,8 @@ class InternalAgent(_AgentBase):
         capped proportional waterfill over the *last delivered* child
         demands and caps.
         """
-        budget = max(self.runtime.budget - self.site_reserve(self.node), 0.0)
+        reserve = self.site_reserve(self.node)
+        budget = max(self.runtime.budget - reserve, 0.0)
         demands: List[float] = []
         child_caps: List[float] = []
         for child in self.node.children:
@@ -276,3 +288,24 @@ class InternalAgent(_AgentBase):
                     node_id=child.node_id, budget=float(allocation), tick=tick
                 ),
             )
+        if self.tracer.enabled:
+            # Record the division as computed; ``source_tick`` marks
+            # stale directives (applied ticks after they were cut).
+            for child, allocation, weight, cap in zip(
+                self.node.children, allocations, weights, child_caps
+            ):
+                self.tracer.record_allocation(
+                    child.node_id,
+                    self.node.node_id,
+                    child.level,
+                    allocation,
+                    weight,
+                    cap,
+                    budget,
+                    reserve,
+                    leaf=child.is_leaf,
+                    circuit_limit=(
+                        self.circuit_limit if child.is_leaf else None
+                    ),
+                    source_tick=tick,
+                )

@@ -103,6 +103,11 @@ class DistributedWillowController(WillowController):
         }
         self.root_agent = self.internal_agents[tree.root.node_id]
 
+        if self.tracer.enabled:
+            for agent in self._agents():
+                agent.tracer = self.tracer
+                agent.circuit_limit = config.circuit_limit
+
         for node in tree:
             if node.is_root:
                 continue
@@ -136,8 +141,16 @@ class DistributedWillowController(WillowController):
             down = self.faults.is_crashed(agent.node.node_id, tick)
             if down and not agent.crashed:
                 agent.crash()
+                if self.tracer.enabled:
+                    self.tracer.record_event(
+                        "cp_agent_crash", agent.node.node_id
+                    )
             elif not down and agent.crashed:
                 agent.restart()
+                if self.tracer.enabled:
+                    self.tracer.record_event(
+                        "cp_agent_restart", agent.node.node_id
+                    )
 
     def _aggregate_demands(self, now: float) -> None:
         """Upward phase: every live PMU reports once per ``Delta_D``.
@@ -161,6 +174,12 @@ class DistributedWillowController(WillowController):
         """Supply phase: the root divides; directives cascade by message."""
         self.root_budget = self.supply.at(now)
         self.root_agent.on_supply(self.root_budget, self._tick_index)
+        if self.tracer.enabled:
+            self.tracer.record_root(
+                self.root_budget,
+                self.root_agent._own_cap(),
+                self.root_agent.runtime.budget,
+            )
 
     # ------------------------------------------------------------ reports
     def transport_stats(self) -> LinkStats:
@@ -185,6 +204,7 @@ def run_distributed(
     apps: tuple = SIMULATION_APPS,
     vms_per_server: int = 4,
     ambient_overrides: Optional[Mapping[str, float]] = None,
+    tracer=None,
 ) -> tuple:
     """Build and run a distributed Willow simulation in one call.
 
@@ -225,6 +245,7 @@ def run_distributed(
         faults=faults,
         ambient_overrides=ambient_overrides,
         seed=seed,
+        tracer=tracer,
     )
     collector: MetricsCollector = controller.run(n_ticks)
     return controller, collector

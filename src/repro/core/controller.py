@@ -39,6 +39,7 @@ from repro.power.supply import SupplyTrace, constant_supply
 from repro.sim.core import Environment
 from repro.sim.rng import RandomStreams
 from repro.thermal.model import ThermalParams
+from repro.trace.tracer import Tracer, active_tracer
 from repro.topology.switches import SwitchFabric
 from repro.topology.tree import Node, Tree
 from repro.workload.applications import SIMULATION_APPS
@@ -97,6 +98,7 @@ class WillowController:
         collector: Optional[MetricsCollector] = None,
         seed: int = 0,
         ipc_graph=None,
+        tracer: Optional[Tracer] = None,
     ):
         self.tree = tree
         self.config = config
@@ -156,6 +158,17 @@ class WillowController:
         self.on_tick: List = []
         self.on_migration: List = []
 
+        #: Observability: the tick tracer (see :mod:`repro.trace`).
+        #: Defaults to the ambient tracer -- the shared no-op
+        #: ``NULL_TRACER`` unless a ``tracing(...)`` block is active --
+        #: so tracing costs one attribute check per call site when off.
+        self.tracer = tracer if tracer is not None else active_tracer()
+        if self.tracer.enabled:
+            self.tracer.write_meta(
+                tree, config, controller=type(self).__name__
+            )
+        self.collector.tracer = self.tracer
+
         self.root_budget: float = 0.0
         self._tick_index = 0
         self._dropped_since_consolidation = 0.0
@@ -178,12 +191,18 @@ class WillowController:
 
         self.env.process(loop())
         self.env.run()
+        self.tracer.flush()
         return self.collector
 
     # ----------------------------------------------------------------- tick
     def _tick(self) -> None:
         now = self.env.now
         config = self.config
+        tracer = self.tracer
+        if tracer.enabled:
+            # Open this tick's frame before the plant hook so fault
+            # edges recorded there land in the right frame.
+            tracer.begin_tick(self._tick_index, now)
         self._tick_migration_traffic = {}
 
         # 0. housekeeping: expire migration costs, advance wake latency.
@@ -208,6 +227,15 @@ class WillowController:
         # plant fault invalidated the standing allocation).
         if self._allocation_due():
             self._allocate_budgets(now)
+
+        if tracer.enabled:
+            for server in self.servers.values():
+                tracer.record_demand(
+                    server.node.node_id,
+                    server.raw_demand,
+                    server.smoothed_demand,
+                    server.budget,
+                )
 
         # 4. demand-side migrations (constraint tightening only).
         # Unmatched deficits are NOT shut off wholesale: the VM stays on
@@ -379,9 +407,14 @@ class WillowController:
                 )
 
         self.root_budget = self.supply.at(now)
+        root_cap = caps[self.tree.root.node_id]
         self.internals[self.tree.root.node_id].set_budget(
-            min(self.root_budget, caps[self.tree.root.node_id])
+            min(self.root_budget, root_cap)
         )
+        if self.tracer.enabled:
+            self.tracer.record_root(
+                self.root_budget, root_cap, min(self.root_budget, root_cap)
+            )
 
         for level in range(self.tree.root.level, 0, -1):
             for node in self.tree.nodes_at_level(level):
@@ -418,16 +451,49 @@ class WillowController:
                     self.collector.record_message(
                         ControlMessage(now, link=child.node_id, upward=False)
                     )
+                if self.tracer.enabled:
+                    for child, allocation, weight, cap in zip(
+                        node.children, allocations, weights, child_caps
+                    ):
+                        self.tracer.record_allocation(
+                            child.node_id,
+                            node.node_id,
+                            child.level,
+                            allocation,
+                            weight,
+                            cap,
+                            budget,
+                            reserve,
+                            leaf=child.is_leaf,
+                            circuit_limit=(
+                                self.config.circuit_limit
+                                if child.is_leaf
+                                else None
+                            ),
+                        )
 
     # ------------------------------------------------------ migrations
     def _execute_moves(
         self, moves: Iterable[PlannedMove], cause: MigrationCause, now: float
     ) -> None:
         config = self.config
+        tracer = self.tracer
         for move in moves:
             src = self.servers[move.src.node_id]
             dst = self.servers[move.dst.node_id]
             vm = move.vm
+            if tracer.enabled:
+                # Eq. 5-9 decision inputs, captured before the move
+                # mutates either runtime: the source's budget deficit
+                # and the destination's surplus after the p_min margin
+                # and the migration's own temporary power cost.
+                src_deficit = src.smoothed_demand - src.budget
+                dst_surplus = (
+                    dst.budget
+                    - dst.smoothed_demand
+                    - config.p_min
+                    - config.migration_cost_power
+                )
             del src.vms[vm.vm_id]
             dst.vms[vm.vm_id] = vm
             vm.place(dst.node.node_id, now)
@@ -455,6 +521,17 @@ class WillowController:
                 cost_power=config.migration_cost_power,
             )
             self.collector.record_migration(record)
+            if tracer.enabled:
+                tracer.record_migration(
+                    vm.vm_id,
+                    move.src.node_id,
+                    move.dst.node_id,
+                    vm.current_demand,
+                    cause.value,
+                    move.local,
+                    src_deficit,
+                    dst_surplus,
+                )
             for hook in self.on_migration:
                 hook(self, record)
 
@@ -564,6 +641,7 @@ def run_willow(
     vms_per_server: int = 4,
     ambient_overrides: Optional[Mapping[str, float]] = None,
     vectorized: bool = False,
+    tracer: Optional[Tracer] = None,
 ) -> tuple:
     """Build and run a complete Willow simulation in one call.
 
@@ -609,6 +687,7 @@ def run_willow(
         placement,
         ambient_overrides=ambient_overrides,
         seed=seed,
+        tracer=tracer,
     )
     collector = controller.run(n_ticks)
     return controller, collector

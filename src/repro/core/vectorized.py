@@ -180,6 +180,9 @@ class VectorizedWillowController(WillowController):
         now = self.env.now
         config = self.config
         fleet = self.fleet
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.begin_tick(self._tick_index, now)
         self._tick_migration_traffic = {}
 
         # 0. housekeeping on the objects, then mirror into arrays.
@@ -242,6 +245,13 @@ class VectorizedWillowController(WillowController):
             budget = fleet.budget
             for i, server in enumerate(fleet.servers):
                 budget[i] = server.budget
+
+        if tracer.enabled:
+            standing = fleet.budget.tolist()
+            for i, sid in enumerate(self._server_ids):
+                tracer.record_demand(
+                    sid, raw_list[i], smoothed_list[i], standing[i]
+                )
 
         # 4. demand-side migrations, with the planner's per-server
         # screening (deficient set, unidirectional rule, target
@@ -488,6 +498,12 @@ class VectorizedWillowController(WillowController):
         self.internals[root_id].set_budget(
             min(self.root_budget, caps[root_id])
         )
+        if self.tracer.enabled:
+            self.tracer.record_root(
+                self.root_budget,
+                caps[root_id],
+                self.internals[root_id].budget,
+            )
 
         budgets = self._budget_buffer
         budgets[root_id] = self.internals[root_id].budget
@@ -527,6 +543,31 @@ class VectorizedWillowController(WillowController):
             messages.extend(
                 [ControlMessage(now, c, False) for c in spec.child_id_list]
             )
+            if self.tracer.enabled:
+                seg = spec.alloc_index.seg
+                weight_list = np.asarray(weights).tolist()
+                cap_list = child_caps.tolist()
+                pb_list = parent_budget.tolist()
+                reserve_list = reserves.tolist()
+                node_id_list = [n.node_id for n in spec.nodes]
+                for k, child in enumerate(spec.child_nodes):
+                    g = int(seg[k])
+                    self.tracer.record_allocation(
+                        child.node_id,
+                        node_id_list[g],
+                        child.level,
+                        allocation_list[k],
+                        weight_list[k],
+                        cap_list[k],
+                        pb_list[g],
+                        reserve_list[g],
+                        leaf=child.is_leaf,
+                        circuit_limit=(
+                            self.config.circuit_limit
+                            if child.is_leaf
+                            else None
+                        ),
+                    )
 
     # ------------------------------------------------------ migrations
     def _execute_moves(

@@ -7,6 +7,7 @@ Usage::
     python -m repro.experiments.runner fig05 fig06
     python -m repro.experiments.runner all --workers 8   # process pool
     python -m repro.experiments.runner all --no-cache    # force recompute
+    python -m repro.experiments.runner resilience --trace traces/
 
 Sweep results persist across invocations in the on-disk cache (see
 :mod:`repro.experiments.cache`); ``--no-cache`` disables both reading
@@ -84,6 +85,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="neither read nor write the on-disk sweep cache",
     )
+    parser.add_argument(
+        "--trace", type=str, default=None, metavar="DIR",
+        help="record a structured tick trace per experiment to "
+             "DIR/<name>.jsonl (serial only; implies --no-cache so "
+             "every run actually executes)",
+    )
     return parser
 
 
@@ -105,16 +112,36 @@ def main(argv=None) -> int:
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
+    if args.trace and args.workers > 1:
+        print("--trace requires --workers 1 (serial run)", file=sys.stderr)
+        return 2
 
     from repro.experiments import cache
 
-    cache.set_enabled(False if args.no_cache else True)
+    # Tracing implies no cache: a cache hit skips the simulation, so
+    # nothing would be recorded and the trace would silently be empty.
+    cache.set_enabled(False if (args.no_cache or args.trace) else True)
     try:
         if args.workers > 1:
             from repro.experiments.parallel import run_experiments_parallel
 
             for _, table in run_experiments_parallel(names, args.workers):
                 print(table)
+                print()
+        elif args.trace:
+            from pathlib import Path
+
+            from repro.trace import tracing
+
+            trace_dir = Path(args.trace)
+            for name in names:
+                trace_path = trace_dir / f"{name}.jsonl"
+                # Every controller constructed inside the block adopts
+                # the ambient tracer, so experiments need no plumbing.
+                with tracing(trace_path):
+                    result = REGISTRY[name]()
+                print(result.format())
+                print(f"wrote trace to {trace_path}")
                 print()
         else:
             for name in names:

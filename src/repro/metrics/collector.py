@@ -19,6 +19,7 @@ from repro.core.events import (
     MigrationCause,
     PlantEvent,
 )
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 __all__ = ["ServerSample", "SwitchSample", "MetricsCollector"]
 
@@ -65,6 +66,11 @@ class MetricsCollector:
     #: Physical-plant fault transitions (crashes, sensor quarantines,
     #: circuit trips, cooling events and their recoveries).
     plant_events: List[PlantEvent] = field(default_factory=list)
+    #: Forwarding sink for the observability layer: drops, unmatched
+    #: deficits, plant events and the imbalance residual also land in
+    #: the owning controller's open trace frame.  Not a record series
+    #: (excluded from export/round-trip by not being a list field).
+    tracer: Tracer = field(default=NULL_TRACER, repr=False, compare=False)
 
     # -- recording ---------------------------------------------------------
     def record_server(self, sample: ServerSample) -> None:
@@ -78,18 +84,26 @@ class MetricsCollector:
 
     def record_drop(self, drop: Drop) -> None:
         self.drops.append(drop)
+        if self.tracer.enabled:
+            self.tracer.record_drop(drop.node_id, drop.vm_id, drop.power)
 
     def record_unmatched(self, drop: Drop) -> None:
         self.unmatched_deficits.append(drop)
+        if self.tracer.enabled:
+            self.tracer.record_unmatched(drop.node_id, drop.vm_id, drop.power)
 
     def record_message(self, message: ControlMessage) -> None:
         self.messages.append(message)
 
     def record_imbalance(self, time: float, watts: float) -> None:
         self.imbalance.append((time, watts))
+        if self.tracer.enabled:
+            self.tracer.record_imbalance(watts)
 
     def record_plant_event(self, event: PlantEvent) -> None:
         self.plant_events.append(event)
+        if self.tracer.enabled:
+            self.tracer.record_event(event.kind, event.node_id, event.detail)
 
     # -- plant faults --------------------------------------------------------
     def plant_event_counts(self) -> Dict[str, int]:
@@ -163,6 +177,10 @@ class MetricsCollector:
     # -- drops -----------------------------------------------------------------
     def total_dropped_power(self) -> float:
         return float(sum(d.power for d in self.drops))
+
+    def total_unmatched_power(self) -> float:
+        """Deficit watts left degrading in place (never placed elsewhere)."""
+        return float(sum(d.power for d in self.unmatched_deficits))
 
     # -- switches ----------------------------------------------------------------
     def switch_ids(self, level: Optional[int] = None) -> List[int]:

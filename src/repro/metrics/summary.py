@@ -32,6 +32,10 @@ class RunSummary:
     local_migration_fraction: float
     dropped_power: float  # W*ticks
     asleep_fraction: float  # server-ticks asleep / total
+    #: Deficits the matcher left in place (VM runs degraded on its
+    #: host); distinct from `dropped_power`, the watts actually shed.
+    unmatched_count: int = 0
+    unmatched_watts: float = 0.0  # W*ticks
     #: Plant-fault transitions by kind (empty for an ideal plant).
     plant_events: Dict[str, int] = field(default_factory=dict)
 
@@ -44,6 +48,8 @@ class RunSummary:
             f"{self.consolidation_migrations} consolidation "
             f"({self.local_migration_fraction:.0%} local)",
             f"dropped demand       : {self.dropped_power:10.1f} W*ticks",
+            f"unmatched deficits   : {self.unmatched_count} "
+            f"({self.unmatched_watts:.1f} W*ticks degraded in place)",
             f"server-ticks asleep  : {self.asleep_fraction:10.1%}",
         ]
         if self.plant_events:
@@ -85,6 +91,8 @@ def summarize_run(collector: MetricsCollector) -> RunSummary:
         asleep_fraction=float(
             np.mean([s.asleep for s in collector.server_samples])
         ),
+        unmatched_count=len(collector.unmatched_deficits),
+        unmatched_watts=collector.total_unmatched_power(),
         plant_events=collector.plant_event_counts(),
     )
 

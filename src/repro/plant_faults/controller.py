@@ -395,6 +395,7 @@ def run_resilient(
     vms_per_server: int = 4,
     ambient_overrides: Optional[Mapping[str, float]] = None,
     collector: Optional[MetricsCollector] = None,
+    tracer=None,
 ) -> tuple:
     """Build and run a fault-injected Willow simulation in one call.
 
@@ -434,6 +435,7 @@ def run_resilient(
         ambient_overrides=ambient_overrides,
         collector=collector,
         seed=seed,
+        tracer=tracer,
     )
     out = controller.run(n_ticks)
     return controller, out

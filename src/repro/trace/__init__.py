@@ -1,0 +1,37 @@
+"""Structured tick-trace observability for Willow controllers.
+
+See :mod:`repro.trace.tracer` for the frame schema and the cost
+contract, :mod:`repro.trace.writer` for sinks and rotation, and
+:mod:`repro.trace.query` for reading traces back.
+"""
+
+from repro.trace.tracer import (
+    NULL_TRACER,
+    Tracer,
+    active_tracer,
+    classify_constraint,
+    tracing,
+)
+from repro.trace.query import TraceReader, TraceRun
+from repro.trace.writer import (
+    JsonlTraceWriter,
+    MemoryTraceWriter,
+    NullTraceWriter,
+    TraceWriter,
+    trace_segments,
+)
+
+__all__ = [
+    "Tracer",
+    "NULL_TRACER",
+    "active_tracer",
+    "classify_constraint",
+    "tracing",
+    "TraceReader",
+    "TraceRun",
+    "TraceWriter",
+    "NullTraceWriter",
+    "MemoryTraceWriter",
+    "JsonlTraceWriter",
+    "trace_segments",
+]

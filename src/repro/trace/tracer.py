@@ -1,0 +1,340 @@
+"""The tick tracer: structured causal telemetry for Willow runs.
+
+Every controller owns a :class:`Tracer` (the shared no-op
+:data:`NULL_TRACER` unless one is injected), and emits one *frame* per
+control tick.  A frame is a span-like record of everything that shaped
+this tick's decisions:
+
+* ``demand`` -- per-server Eq. 4 smoothing (raw observation, smoothed
+  value) plus the standing budget;
+* ``root`` / ``alloc`` -- the supply-side waterfill: for every node the
+  granted budget, the allocation weight, the hard cap, the parent's
+  divisible budget, the colocated-switch reserve, and the **binding
+  constraint** (:func:`classify_constraint`);
+* ``migrations`` -- executed moves with their Eq. 5-9 inputs (source
+  deficit, destination surplus after the power margin);
+* ``unmatched`` / ``drops`` -- demand the matcher could not place and
+  watts actually shed;
+* ``events`` -- plant and control-plane fault edges;
+* ``imbalance`` -- the level-0 Eq. 9 residual.
+
+Cost contract: with tracing disabled every call site is guarded by a
+single ``tracer.enabled`` attribute check, so the controllers' decision
+paths are bit-exact and the per-tick overhead is a handful of attribute
+reads (bounded by ``benchmarks/test_bench_trace.py``).  With tracing
+enabled, frames are built from plain Python floats and flushed to the
+writer at the start of the next tick.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Dict, List, Optional
+
+from repro.trace.writer import JsonlTraceWriter, NullTraceWriter, TraceWriter
+
+__all__ = [
+    "Tracer",
+    "NULL_TRACER",
+    "classify_constraint",
+    "active_tracer",
+    "tracing",
+]
+
+_EPS = 1e-9
+
+#: Binding-constraint slugs emitted by :func:`classify_constraint`.
+CONSTRAINTS = (
+    "zero_cap",  # cap ~ 0: tripped circuit or failed/excluded server
+    "thermal_cap",  # leaf pinned at the Eq. 2/3 thermal cap
+    "circuit_rating",  # leaf pinned at the branch-circuit rating
+    "aggregate_cap",  # internal node pinned at its children's summed cap
+    "sibling_share",  # parent budget exhausted by the proportional split
+    "demand_met",  # allocation covers the demand weight exactly
+    "surplus_share",  # allocation exceeds demand (step-3 surplus spread)
+)
+
+
+def classify_constraint(
+    allocation: float,
+    weight: float,
+    cap: float,
+    *,
+    leaf: bool,
+    circuit_limit: Optional[float] = None,
+    eps: float = _EPS,
+) -> str:
+    """Name the constraint that bound one node's allocation.
+
+    The waterfill gives each child ``min(share, cap)``; working backward
+    from the realised allocation, the binding constraint is the hard cap
+    when the allocation sits on it, the sibling soft share when the
+    child got less than its weight with cap headroom to spare, and
+    "satisfied" (``demand_met`` / ``surplus_share``) otherwise.  At a
+    bound leaf the hard cap is further split into the thermal cap vs.
+    the circuit rating by comparing against ``circuit_limit``.
+    """
+    if cap <= eps:
+        return "zero_cap"
+    if allocation >= cap - eps:
+        if not leaf:
+            return "aggregate_cap"
+        if circuit_limit is not None and cap >= circuit_limit - eps:
+            return "circuit_rating"
+        return "thermal_cap"
+    if allocation > weight + eps:
+        return "surplus_share"
+    if allocation >= weight - eps:
+        return "demand_met"
+    return "sibling_share"
+
+
+class Tracer:
+    """Builds one frame per tick and hands finished frames to a writer.
+
+    Parameters
+    ----------
+    writer:
+        The sink; defaults to a fresh :class:`NullTraceWriter`.
+    enabled:
+        Master switch.  A disabled tracer never builds frames; the
+        module-level :data:`NULL_TRACER` is the canonical disabled
+        instance every controller defaults to.
+    """
+
+    __slots__ = ("writer", "enabled", "_frame", "_run", "_tick", "_now")
+
+    def __init__(
+        self, writer: Optional[TraceWriter] = None, *, enabled: bool = True
+    ):
+        self.writer: TraceWriter = writer or NullTraceWriter()
+        self.enabled = enabled
+        self._frame: Optional[Dict[str, Any]] = None
+        self._run = -1
+        self._tick = -1
+        self._now = 0.0
+
+    # ------------------------------------------------------------- lifecycle
+    def write_meta(self, tree, config, *, controller: str = "") -> None:
+        """Start a new run: emit the self-describing header frame.
+
+        Called once per controller construction, so one trace file can
+        hold several runs back to back (``run`` indexes them).
+        """
+        if not self.enabled:
+            return
+        self.flush()
+        self._run += 1
+        self._tick = -1
+        nodes = [
+            {
+                "id": node.node_id,
+                "name": node.name,
+                "level": node.level,
+                "parent": None if node.is_root else node.parent.node_id,
+                "leaf": node.is_leaf,
+            }
+            for node in tree
+        ]
+        self.writer.write_frame(
+            {
+                "type": "meta",
+                "run": self._run,
+                "controller": controller,
+                "nodes": nodes,
+                "config": {
+                    "eta1": config.eta1,
+                    "eta2": config.eta2,
+                    "alpha": config.alpha,
+                    "delta_d": config.delta_d,
+                    "circuit_limit": config.circuit_limit,
+                    "allocation_mode": config.allocation_mode,
+                    "thermal_mode": config.thermal_mode,
+                },
+            }
+        )
+
+    def begin_tick(self, tick: int, now: float) -> None:
+        """Flush the previous frame and open the frame for ``tick``."""
+        self.flush()
+        self._tick = tick
+        self._now = now
+        self._frame = {
+            "type": "tick",
+            "run": self._run,
+            "tick": tick,
+            "t": float(now),
+        }
+
+    def flush(self) -> None:
+        """Write the open frame, if any (idempotent)."""
+        if self._frame is not None:
+            self.writer.write_frame(self._frame)
+            self._frame = None
+
+    def close(self) -> None:
+        self.flush()
+        self.writer.close()
+
+    # ------------------------------------------------------------ recording
+    def _section(self, name: str) -> List:
+        frame = self._frame
+        if frame is None:
+            # Records outside any tick (e.g. transport deliveries after
+            # the final tick) have no frame to land in; drop them.
+            return []
+        return frame.setdefault(name, [])
+
+    def record_demand(
+        self, server_id: int, raw: float, smoothed: float, budget: float
+    ) -> None:
+        """One server's Eq. 4 smoothing step and standing budget."""
+        self._section("demand").append(
+            [server_id, float(raw), float(smoothed), float(budget)]
+        )
+
+    def record_root(self, supply: float, cap: float, granted: float) -> None:
+        """The supply-side entry point: facility supply vs root cap."""
+        if self._frame is not None:
+            self._frame["root"] = {
+                "supply": float(supply),
+                "cap": float(cap),
+                "granted": float(granted),
+            }
+
+    def record_allocation(
+        self,
+        node_id: int,
+        parent_id: int,
+        level: int,
+        allocation: float,
+        weight: float,
+        cap: float,
+        parent_budget: float,
+        reserve: float,
+        *,
+        leaf: bool,
+        circuit_limit: Optional[float] = None,
+        source_tick: Optional[int] = None,
+    ) -> None:
+        """One child's share of a parent's budget division.
+
+        ``parent_budget`` is the divisible budget *after* the colocated
+        switch ``reserve`` came off the top.  ``source_tick`` marks the
+        control tick a distributed directive was computed at (it can
+        trail the frame's tick under lossy transport).
+        """
+        record = {
+            "node": node_id,
+            "parent": parent_id,
+            "level": level,
+            "budget": float(allocation),
+            "weight": float(weight),
+            "cap": float(cap),
+            "parent_budget": float(parent_budget),
+            "reserve": float(reserve),
+            "binding": classify_constraint(
+                float(allocation),
+                float(weight),
+                float(cap),
+                leaf=leaf,
+                circuit_limit=circuit_limit,
+            ),
+        }
+        if source_tick is not None and source_tick != self._tick:
+            record["source_tick"] = source_tick
+        self._section("alloc").append(record)
+
+    def record_migration(
+        self,
+        vm_id: int,
+        src_id: int,
+        dst_id: int,
+        demand: float,
+        cause: str,
+        local: bool,
+        src_deficit: float,
+        dst_surplus: float,
+    ) -> None:
+        """One executed move with its Eq. 5-9 decision inputs."""
+        self._section("migrations").append(
+            {
+                "vm": vm_id,
+                "src": src_id,
+                "dst": dst_id,
+                "demand": float(demand),
+                "cause": cause,
+                "local": bool(local),
+                "src_deficit": float(src_deficit),
+                "dst_surplus": float(dst_surplus),
+            }
+        )
+
+    def record_unmatched(
+        self, node_id: int, vm_id: Optional[int], watts: float
+    ) -> None:
+        """Deficit demand the matcher left in place (degraded service)."""
+        self._section("unmatched").append([node_id, vm_id, float(watts)])
+
+    def record_drop(
+        self, node_id: int, vm_id: Optional[int], watts: float
+    ) -> None:
+        """Watts actually shed this tick (QoS loss)."""
+        self._section("drops").append([node_id, vm_id, float(watts)])
+
+    def record_event(self, kind: str, node_id: int, detail: str = "") -> None:
+        """A plant or control-plane fault edge."""
+        self._section("events").append(
+            {"kind": kind, "node": node_id, "detail": detail}
+        )
+
+    def record_imbalance(self, watts: float) -> None:
+        """The level-0 Eq. 9 power-imbalance residual."""
+        if self._frame is not None:
+            self._frame["imbalance"] = float(watts)
+
+
+#: The canonical disabled tracer.  Shared by every controller that is
+#: not explicitly given one; its guard attribute is the whole cost of
+#: tracing when disabled.
+NULL_TRACER = Tracer(NullTraceWriter(), enabled=False)
+
+_ACTIVE: Tracer = NULL_TRACER
+
+
+def active_tracer() -> Tracer:
+    """The ambient tracer new controllers adopt (NULL unless inside
+    a :func:`tracing` block)."""
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def tracing(target, **writer_kwargs):
+    """Install an ambient tracer for the duration of a ``with`` block.
+
+    ``target`` is a path (a rotating :class:`JsonlTraceWriter` is
+    created and closed on exit), a :class:`Tracer` (used as-is, left
+    open), or a writer instance.  Controllers constructed inside the
+    block and not given an explicit ``tracer`` pick it up -- this is how
+    the experiment runner traces sweeps without threading a tracer
+    through every figure module.
+    """
+    global _ACTIVE
+    own = False
+    if isinstance(target, Tracer):
+        tracer = target
+    elif hasattr(target, "write_frame"):
+        tracer = Tracer(target)
+    else:
+        tracer = Tracer(JsonlTraceWriter(target, **writer_kwargs))
+        own = True
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = previous
+        if own:
+            tracer.close()
+        else:
+            tracer.flush()

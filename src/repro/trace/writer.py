@@ -1,0 +1,136 @@
+"""Trace sinks: where finished tick frames go.
+
+A :class:`Tracer` builds one frame (a plain dict) per control tick and
+hands it to a writer.  Three sinks:
+
+* :class:`NullTraceWriter` -- discards everything (the default sink;
+  with it the tracer still builds frames, so benchmarks can separate
+  frame-building cost from serialization cost);
+* :class:`MemoryTraceWriter` -- keeps frames in a list (tests, quick
+  interactive inspection);
+* :class:`JsonlTraceWriter` -- one JSON object per line, with size-based
+  rotation so multi-hour runs cannot fill a disk unbounded.
+
+Rotation naming: the active segment is always ``path``; when it exceeds
+``max_bytes`` it is renamed to ``path.1``, ``path.2``, ... in write
+order and a fresh ``path`` is opened.  :func:`trace_segments` returns
+every segment of a trace in chronological order, which is what
+:class:`~repro.trace.query.TraceReader` reads.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Protocol
+
+__all__ = [
+    "TraceWriter",
+    "NullTraceWriter",
+    "MemoryTraceWriter",
+    "JsonlTraceWriter",
+    "trace_segments",
+]
+
+
+class TraceWriter(Protocol):
+    """Anything that can absorb finished trace frames."""
+
+    def write_frame(self, frame: Dict[str, Any]) -> None:  # pragma: no cover
+        ...
+
+    def close(self) -> None:  # pragma: no cover
+        ...
+
+
+class NullTraceWriter:
+    """Discards frames; the no-op sink."""
+
+    def write_frame(self, frame: Dict[str, Any]) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class MemoryTraceWriter:
+    """Accumulates frames in memory (tests and interactive use)."""
+
+    def __init__(self) -> None:
+        self.frames: List[Dict[str, Any]] = []
+        self.closed = False
+
+    def write_frame(self, frame: Dict[str, Any]) -> None:
+        self.frames.append(frame)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class JsonlTraceWriter:
+    """Rotating JSON-lines sink.
+
+    Parameters
+    ----------
+    path:
+        The active segment path.  Parent directories are created.
+    max_bytes:
+        Rotate once the active segment exceeds this size (checked after
+        each frame, so a segment may overshoot by one frame).  ``None``
+        disables rotation.
+    """
+
+    def __init__(self, path, *, max_bytes: int | None = 32 * 1024 * 1024):
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive or None")
+        self.path = Path(path)
+        self.max_bytes = max_bytes
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("w")
+        self._written = 0
+        self._next_segment = 1
+
+    def write_frame(self, frame: Dict[str, Any]) -> None:
+        line = json.dumps(frame, separators=(",", ":"))
+        self._handle.write(line)
+        self._handle.write("\n")
+        self._written += len(line) + 1
+        if self.max_bytes is not None and self._written > self.max_bytes:
+            self._rotate()
+
+    def _rotate(self) -> None:
+        self._handle.close()
+        self.path.rename(
+            self.path.with_name(f"{self.path.name}.{self._next_segment}")
+        )
+        self._next_segment += 1
+        self._handle = self.path.open("w")
+        self._written = 0
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+
+def trace_segments(path) -> List[Path]:
+    """Every segment of a (possibly rotated) trace, oldest first.
+
+    ``path.1`` is the oldest rotated segment, higher suffixes are newer,
+    and the unsuffixed ``path`` (when present) holds the newest frames.
+    """
+    path = Path(path)
+    pattern = re.compile(re.escape(path.name) + r"\.(\d+)$")
+    rotated = []
+    if path.parent.is_dir():
+        for candidate in path.parent.iterdir():
+            match = pattern.fullmatch(candidate.name)
+            if match:
+                rotated.append((int(match.group(1)), candidate))
+    segments = [p for _, p in sorted(rotated)]
+    if path.is_file():
+        segments.append(path)
+    if not segments:
+        raise FileNotFoundError(f"no trace segments found for {path}")
+    return segments

@@ -82,3 +82,44 @@ def test_no_migrations_yields_zero_local_fraction():
     )
     collector = controller.run(5)
     assert summarize_run(collector).local_migration_fraction == 0.0
+
+
+# ------------------------------------------------------- unmatched deficits
+# Regression: the summary reported drops and plant events but not
+# unmatched deficits, so degraded-but-not-dropped demand was invisible.
+
+
+def test_summary_reports_unmatched_deficits():
+    from repro.plant_faults import random_plant_schedule, run_resilient
+    from repro.topology import build_paper_simulation
+
+    tree = build_paper_simulation()
+    schedule = random_plant_schedule(
+        tree, seed=7, horizon_ticks=60, n_crashes=2, n_circuit_trips=1
+    )
+    _, collector = run_resilient(
+        tree=tree,
+        plant_faults=schedule,
+        target_utilization=0.8,
+        n_ticks=60,
+        seed=7,
+    )
+    assert collector.unmatched_deficits, "run produced no unmatched deficits"
+    summary = summarize_run(collector)
+    assert summary.unmatched_count == len(collector.unmatched_deficits)
+    assert summary.unmatched_watts == pytest.approx(
+        sum(d.power for d in collector.unmatched_deficits)
+    )
+    text = summary.format()
+    assert "unmatched deficits" in text
+    assert str(summary.unmatched_count) in text
+
+
+def test_summary_unmatched_zero_on_ideal_run():
+    _, collector = run_willow(target_utilization=0.3, n_ticks=10, seed=3)
+    summary = summarize_run(collector)
+    assert summary.unmatched_count == len(collector.unmatched_deficits)
+    assert summary.unmatched_watts == pytest.approx(
+        collector.total_unmatched_power()
+    )
+    assert "unmatched deficits" in summary.format()
