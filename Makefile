@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-guard trace-smoke examples-smoke experiments clean-cache
+.PHONY: test bench bench-smoke bench-guard trace-smoke examples-smoke federation-smoke experiments clean-cache
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -12,6 +12,19 @@ examples-smoke:
 		echo "== $$script"; \
 		WILLOW_EXAMPLE_TICKS=12 timeout 120 $(PYTHON) $$script > /dev/null; \
 	done; echo "all examples OK"
+
+## Geo-federation smoke: the follow-the-sun example plus a tiny
+## 2-site sweep through the CLI subcommand.
+federation-smoke:
+	@set -e; \
+	WILLOW_EXAMPLE_TICKS=12 timeout 120 \
+		$(PYTHON) examples/federated_datacenters.py > /dev/null; \
+	timeout 120 $(PYTHON) -m repro.cli federation \
+		--sites 2 --ticks 24 --policy proportional > /dev/null; \
+	timeout 120 $(PYTHON) -m repro.cli federation \
+		--sites 2 --ticks 24 --battery 500:100 \
+		--policy greedy-greenest > /dev/null; \
+	echo "federation smoke OK"
 
 ## Full performance run: writes BENCH_tick.json / BENCH_sweep.json.
 bench:

@@ -10,7 +10,9 @@ Usage::
     python -m repro.cli degraded --drop 0.2 --latency 1 --crashes 2
     python -m repro.cli resilience --crashes 3 --sensor-faults 4 --trips 1
     python -m repro.cli resilience --trips 2 --trace run.trace
+    python -m repro.cli federation --sites 3 --policy greedy-greenest
     python -m repro.cli trace run.trace --server 3 --tick 40
+    python -m repro.cli --version
 
 Builds the paper's 18-server data center (or a custom balanced tree),
 runs the controller, and prints a summary; optional CSV/JSON export.
@@ -22,7 +24,9 @@ and reports the divergence from the ideal synchronous controller.
 ``resilience`` injects *physical* faults (server crashes, lying thermal
 sensors, cooling derates, circuit trips) through the sensor-fault-
 tolerant controller (:mod:`repro.plant_faults`) and reports QoS loss
-and the thermal-safety verdict.
+and the thermal-safety verdict.  ``federation`` runs N sites on
+anti-correlated solar supply with supply-aware cross-site load shifting
+(:mod:`repro.federation`).
 
 Every run subcommand takes ``--trace FILE`` to record the structured
 tick trace (:mod:`repro.trace`); ``trace`` replays a recorded file into
@@ -37,10 +41,26 @@ import sys
 from typing import List, Optional
 
 
+def package_version() -> str:
+    """The installed version from package metadata, or the source
+    fallback when running uninstalled (PYTHONPATH=src)."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        import repro
+
+        return repro.__version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
         description="Run Willow on a simulated data center.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {package_version()}"
     )
     parser.add_argument(
         "--utilization", type=float, default=0.5,
@@ -85,6 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--p-min", type=float, default=None, help="migration margin (W)"
+    )
+    parser.add_argument(
+        "--battery", type=str, default=None, metavar="CAPACITY[:RATE]",
+        help="buffer the supply through a UPS battery: capacity in "
+             "W*ticks, optional charge/discharge rate in W "
+             "(default rate: capacity/8)",
     )
     parser.add_argument(
         "--export-csv", type=str, default=None, metavar="DIR",
@@ -487,6 +513,130 @@ def resilience_main(argv: List[str]) -> int:
     return 0
 
 
+def build_federation_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli federation",
+        description=(
+            "Run a geo-federation: N Willow sites on anti-correlated "
+            "solar supply, tick-locked, with supply-aware cross-site "
+            "load shifting (see docs/federation.md)."
+        ),
+    )
+    parser.add_argument(
+        "--sites", type=int, default=2, metavar="N",
+        help="number of sites (solar humps spread 1/N day apart)",
+    )
+    parser.add_argument(
+        "--ticks", type=int, default=192, help="control ticks to run"
+    )
+    parser.add_argument("--seed", type=int, default=1, help="RNG seed")
+    parser.add_argument(
+        "--utilization", type=float, default=0.35,
+        help="per-site target mean utilization in (0, 1] (default 0.35)",
+    )
+    parser.add_argument(
+        "--policy", type=str, default="proportional",
+        help="shifting policy: neutral, proportional, greedy-greenest, "
+             "price-aware (default proportional)",
+    )
+    parser.add_argument(
+        "--wan-cost", type=float, default=None, metavar="W",
+        help="WAN migration cost charged to both end servers "
+             "(default: 4x the intra-site migration cost)",
+    )
+    parser.add_argument(
+        "--wan-ticks", type=int, default=None, metavar="N",
+        help="ticks the WAN cost persists (default: 2x intra-site)",
+    )
+    parser.add_argument(
+        "--battery", type=str, default=None, metavar="CAPACITY[:RATE]",
+        help="give every site a UPS battery (starts empty): capacity "
+             "in W*ticks, optional rate in W (default: capacity/8)",
+    )
+    parser.add_argument(
+        "--solar-peak", type=float, default=None, metavar="W",
+        help="per-site solar peak in W (default: the federation "
+             "experiment's sizing)",
+    )
+    _add_trace_argument(parser)
+    return parser
+
+
+def federation_main(argv: List[str]) -> int:
+    args = build_federation_parser().parse_args(argv)
+    if args.sites < 1:
+        print("--sites must be >= 1", file=sys.stderr)
+        return 2
+    if args.ticks < 1:
+        print("--ticks must be >= 1", file=sys.stderr)
+        return 2
+    if not 0.0 < args.utilization <= 1.0:
+        print("--utilization must be in (0, 1]", file=sys.stderr)
+        return 2
+
+    from repro.experiments.fig_federation import SOLAR_PEAK, build_specs
+    from repro.federation import POLICIES, run_federation
+    from repro.metrics.federation import summarize_federation
+
+    if args.policy not in POLICIES:
+        print(
+            f"--policy must be one of {', '.join(sorted(POLICIES))}",
+            file=sys.stderr,
+        )
+        return 2
+    battery_capacity = 0.0
+    battery_rate = None
+    if args.battery is not None:
+        from repro.power import parse_battery_spec
+
+        try:
+            spec = parse_battery_spec(args.battery)
+        except ValueError as error:
+            print(f"--battery: {error}", file=sys.stderr)
+            return 2
+        battery_capacity = spec.capacity
+        battery_rate = spec.max_rate
+
+    specs = build_specs(
+        args.sites,
+        battery_capacity=battery_capacity,
+        battery_rate=battery_rate,
+        target_utilization=args.utilization,
+        solar_peak=args.solar_peak or SOLAR_PEAK,
+        seed=args.seed,
+    )
+    tracer = _open_tracer(args.trace)
+    coordinator = run_federation(
+        specs,
+        n_ticks=args.ticks,
+        policy=args.policy,
+        wan_cost_power=args.wan_cost,
+        wan_cost_ticks=args.wan_ticks,
+        tracer=tracer,
+    )
+    _close_tracer(tracer, args.trace)
+
+    print(
+        f"Federated Willow run: {args.sites} site(s), "
+        f"policy {args.policy}, U={args.utilization:.0%}, "
+        f"{args.ticks} ticks, seed {args.seed}"
+        + (f", battery {args.battery} per site" if args.battery else "")
+    )
+    print(summarize_federation(coordinator).format())
+    t_limit = max(site.config.thermal.t_limit for site in coordinator.sites)
+    worst = max(
+        sample.temperature
+        for site in coordinator.sites
+        for sample in site.collector.server_samples
+    )
+    print(
+        f"thermal safety: worst temperature {worst:.2f} C vs "
+        f"T_limit {t_limit:.0f} C "
+        f"({'OK' if worst <= t_limit + 1e-6 else 'VIOLATED'})"
+    )
+    return 0
+
+
 def build_trace_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli trace",
@@ -606,6 +756,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return degraded_main(argv[1:])
     if argv and argv[0] == "resilience":
         return resilience_main(argv[1:])
+    if argv and argv[0] == "federation":
+        return federation_main(argv[1:])
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
@@ -672,6 +824,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     else:
         supply = constant_supply(nominal)
+
+    if args.battery is not None:
+        from repro.power import buffer_supply, parse_battery_spec
+
+        try:
+            battery = parse_battery_spec(args.battery).build()
+        except ValueError as error:
+            print(f"--battery: {error}", file=sys.stderr)
+            return 2
+        supply = buffer_supply(
+            supply,
+            battery,
+            duration=args.ticks * config.delta_d,
+            dt=config.delta_d,
+        )
 
     streams = RandomStreams(args.seed)
     placement = random_placement(

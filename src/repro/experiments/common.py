@@ -8,11 +8,15 @@ tests and benchmarks assert against.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.power.battery import BatterySpec
 
 __all__ = [
     "ExperimentResult",
     "hot_zone_overrides",
+    "battery_override",
+    "set_battery_override",
     "PAPER_UTILIZATIONS",
     "HOT_SERVER_NAMES",
     "COLD_SERVER_NAMES",
@@ -29,6 +33,23 @@ COLD_SERVER_NAMES = tuple(f"server-{i}" for i in range(1, 15))
 def hot_zone_overrides(t_hot: float = 40.0) -> Dict[str, float]:
     """Ambient override map for the Fig. 5-7 hot/cold zone split."""
     return {name: t_hot for name in HOT_SERVER_NAMES}
+
+
+#: Runner-installed UPS override (``--battery CAPACITY[:RATE]``).
+#: Experiments that model energy storage (the federation sweep) replace
+#: their default battery axis with this spec when it is set.
+_BATTERY_OVERRIDE: Optional[BatterySpec] = None
+
+
+def set_battery_override(spec: Optional[BatterySpec]) -> None:
+    """Install (or clear, with ``None``) the runner's battery spec."""
+    global _BATTERY_OVERRIDE
+    _BATTERY_OVERRIDE = spec
+
+
+def battery_override() -> Optional[BatterySpec]:
+    """The battery spec the runner installed, if any."""
+    return _BATTERY_OVERRIDE
 
 
 @dataclass

@@ -25,6 +25,7 @@ from repro.experiments import (
     extensions,
     imbalance,
     fig_degraded,
+    fig_federation,
     fig_resilience,
     fig04_thermal,
     fig05_power,
@@ -65,6 +66,7 @@ REGISTRY: Dict[str, Callable] = {
     "imbalance": imbalance.run,
     "degraded": fig_degraded.run,
     "resilience": fig_resilience.run,
+    "federation": fig_federation.run,
 }
 
 
@@ -91,6 +93,12 @@ def build_parser() -> argparse.ArgumentParser:
              "DIR/<name>.jsonl (serial only; implies --no-cache so "
              "every run actually executes)",
     )
+    parser.add_argument(
+        "--battery", type=str, default=None, metavar="CAPACITY[:RATE]",
+        help="UPS battery for experiments that model energy storage "
+             "(federation): capacity in W*ticks, optional charge/"
+             "discharge rate in W (default: capacity/8)",
+    )
     return parser
 
 
@@ -115,12 +123,29 @@ def main(argv=None) -> int:
     if args.trace and args.workers > 1:
         print("--trace requires --workers 1 (serial run)", file=sys.stderr)
         return 2
+    if args.battery is not None and args.workers > 1:
+        # The override is process-local state; worker processes would
+        # silently run without it.
+        print("--battery requires --workers 1 (serial run)", file=sys.stderr)
+        return 2
 
     from repro.experiments import cache
+    from repro.experiments.common import set_battery_override
+
+    battery_spec = None
+    if args.battery is not None:
+        from repro.power.battery import parse_battery_spec
+
+        try:
+            battery_spec = parse_battery_spec(args.battery)
+        except ValueError as error:
+            print(f"--battery: {error}", file=sys.stderr)
+            return 2
 
     # Tracing implies no cache: a cache hit skips the simulation, so
     # nothing would be recorded and the trace would silently be empty.
     cache.set_enabled(False if (args.no_cache or args.trace) else True)
+    set_battery_override(battery_spec)
     try:
         if args.workers > 1:
             from repro.experiments.parallel import run_experiments_parallel
@@ -150,6 +175,7 @@ def main(argv=None) -> int:
                 print()
     finally:
         cache.set_enabled(None)
+        set_battery_override(None)
     return 0
 
 

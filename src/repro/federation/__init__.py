@@ -1,0 +1,43 @@
+"""Geo-federated Willow: several sites run as one system.
+
+The federation layer composes the paper's hierarchy one level up
+(Fig. 1): each member :class:`Site` is a complete Willow instance with
+its own supply trace, optional battery buffer, optional plant-fault
+schedule and grid signals; the :class:`FederationCoordinator` runs them
+tick-locked and shifts VM load between them on the supply cadence under
+a pluggable policy.  See ``docs/federation.md``.
+"""
+
+from repro.federation.coordinator import (
+    CrossSiteMigration,
+    FederationConfig,
+    FederationCoordinator,
+    run_federation,
+)
+from repro.federation.policies import (
+    POLICIES,
+    SiteStatus,
+    Transfer,
+    greedy_greenest,
+    neutral,
+    price_aware,
+    proportional,
+)
+from repro.federation.site import Site, SiteSpec, build_site
+
+__all__ = [
+    "Site",
+    "SiteSpec",
+    "build_site",
+    "FederationConfig",
+    "FederationCoordinator",
+    "CrossSiteMigration",
+    "run_federation",
+    "POLICIES",
+    "SiteStatus",
+    "Transfer",
+    "neutral",
+    "proportional",
+    "greedy_greenest",
+    "price_aware",
+]

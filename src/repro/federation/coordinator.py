@@ -1,0 +1,466 @@
+"""The grid-level coordinator: N Willow sites run as one system.
+
+Willow's hierarchy composes upward (Fig. 1): a data-center PMU can be
+the child of a grid-level controller.  The
+:class:`FederationCoordinator` is that next level, implemented exactly
+in the paper's idiom:
+
+* **Tick-locked execution.**  All sites share the demand cadence
+  ``Delta_D`` and advance in lock step; each site remains a complete,
+  unmodified Willow instance (scalar or fault-tolerant).
+* **Supply-cadence decisions.**  Every ``Delta_S = eta1`` ticks the
+  coordinator snapshots per-site headroom/deficit from *smoothed*
+  demand (Eq. 4) against the delivered (post-UPS) supply and asks the
+  configured policy (:mod:`repro.federation.policies`) for transfer
+  directives.
+* **FFDLR repack.**  Directives are realised as whole-VM moves: the
+  deficit site sheds its largest over-budget VMs (the Sec. IV-E
+  shedding rule), the destination site's eligible servers become bins
+  (surplus minus the ``P_min`` margin and the WAN migration cost), and
+  :func:`repro.binpack.ffdlr.ffdlr_pack` matches them.  Unplaceable
+  items simply stay home -- cross-site shifting is opportunistic, never
+  a new source of drops.
+* **WAN cost as temporary power demand.**  Exactly as Sec. IV-E charges
+  intra-site migrations, a cross-site move charges
+  ``wan_cost_power`` watts for ``wan_cost_ticks`` ticks to *both* end
+  servers -- just scaled up, because state now crosses a WAN.
+
+Equivalence contract (enforced by ``tests/test_federation.py``): a
+federation of one site under the ``neutral`` policy reproduces the
+scalar :class:`~repro.core.controller.WillowController` bit-exactly --
+same decisions, same float trajectories.  The same contract the
+distributed and fault-tolerant layers honor, and what keeps this
+subsystem testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.binpack.ffdlr import ffdlr_pack
+from repro.binpack.items import Bin, Item
+from repro.federation.policies import POLICIES, SiteStatus, Transfer
+from repro.federation.site import Site, SiteSpec, build_site
+from repro.trace.tracer import Tracer, active_tracer
+
+__all__ = [
+    "FederationConfig",
+    "CrossSiteMigration",
+    "FederationCoordinator",
+    "run_federation",
+]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class FederationConfig:
+    """Tunables of the grid-level control loop.
+
+    Attributes
+    ----------
+    policy:
+        Policy slug from :data:`repro.federation.policies.POLICIES` or
+        a callable with the same signature.
+    wan_cost_power:
+        Temporary power demand (W) charged to both end servers of a
+        cross-site move.  ``None`` defaults to 4x the intra-site
+        ``migration_cost_power`` -- WAN state transfer is strictly more
+        expensive than a rack-local move.
+    wan_cost_ticks:
+        How many ticks the WAN cost persists; ``None`` defaults to 2x
+        the intra-site ``migration_cost_ticks``.
+    margin:
+        Watts of headroom a donor site always keeps (the federation
+        analogue of ``P_min``); ``None`` defaults to the site config's
+        ``p_min``.
+    """
+
+    policy: Union[str, Callable] = "neutral"
+    wan_cost_power: Optional[float] = None
+    wan_cost_ticks: Optional[int] = None
+    margin: Optional[float] = None
+
+    def resolve_policy(self) -> Callable:
+        if callable(self.policy):
+            return self.policy
+        try:
+            return POLICIES[self.policy]
+        except KeyError:
+            raise ValueError(
+                f"unknown federation policy {self.policy!r}; "
+                f"choose from {sorted(POLICIES)}"
+            ) from None
+
+
+@dataclass(frozen=True, slots=True)
+class CrossSiteMigration:
+    """One executed cross-site VM move with its decision inputs.
+
+    ``src_deficit`` and ``dst_surplus`` are the Eq. 5-9 quantities the
+    shift was justified by, captured when the move was decided: the
+    source server's observed demand beyond its budget at shedding time,
+    and the destination bin's remaining surplus (budget minus demand,
+    ``P_min`` margin, WAN cost, and any load already packed this round)
+    just before this VM landed.  Both are strictly positive by
+    construction -- a shift is only taken from a deficit into room.
+    """
+
+    time: float
+    vm_id: int
+    src_site: str
+    dst_site: str
+    src_node: int
+    dst_node: int
+    demand: float  # VM demand (W) at shift time
+    wan_cost_power: float
+    src_deficit: float
+    dst_surplus: float
+
+
+class FederationCoordinator:
+    """Runs N sites tick-locked with supply-aware load shifting."""
+
+    def __init__(
+        self,
+        sites: Sequence[Site],
+        *,
+        federation: Optional[FederationConfig] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        if not sites:
+            raise ValueError("federation needs at least one site")
+        names = [site.name for site in sites]
+        if len(set(names)) != len(names):
+            raise ValueError(f"site names must be unique, got {names}")
+        first = sites[0].config
+        for site in sites[1:]:
+            if site.config.delta_d != first.delta_d:
+                raise ValueError(
+                    "tick-locked federation requires identical delta_d "
+                    f"across sites; {site.name} differs"
+                )
+            if site.config.eta1 != first.eta1:
+                raise ValueError(
+                    "tick-locked federation requires identical eta1 "
+                    f"across sites; {site.name} differs"
+                )
+        self.sites: List[Site] = list(sites)
+        self._by_name: Dict[str, Site] = {s.name: s for s in self.sites}
+        self.federation = federation or FederationConfig()
+        self._policy = self.federation.resolve_policy()
+        self.delta_d = first.delta_d
+        self.eta1 = first.eta1
+
+        #: Executed cross-site moves, time-ordered.
+        self.cross_migrations: List[CrossSiteMigration] = []
+        #: Policy directives per shift tick: ``(tick, [Transfer, ...])``.
+        self.transfer_log: List[Tuple[int, List[Transfer]]] = []
+        self._tick_index = 0
+
+        self.tracer = tracer if tracer is not None else active_tracer()
+        if self.tracer.enabled:
+            self.tracer.write_federation_meta(
+                names,
+                self.federation.policy
+                if isinstance(self.federation.policy, str)
+                else getattr(self._policy, "__name__", "custom"),
+            )
+
+    # ------------------------------------------------------------------ run
+    def run(self, n_ticks: int) -> "FederationCoordinator":
+        """Advance every site ``n_ticks`` demand windows, shifting load
+        on the supply cadence.  Returns ``self`` for chaining."""
+        if n_ticks < 1:
+            raise ValueError(f"n_ticks must be >= 1, got {n_ticks}")
+        for _ in range(n_ticks):
+            self._tick()
+        for site in self.sites:
+            site.controller.tracer.flush()
+        self.tracer.flush()
+        return self
+
+    def _tick(self) -> None:
+        tick = self._tick_index
+        now = tick * self.delta_d
+        # Grid-level decisions happen on the supply cadence, *before*
+        # the sites' own ticks, so this tick's Delta_S allocation at
+        # each site already sees the shifted workload.  Tick 0 is
+        # skipped: smoothed demand carries no information yet.
+        if tick > 0 and tick % self.eta1 == 0:
+            self._rebalance(tick, now)
+        for site in self.sites:
+            site.controller._tick()
+        for site in self.sites:
+            site.controller.env.advance(site.config.delta_d)
+        self._tick_index += 1
+
+    # ----------------------------------------------------------- shifting
+    def statuses(self, now: float) -> List[SiteStatus]:
+        """Per-site supply-period snapshot the policy decides from."""
+        return [
+            SiteStatus(
+                name=site.name,
+                supply=site.supply_at(now),
+                smoothed_demand=site.smoothed_demand(),
+                carbon=site.carbon_at(now),
+                price=site.price_at(now),
+            )
+            for site in self.sites
+        ]
+
+    def _rebalance(self, tick: int, now: float) -> None:
+        statuses = self.statuses(now)
+        margin = self.federation.margin
+        if margin is None:
+            margin = max(site.config.p_min for site in self.sites)
+        transfers = self._policy(statuses, margin=margin)
+        if self.tracer.enabled:
+            self.tracer.begin_tick(tick, now)
+            for status in statuses:
+                self.tracer.record_site_grant(
+                    status.name,
+                    status.supply,
+                    status.smoothed_demand,
+                    status.headroom,
+                    status.carbon,
+                    status.price,
+                )
+        if not transfers:
+            return
+        self.transfer_log.append((tick, list(transfers)))
+        for transfer in transfers:
+            self._execute_transfer(transfer, now)
+
+    def _wan_cost(self, site: Site) -> Tuple[float, int]:
+        config = site.config
+        power = self.federation.wan_cost_power
+        if power is None:
+            power = 4.0 * config.migration_cost_power
+        ticks = self.federation.wan_cost_ticks
+        if ticks is None:
+            ticks = 2 * config.migration_cost_ticks
+        return power, ticks
+
+    def _shed_candidates(
+        self, site: Site, watts: float
+    ) -> List[Tuple[int, float, Item]]:
+        """Whole VMs the deficit site would send away, largest first.
+
+        Mirrors the Sec. IV-E shedding rule per server (shed until the
+        remaining demand fits under ``budget - P_min``), capped globally
+        at the transfer directive -- a VM bigger than the remaining
+        directive is skipped, never overshooting what the policy asked.
+        """
+        config = site.config
+        controller = site.controller
+        deficient = sorted(
+            (
+                s
+                for s in controller.servers.values()
+                if s.is_awake and s.raw_demand > s.budget + _EPS
+            ),
+            key=lambda s: (s.budget - s.raw_demand, s.node.node_id),
+        )
+        remaining_directive = watts
+        out: List[Tuple[int, float, Item]] = []
+        for server in deficient:
+            if remaining_directive <= _EPS:
+                break
+            deficit = server.raw_demand - server.budget
+            goal = max(server.budget - config.p_min, 0.0)
+            remaining = server.raw_demand
+            for vm in sorted(
+                server.vms.values(),
+                key=lambda v: (-v.current_demand, v.vm_id),
+            ):
+                if remaining <= goal + _EPS or remaining_directive <= _EPS:
+                    break
+                if vm.current_demand <= 0:
+                    continue
+                if vm.current_demand > remaining_directive + _EPS:
+                    continue  # would overshoot the directive
+                out.append(
+                    (
+                        server.node.node_id,
+                        deficit,
+                        Item(
+                            key=vm.vm_id,
+                            size=vm.current_demand,
+                            payload=vm,
+                        ),
+                    )
+                )
+                remaining -= vm.current_demand
+                remaining_directive -= vm.current_demand
+        return out
+
+    def _destination_bins(self, site: Site) -> List[Bin]:
+        """Eligible receivers at the destination site, as FFDLR bins.
+
+        Same screening as the intra-site matcher: awake, not deficient,
+        not squeezed by the unidirectional rule; capacity is the
+        surplus minus ``P_min`` and the WAN cost the move will charge.
+        """
+        wan_power, _ = self._wan_cost(site)
+        config = site.config
+        controller = site.controller
+        planner = controller.migration_planner
+        bins: List[Bin] = []
+        for node_id in sorted(controller.servers):
+            server = controller.servers[node_id]
+            if not server.is_awake:
+                continue
+            if server.raw_demand > server.budget + _EPS:
+                continue
+            if planner._squeezed(server, controller.internals):
+                continue
+            capacity = (
+                server.budget - server.raw_demand - config.p_min - wan_power
+            )
+            if capacity > _EPS:
+                bins.append(Bin(key=node_id, capacity=capacity))
+        return bins
+
+    def _execute_transfer(self, transfer: Transfer, now: float) -> None:
+        src_site = self._by_name[transfer.src]
+        dst_site = self._by_name[transfer.dst]
+        items = self._shed_candidates(src_site, transfer.watts)
+        if not items:
+            return
+        bins = self._destination_bins(dst_site)
+        if not bins:
+            return
+        src_of = {
+            item.key: (node_id, deficit) for node_id, deficit, item in items
+        }
+        result = ffdlr_pack([item for _node, _deficit, item in items], bins)
+        for bin_ in result.bins:
+            surplus = bin_.capacity
+            for item in bin_.contents:
+                src_node, src_deficit = src_of[item.key]
+                self._move_vm(
+                    item.payload,
+                    src_site,
+                    src_node,
+                    dst_site,
+                    bin_.key,
+                    now,
+                    src_deficit=src_deficit,
+                    dst_surplus=surplus,
+                )
+                surplus -= item.size
+
+    def _move_vm(
+        self,
+        vm,
+        src_site: Site,
+        src_node: int,
+        dst_site: Site,
+        dst_node: int,
+        now: float,
+        *,
+        src_deficit: float,
+        dst_surplus: float,
+    ) -> None:
+        src = src_site.controller.servers[src_node]
+        dst = dst_site.controller.servers[dst_node]
+        wan_power, wan_ticks = self._wan_cost(dst_site)
+
+        del src.vms[vm.vm_id]
+        dst.vms[vm.vm_id] = vm
+        if dst.node.node_id == vm.host_id:
+            # Node-id spaces are per-site, so a cross-site move can land
+            # on the same numeric id; record the hop without the core
+            # same-host guard tripping.
+            vm.last_migration_time = now
+            vm.host_history.append((now, dst.node.node_id))
+        else:
+            vm.place(dst.node.node_id, now)
+        src.charge_migration_cost(wan_power, wan_ticks)
+        dst.charge_migration_cost(wan_power, wan_ticks)
+        # The VM's demand stream stays with its *home* placement (the
+        # home controller's demand source keeps updating the shared VM
+        # object every tick); only the hosting runtime changes hands.
+        src_site.controller._vm_by_id.pop(vm.vm_id, None)
+        dst_site.controller._vm_by_id[vm.vm_id] = vm
+
+        src_site.vms_sent += 1
+        src_site.watts_sent += vm.current_demand
+        dst_site.vms_received += 1
+        dst_site.watts_received += vm.current_demand
+
+        record = CrossSiteMigration(
+            time=now,
+            vm_id=vm.vm_id,
+            src_site=src_site.name,
+            dst_site=dst_site.name,
+            src_node=src_node,
+            dst_node=dst_node,
+            demand=vm.current_demand,
+            wan_cost_power=wan_power,
+            src_deficit=src_deficit,
+            dst_surplus=dst_surplus,
+        )
+        self.cross_migrations.append(record)
+        if self.tracer.enabled:
+            self.tracer.record_federation_migration(
+                vm.vm_id,
+                src_site.name,
+                dst_site.name,
+                src_node,
+                dst_node,
+                vm.current_demand,
+                src_deficit,
+                dst_surplus,
+                wan_power,
+            )
+
+    # ------------------------------------------------------------ helpers
+    def site(self, name: str) -> Site:
+        """Look up a site by name."""
+        return self._by_name[name]
+
+    def total_cross_watts(self) -> float:
+        """Total demand (W) shifted across sites over the run."""
+        return float(sum(m.demand for m in self.cross_migrations))
+
+
+def run_federation(
+    specs: Sequence[SiteSpec],
+    *,
+    n_ticks: int = 100,
+    policy: Union[str, Callable] = "neutral",
+    wan_cost_power: Optional[float] = None,
+    wan_cost_ticks: Optional[int] = None,
+    margin: Optional[float] = None,
+    tracer: Optional[Tracer] = None,
+) -> FederationCoordinator:
+    """Build and run a geo-federation in one call.
+
+    Each :class:`SiteSpec` becomes a self-contained Willow instance
+    (VM ids renumbered to be federation-unique; the first site keeps
+    offset 0, preserving the single-site equivalence contract).
+    Returns the finished :class:`FederationCoordinator`; summarise it
+    with :func:`repro.metrics.federation.summarize_federation`.
+    """
+    if n_ticks < 1:
+        raise ValueError(f"n_ticks must be >= 1, got {n_ticks}")
+    sites: List[Site] = []
+    offset = 0
+    for spec in specs:
+        site = build_site(spec, n_ticks=n_ticks, vm_id_offset=offset)
+        offset += len(site.controller.placement.vms)
+        sites.append(site)
+    coordinator = FederationCoordinator(
+        sites,
+        federation=FederationConfig(
+            policy=policy,
+            wan_cost_power=wan_cost_power,
+            wan_cost_ticks=wan_cost_ticks,
+            margin=margin,
+        ),
+        tracer=tracer,
+    )
+    return coordinator.run(n_ticks)

@@ -1,0 +1,215 @@
+"""One data center inside a geo-federation.
+
+A :class:`Site` wraps everything Willow already knows how to run for a
+single facility -- a PMU :class:`~repro.topology.tree.Tree`, a
+:class:`~repro.power.supply.SupplyTrace`, optionally a
+:class:`~repro.power.battery.Battery` UPS buffer and a
+:class:`~repro.plant_faults.schedule.PlantFaultSchedule` -- plus the
+grid-side signals the federation policies consume: a carbon-intensity
+trace and an energy-price trace.
+
+The federation layer is one level *up* from the paper's hierarchy: a
+data-center PMU becomes a child of a grid-level coordinator, exactly as
+Fig. 1 composes.  Sites therefore stay fully self-contained Willow
+instances; the coordinator only moves VM load between them on the
+supply cadence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.core.config import WillowConfig
+from repro.core.controller import WillowController
+from repro.metrics.collector import MetricsCollector
+from repro.power.battery import Battery, buffer_supply
+from repro.power.supply import SupplyTrace, constant_supply
+from repro.sim.rng import RandomStreams
+from repro.topology.tree import Tree
+from repro.trace.tracer import NULL_TRACER
+from repro.workload.applications import SIMULATION_APPS
+from repro.workload.generator import (
+    random_placement,
+    scale_for_target_utilization,
+)
+
+__all__ = ["SiteSpec", "Site", "build_site"]
+
+
+@dataclass
+class SiteSpec:
+    """Declarative description of one federated site.
+
+    Attributes
+    ----------
+    name:
+        Unique site label (appears in summaries and trace events).
+    supply:
+        The site's raw grid/renewable supply trace.  ``None`` defaults
+        to a constant trace at the fleet circuit capacity.
+    battery:
+        Optional UPS buffer; when given, the supply the controller sees
+        is ``buffer_supply(supply, battery)`` over the run horizon.
+    plant_faults:
+        Optional physical-fault schedule; a non-empty schedule selects
+        the sensor-fault-tolerant controller for this site.
+    carbon:
+        Carbon-intensity signal (gCO2/kWh, any consistent unit); used
+        by the ``greedy-greenest`` policy.  Defaults to a constant 1.
+    price:
+        Energy-price signal ($/MWh, any consistent unit); used by the
+        ``price-aware`` policy.  Defaults to a constant 1.
+    tree / config:
+        The Willow hierarchy and tunables; default to the paper's
+        18-server simulation setup.
+    target_utilization / vms_per_server / seed:
+        Workload knobs, mirroring :func:`repro.core.controller.run_willow`.
+    ambient_overrides:
+        Per-server ambient map for hot/cold zones inside the site.
+    """
+
+    name: str
+    supply: Optional[SupplyTrace] = None
+    battery: Optional[Battery] = None
+    plant_faults: Optional[object] = None  # PlantFaultSchedule
+    carbon: Optional[SupplyTrace] = None
+    price: Optional[SupplyTrace] = None
+    tree: Optional[Tree] = None
+    config: Optional[WillowConfig] = None
+    target_utilization: float = 0.5
+    vms_per_server: int = 4
+    seed: int = 0
+    apps: tuple = SIMULATION_APPS
+    ambient_overrides: Optional[Mapping[str, float]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("site name must be non-empty")
+        if not 0.0 < self.target_utilization <= 1.0:
+            raise ValueError(
+                "target_utilization must be in (0, 1], got "
+                f"{self.target_utilization}"
+            )
+
+
+@dataclass
+class Site:
+    """A built, runnable site: spec + controller + its grid signals."""
+
+    spec: SiteSpec
+    controller: WillowController
+    #: The supply the controller actually sees (battery-buffered when
+    #: the spec carries a UPS).
+    delivered_supply: SupplyTrace
+    carbon: SupplyTrace
+    price: SupplyTrace
+    #: Cross-site bookkeeping, filled by the coordinator.
+    vms_received: int = 0
+    vms_sent: int = 0
+    watts_received: float = 0.0
+    watts_sent: float = 0.0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def collector(self) -> MetricsCollector:
+        return self.controller.collector
+
+    @property
+    def config(self) -> WillowConfig:
+        return self.controller.config
+
+    # -- federation-facing state ------------------------------------------
+    def smoothed_demand(self) -> float:
+        """The site root's Eq. 4 smoothed demand (wall watts)."""
+        root = self.controller.tree.root
+        return self.controller.internals[root.node_id].smoothed_demand
+
+    def supply_at(self, now: float) -> float:
+        """Delivered (post-UPS) supply in force at ``now``."""
+        return self.delivered_supply.at(now)
+
+    def headroom(self, now: float) -> float:
+        """Supply minus smoothed demand; negative means a deficit."""
+        return self.supply_at(now) - self.smoothed_demand()
+
+    def carbon_at(self, now: float) -> float:
+        return self.carbon.at(now)
+
+    def price_at(self, now: float) -> float:
+        return self.price.at(now)
+
+def build_site(
+    spec: SiteSpec,
+    *,
+    n_ticks: int,
+    vm_id_offset: int = 0,
+    tracer=None,
+) -> Site:
+    """Instantiate the controller (and workload) for one site.
+
+    ``vm_id_offset`` renumbers the site's VMs so ids are unique across
+    the federation (VM objects travel between controllers).  Offset 0 --
+    always the first site -- leaves ids untouched, which is what keeps a
+    single-site federation bit-exact with the scalar controller: the
+    per-VM demand streams are keyed by VM id.
+    """
+    from repro.topology.builders import build_paper_simulation
+
+    tree = spec.tree or build_paper_simulation()
+    config = spec.config or WillowConfig()
+    servers = tree.servers()
+    raw_supply = spec.supply or constant_supply(
+        len(servers) * config.circuit_limit
+    )
+    delivered = raw_supply
+    if spec.battery is not None:
+        delivered = buffer_supply(
+            raw_supply,
+            spec.battery,
+            duration=max(n_ticks * config.delta_d, config.delta_d),
+            dt=config.delta_d,
+        )
+
+    streams = RandomStreams(spec.seed)
+    placement = random_placement(
+        [s.node_id for s in servers],
+        spec.apps,
+        streams["placement"],
+        vms_per_server=spec.vms_per_server,
+    )
+    scale_for_target_utilization(
+        placement, config.server_model.slope, spec.target_utilization
+    )
+    if vm_id_offset:
+        for vm in placement.vms:
+            vm.vm_id += vm_id_offset
+
+    kwargs = dict(
+        ambient_overrides=spec.ambient_overrides,
+        seed=spec.seed,
+        tracer=tracer if tracer is not None else NULL_TRACER,
+    )
+    schedule = spec.plant_faults
+    if schedule is not None and not schedule.empty:
+        from repro.plant_faults.controller import FaultTolerantWillowController
+
+        controller = FaultTolerantWillowController(
+            tree, config, delivered, placement,
+            plant_faults=schedule, **kwargs
+        )
+    else:
+        controller = WillowController(
+            tree, config, delivered, placement, **kwargs
+        )
+
+    return Site(
+        spec=spec,
+        controller=controller,
+        delivered_supply=delivered,
+        carbon=spec.carbon or constant_supply(1.0),
+        price=spec.price or constant_supply(1.0),
+    )

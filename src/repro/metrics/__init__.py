@@ -9,9 +9,12 @@
   the O(log n) decision-complexity measurement (Sec. V-A).
 * :mod:`repro.metrics.summary` -- aggregation helpers shared by the
   experiment harness.
+* :mod:`repro.metrics.federation` -- per-site + global aggregation for
+  federated runs.
 """
 
 from repro.metrics.collector import MetricsCollector, ServerSample, SwitchSample
+from repro.metrics.federation import FederationSummary, summarize_federation
 from repro.metrics.stability import (
     count_ping_pongs,
     min_residence_time,
@@ -30,8 +33,10 @@ from repro.metrics.summary import (
 )
 
 __all__ = [
+    "FederationSummary",
     "MetricsCollector",
     "RunSummary",
+    "summarize_federation",
     "summarize_run",
     "ServerSample",
     "SwitchSample",

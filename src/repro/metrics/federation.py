@@ -1,0 +1,78 @@
+"""Per-site and global aggregation for federated runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.metrics.summary import RunSummary, summarize_run
+
+__all__ = ["FederationSummary", "summarize_federation"]
+
+
+@dataclass(frozen=True)
+class FederationSummary:
+    """One-glance outcome of a federated run.
+
+    ``sites`` maps each site name to its ordinary per-site
+    :class:`~repro.metrics.summary.RunSummary`; the remaining fields
+    aggregate the federation as a whole, including the coordinator's
+    cross-site traffic.
+    """
+
+    sites: Dict[str, RunSummary]
+    n_ticks: int
+    total_fleet_power: float  # W, mean total across all sites
+    peak_temperature: float  # deg C, worst site
+    total_dropped_power: float  # W*ticks across all sites
+    cross_migrations: int
+    cross_watts: float  # demand watts shifted across sites
+    #: Cross-site traffic per site: (vms_sent, vms_received).
+    site_traffic: Dict[str, tuple]
+
+    def format(self) -> str:
+        lines = [
+            f"sites={len(self.sites)} ticks={self.n_ticks}",
+            f"fleet power (all sites) : {self.total_fleet_power:10.1f} W",
+            f"peak temperature        : {self.peak_temperature:10.1f} C",
+            f"dropped demand          : {self.total_dropped_power:10.1f} W*ticks",
+            f"cross-site migrations   : {self.cross_migrations} "
+            f"({self.cross_watts:.1f} W shifted)",
+        ]
+        for name in sorted(self.sites):
+            summary = self.sites[name]
+            sent, received = self.site_traffic.get(name, (0, 0))
+            lines.append(
+                f"  [{name}] dropped={summary.dropped_power:.1f} W*ticks "
+                f"peak={summary.peak_temperature:.1f} C "
+                f"sent={sent} recv={received}"
+            )
+        return "\n".join(lines)
+
+
+def summarize_federation(coordinator) -> FederationSummary:
+    """Aggregate a finished :class:`FederationCoordinator` run."""
+    sites = {
+        site.name: summarize_run(site.collector)
+        for site in coordinator.sites
+    }
+    summaries = list(sites.values())
+    return FederationSummary(
+        sites=sites,
+        n_ticks=max(s.n_ticks for s in summaries),
+        total_fleet_power=float(
+            sum(s.mean_fleet_power for s in summaries)
+        ),
+        peak_temperature=float(
+            max(s.peak_temperature for s in summaries)
+        ),
+        total_dropped_power=float(
+            sum(s.dropped_power for s in summaries)
+        ),
+        cross_migrations=len(coordinator.cross_migrations),
+        cross_watts=coordinator.total_cross_watts(),
+        site_traffic={
+            site.name: (site.vms_sent, site.vms_received)
+            for site in coordinator.sites
+        },
+    )

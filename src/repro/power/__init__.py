@@ -25,10 +25,16 @@ from repro.power.supply import (
 )
 from repro.power.smoothing import ExponentialSmoother, HoltSmoother, smooth_series
 from repro.power.budget import allocate_proportional, redistribute_surplus
-from repro.power.battery import Battery, buffer_supply
+from repro.power.battery import (
+    Battery,
+    BatterySpec,
+    buffer_supply,
+    parse_battery_spec,
+)
 
 __all__ = [
     "Battery",
+    "BatterySpec",
     "ExponentialSmoother",
     "HoltSmoother",
     "SIMULATION_SERVER",
@@ -40,6 +46,7 @@ __all__ = [
     "allocate_proportional",
     "buffer_supply",
     "constant_supply",
+    "parse_battery_spec",
     "deficit_supply_trace",
     "plenty_supply_trace",
     "redistribute_surplus",

@@ -22,7 +22,46 @@ import numpy as np
 
 from repro.power.supply import SupplyTrace
 
-__all__ = ["Battery", "buffer_supply"]
+__all__ = ["Battery", "BatterySpec", "buffer_supply", "parse_battery_spec"]
+
+
+@dataclass(frozen=True)
+class BatterySpec:
+    """A reusable battery description (:class:`Battery` is stateful).
+
+    ``max_rate`` defaults to a full discharge over 8 time units --
+    matching :func:`buffer_supply`'s default trailing horizon, so an
+    unconfigured UPS can ride out exactly one smoothing window.
+    """
+
+    capacity: float
+    max_rate: float | None = None
+
+    def build(self, *, charge: float = -1.0) -> "Battery":
+        """A fresh :class:`Battery` with this spec's limits."""
+        rate = self.max_rate if self.max_rate is not None else self.capacity / 8.0
+        return Battery(self.capacity, rate, charge=charge)
+
+
+def parse_battery_spec(text: str) -> BatterySpec:
+    """Parse the CLI battery syntax ``CAPACITY[:RATE]``.
+
+    Raises ``ValueError`` with a usable message on malformed input;
+    validation of the actual limits happens in :class:`Battery`.
+    """
+    capacity_part, _, rate_part = text.partition(":")
+    try:
+        capacity = float(capacity_part)
+        max_rate = float(rate_part) if rate_part else None
+    except ValueError:
+        raise ValueError(
+            f"battery spec must be CAPACITY[:RATE], got {text!r}"
+        ) from None
+    if capacity <= 0 or (max_rate is not None and max_rate <= 0):
+        raise ValueError(
+            f"battery capacity/rate must be positive, got {text!r}"
+        )
+    return BatterySpec(capacity, max_rate)
 
 
 @dataclass

@@ -195,21 +195,25 @@ def renewable_supply(
     cloud_noise: float = 0.15,
     resolution: float = 1.0,
     days: int = 1,
+    phase: float = 0.0,
     rng: np.random.Generator | None = None,
 ) -> SupplyTrace:
     """A solar-like diurnal budget: grid base plus a sinusoidal solar hump.
 
     ``base_fraction * peak`` is always available (grid/UPS); the solar
     contribution follows a half-sine over each day with multiplicative
-    cloud noise.  Used by the renewable-data-center example.
+    cloud noise.  ``phase`` shifts the day by that fraction of
+    ``day_length`` -- e.g. 0.5 puts a site half a day ahead, which is
+    how the federation experiment builds anti-correlated solar across
+    longitudes.  Used by the renewable-data-center example.
     """
     if not 0.0 <= base_fraction <= 1.0:
         raise ValueError("base_fraction must be in [0, 1]")
     if rng is None:
         rng = np.random.default_rng(7)
     times = np.arange(0.0, day_length * days, resolution)
-    phase = (times % day_length) / day_length  # 0..1 through the day
-    solar = np.clip(np.sin(np.pi * phase), 0.0, None)
+    day_pos = ((times % day_length) / day_length + phase) % 1.0  # 0..1/day
+    solar = np.clip(np.sin(np.pi * day_pos), 0.0, None)
     if cloud_noise > 0:
         solar = solar * np.clip(
             1.0 + rng.normal(0.0, cloud_noise, size=len(times)), 0.0, None

@@ -142,6 +142,25 @@ class Environment:
             # An unhandled failure propagates out of the event loop.
             raise event._value
 
+    def advance(self, dt: float) -> None:
+        """Advance the clock by ``dt`` with nothing scheduled.
+
+        Lock-step drivers (the federation coordinator) own the tick
+        cadence themselves instead of scheduling timeout processes, so
+        they need a way to move the clock that is equivalent to an
+        empty ``timeout``.  Refuses to jump over scheduled events --
+        that would silently reorder the simulation.
+        """
+        if dt < 0:
+            raise SimulationError(f"negative advance {dt!r}")
+        target = self._now + dt
+        if self._queue and self._queue[0][0] <= target:
+            raise SimulationError(
+                f"cannot advance to {target}: an event is scheduled at "
+                f"{self._queue[0][0]}"
+            )
+        self._now = target
+
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue empties or the clock reaches ``until``.
 

@@ -154,6 +154,32 @@ class Tracer:
             }
         )
 
+    def write_federation_meta(self, site_names, policy: str) -> None:
+        """Start a federation run: the coordinator's header frame.
+
+        The grid-level coordinator has no PMU tree of its own; its
+        header carries the member sites and the shifting policy instead
+        of a node list, while staying a regular ``meta`` frame so
+        :class:`~repro.trace.query.TraceReader` splits runs as usual.
+        """
+        if not self.enabled:
+            return
+        self.flush()
+        self._run += 1
+        self._tick = -1
+        self.writer.write_frame(
+            {
+                "type": "meta",
+                "run": self._run,
+                "controller": "FederationCoordinator",
+                "nodes": [],
+                "federation": {
+                    "sites": list(site_names),
+                    "policy": policy,
+                },
+            }
+        )
+
     def begin_tick(self, tick: int, now: float) -> None:
         """Flush the previous frame and open the frame for ``tick``."""
         self.flush()
@@ -286,6 +312,54 @@ class Tracer:
         """A plant or control-plane fault edge."""
         self._section("events").append(
             {"kind": kind, "node": node_id, "detail": detail}
+        )
+
+    def record_site_grant(
+        self,
+        site: str,
+        supply: float,
+        smoothed_demand: float,
+        headroom: float,
+        carbon: float,
+        price: float,
+    ) -> None:
+        """One site's supply-period snapshot at a federation rebalance."""
+        self._section("site_grants").append(
+            {
+                "site": site,
+                "supply": float(supply),
+                "smoothed_demand": float(smoothed_demand),
+                "headroom": float(headroom),
+                "carbon": float(carbon),
+                "price": float(price),
+            }
+        )
+
+    def record_federation_migration(
+        self,
+        vm_id: int,
+        src_site: str,
+        dst_site: str,
+        src_node: int,
+        dst_node: int,
+        demand: float,
+        src_deficit: float,
+        dst_surplus: float,
+        wan_cost_power: float,
+    ) -> None:
+        """One executed cross-site move with its Eq. 5-9 inputs."""
+        self._section("fed_migrations").append(
+            {
+                "vm": vm_id,
+                "src_site": src_site,
+                "dst_site": dst_site,
+                "src": src_node,
+                "dst": dst_node,
+                "demand": float(demand),
+                "src_deficit": float(src_deficit),
+                "dst_surplus": float(dst_surplus),
+                "wan_cost": float(wan_cost_power),
+            }
         )
 
     def record_imbalance(self, watts: float) -> None:

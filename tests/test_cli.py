@@ -123,3 +123,26 @@ def test_supply_csv_option(tmp_path, capsys):
 
 def test_supply_csv_missing_file(tmp_path, capsys):
     assert main(["--ticks", "3", "--supply-csv", str(tmp_path / "nope.csv")]) == 2
+
+
+def test_version_flag(capsys):
+    import re
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert re.match(r"repro \d+\.\d+\.\d+", out)
+
+
+def test_battery_flag_runs(capsys):
+    assert main(["--ticks", "8", "--battery", "500:100"]) == 0
+    assert "fleet power" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize(
+    "spec", ["", "abc", "10:-1", "-5", "1:2:3", "0"]
+)
+def test_battery_flag_rejects_bad_specs(spec, capsys):
+    assert main(["--ticks", "5", "--battery", spec]) == 2
+    assert "battery" in capsys.readouterr().err.lower()

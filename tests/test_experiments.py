@@ -275,7 +275,7 @@ class TestRunner:
             "fig04", "fig05", "fig06", "fig07", "fig09", "fig10", "fig11",
             "fig12", "table1", "fig14", "fig15_16", "fig17_18",
             "fig19_table3", "table2", "properties", "extensions",
-            "imbalance", "degraded", "resilience",
+            "imbalance", "degraded", "resilience", "federation",
         }
         assert set(REGISTRY) == expected
 
@@ -318,3 +318,32 @@ class TestReport:
 
         with pytest.raises(KeyError):
             generate_report(tmp_path / "r.md", ["bogus"])
+
+
+class TestRunnerBatteryFlag:
+    def test_rejects_battery_with_parallel_workers(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["federation", "--workers", "2", "--battery", "500"]) == 2
+        assert "serial run" in capsys.readouterr().err
+
+    def test_rejects_malformed_battery_spec(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["federation", "--battery", "nope"]) == 2
+        assert "battery" in capsys.readouterr().err
+
+    def test_battery_override_scopes_to_the_run(self):
+        from repro.experiments.common import (
+            battery_override,
+            set_battery_override,
+        )
+        from repro.power import BatterySpec
+
+        assert battery_override() is None
+        set_battery_override(BatterySpec(500.0, 100.0))
+        try:
+            assert battery_override().capacity == 500.0
+        finally:
+            set_battery_override(None)
+        assert battery_override() is None

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.power import Battery, buffer_supply, constant_supply, step_supply
 
@@ -176,3 +178,99 @@ class TestEndToEnd:
         )
         # And it serves more demand overall.
         assert buffered_metrics.total_energy() > raw_metrics.total_energy()
+
+
+# ---------------------------------------------------- property tests
+# What any UPS must guarantee regardless of sizing or solar shape,
+# checked over the renewable_supply family the federation sweep uses.
+class TestBufferSupplyProperties:
+    @staticmethod
+    def _delivered(peak, base_fraction, phase, capacity, max_rate, charge):
+        from repro.power import renewable_supply
+
+        raw = renewable_supply(
+            peak,
+            base_fraction=base_fraction,
+            day_length=48.0,
+            cloud_noise=0.0,
+            phase=phase,
+        )
+        battery = Battery(
+            capacity=capacity, max_rate=max_rate, charge=charge
+        )
+        delivered = buffer_supply(raw, battery, duration=48.0, dt=1.0)
+        times = np.arange(0.0, 48.0, 1.0)
+        return raw.series(times), delivered.series(times)
+
+    @given(
+        peak=st.floats(10.0, 10_000.0),
+        base_fraction=st.floats(0.0, 1.0),
+        phase=st.floats(0.0, 1.0),
+        capacity=st.floats(1.0, 50_000.0),
+        rate_fraction=st.floats(0.01, 1.0),
+        charge_fraction=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_delivered_is_bounded(
+        self,
+        peak,
+        base_fraction,
+        phase,
+        capacity,
+        rate_fraction,
+        charge_fraction,
+    ):
+        max_rate = rate_fraction * capacity
+        raw, delivered = self._delivered(
+            peak,
+            base_fraction,
+            phase,
+            capacity,
+            max_rate,
+            charge_fraction * capacity,
+        )
+        # Never negative, never more than raw supply plus the
+        # battery's maximum discharge over one step.
+        assert np.all(delivered >= 0.0)
+        assert np.all(delivered <= raw + max_rate + 1e-9)
+
+    @given(
+        peak=st.floats(10.0, 10_000.0),
+        base_fraction=st.floats(0.0, 1.0),
+        phase=st.floats(0.0, 1.0),
+        capacity=st.floats(1.0, 50_000.0),
+        rate_fraction=st.floats(0.01, 1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_empty_battery_never_creates_energy(
+        self, peak, base_fraction, phase, capacity, rate_fraction
+    ):
+        raw, delivered = self._delivered(
+            peak,
+            base_fraction,
+            phase,
+            capacity,
+            rate_fraction * capacity,
+            0.0,  # starts empty: everything delivered came from the grid
+        )
+        assert float(np.sum(delivered)) <= float(np.sum(raw)) + 1e-6
+
+    @given(
+        peak=st.floats(10.0, 10_000.0),
+        base_fraction=st.floats(0.0, 1.0),
+        capacity=st.floats(1.0, 50_000.0),
+        charge_fraction=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_energy_conserved_up_to_initial_charge(
+        self, peak, base_fraction, capacity, charge_fraction
+    ):
+        charge = charge_fraction * capacity
+        raw, delivered = self._delivered(
+            peak, base_fraction, 0.0, capacity, capacity, charge
+        )
+        # Any pre-charged battery adds at most its stored energy.
+        assert (
+            float(np.sum(delivered))
+            <= float(np.sum(raw)) + charge + 1e-6
+        )
