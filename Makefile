@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-guard trace-smoke examples-smoke federation-smoke experiments clean-cache
+.PHONY: test bench bench-smoke bench-guard federation-bench-smoke trace-smoke examples-smoke federation-smoke experiments clean-cache
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -38,6 +38,12 @@ bench-smoke:
 ## Regression guard against the recorded BENCH_tick.json.
 bench-guard:
 	$(PYTHON) -m pytest benchmarks/test_bench_hotpath.py benchmarks/test_bench_trace.py -q
+
+## Batched-federation guard: equivalence tests + the federation section
+## of the perf regression guard (quick-sized fresh measurement).
+federation-bench-smoke:
+	$(PYTHON) -m pytest tests/test_federation_vectorized.py -q
+	$(PYTHON) -m pytest benchmarks/test_bench_federation.py -q
 
 ## Record a faulty-plant run with tracing on, then replay it through
 ## the trace CLI (overview, per-server explanation, fault edges).

@@ -32,6 +32,17 @@ runs:
     (``benchmarks/test_bench_trace.py``) bounds at <= 2% of a tick,
     immune to wall-clock noise on shared CI runners.
 
+``bench_federation``
+    Multi-site scaling: the per-site scalar coordinator loop vs. the
+    batched federation (one shared :class:`~repro.core.fleet.
+    FederationFleet` block, fused array tick across all sites) at
+    512-2048 servers, plus a churny solar row (honest Amdahl: planner
+    and FFDLR stay scalar) and batched-only frontier rows at 10k
+    (realtime check against ``delta_d``) and 100k servers
+    (feasibility).  Build and first-tick costs (demand-stream init +
+    the 256-tick Poisson prefetch) are reported separately from the
+    steady-state tick.
+
 Run via ``python -m repro.cli bench`` (or ``python benchmarks/harness.py``),
 which writes ``BENCH_tick.json`` and ``BENCH_sweep.json``.
 """
@@ -51,6 +62,7 @@ __all__ = [
     "bench_kernels",
     "bench_sweep_scaling",
     "bench_trace",
+    "bench_federation",
     "run_benchmarks",
 ]
 
@@ -59,6 +71,13 @@ FLEET_SHAPES: Dict[int, Sequence[int]] = {
     18: (2, 3, 3),
     64: (2, 4, 8),
     256: (4, 8, 8),
+}
+
+#: Per-site tree shapes for the federation suite.
+FEDERATION_SITE_SHAPES: Dict[int, Sequence[int]] = {
+    256: (4, 8, 8),
+    1024: (4, 16, 16),
+    4096: (16, 16, 16),
 }
 
 
@@ -348,6 +367,178 @@ def bench_sweep_scaling(
     return rows
 
 
+# -------------------------------------------------------------- federation
+def _build_bench_federation(
+    n_sites: int,
+    servers_per_site: int,
+    ticks: int,
+    vectorized: bool,
+    *,
+    workload: str = "steady",
+    seed: int = 17,
+):
+    from repro.core.config import WillowConfig
+    from repro.federation import SiteSpec, build_federation
+    from repro.power.supply import constant_supply, renewable_supply
+    from repro.topology.builders import build_balanced
+
+    config = WillowConfig()
+    branching = FEDERATION_SITE_SHAPES[servers_per_site]
+    specs = []
+    for i in range(n_sites):
+        if workload == "steady":
+            # Provisioned steady state: the fleet fits the supply, so
+            # the tick is the smoothing/thermal/waterfall sweep the
+            # batched path vectorizes end to end.
+            supply = constant_supply(
+                0.7 * servers_per_site * config.circuit_limit
+            )
+            utilization = 0.35
+        else:
+            # Anti-correlated solar humps: nightly deficits keep the
+            # (shared, scalar) migration planner and FFDLR busy, so
+            # this row shows the Amdahl-bounded speedup honestly.
+            supply = renewable_supply(
+                0.9 * servers_per_site * config.circuit_limit,
+                base_fraction=0.3,
+                day_length=96.0,
+                cloud_noise=0.0,
+                days=max(2, int(ticks / 96) + 1),
+                phase=i / n_sites,
+            )
+            utilization = 0.55
+        specs.append(
+            SiteSpec(
+                name=f"bench{i}",
+                tree=build_balanced(branching),
+                config=WillowConfig(),
+                supply=supply,
+                target_utilization=utilization,
+                seed=seed + i,
+                vectorized=vectorized,
+            )
+        )
+    policy = "neutral" if workload == "steady" else "proportional"
+    return build_federation(
+        specs, n_ticks=ticks + 1, policy=policy, vectorized=vectorized
+    )
+
+
+def _time_federation(
+    n_sites: int,
+    servers_per_site: int,
+    ticks: int,
+    vectorized: bool,
+    *,
+    workload: str = "steady",
+    repeats: int = 1,
+) -> dict:
+    """Build, warm one tick, then time ``ticks`` steady-state ticks.
+
+    The first tick pays one-time costs (per-VM demand-stream init and
+    the 256-tick Poisson block prefetch) that real runs amortise over
+    the whole horizon, so it is reported separately from the
+    steady-state ms/tick.
+    """
+    best = {"tick_s": float("inf")}
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        coordinator = _build_bench_federation(
+            n_sites, servers_per_site, ticks, vectorized, workload=workload
+        )
+        build_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        coordinator.run(1)
+        first_tick_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        coordinator.run(ticks)
+        tick_s = time.perf_counter() - t0
+        if tick_s < best["tick_s"]:
+            best = {
+                "build_s": build_s,
+                "first_tick_s": first_tick_s,
+                "tick_s": tick_s,
+            }
+    return best
+
+
+def bench_federation(quick: bool = False) -> dict:
+    """Scalar vs. batched federation scaling plus batched-only frontier.
+
+    Returns ``{"scaling": [...], "frontier": [...]}``.  Scaling rows
+    compare the per-site scalar coordinator loop against the batched
+    coordinator at identical seeds/workloads; frontier rows push the
+    batched path to 10k servers (realtime check: tick wall vs. the
+    ``delta_d`` budget) and 100k servers (feasibility).
+    """
+    from repro.core.config import WillowConfig
+
+    delta_ms = WillowConfig().delta_d * 1e3
+    if quick:
+        scaling_points = [(2, 256), (4, 256)]
+        churn_points = [(2, 256)]
+        frontier_points = [("10k_realtime", 2, 1024, 3)]
+        ticks, repeats = 24, 1
+    else:
+        scaling_points = [(2, 256), (4, 256), (8, 256)]
+        churn_points = [(4, 256)]
+        frontier_points = [
+            ("10k_realtime", 10, 1024, 20),
+            ("100k_feasible", 25, 4096, 3),
+        ]
+        ticks, repeats = 120, 2
+
+    scaling = []
+    for workload, points in (
+        ("steady", scaling_points),
+        ("solar_churn", churn_points),
+    ):
+        for n_sites, per_site in points:
+            scalar = _time_federation(
+                n_sites, per_site, ticks, False,
+                workload=workload, repeats=repeats,
+            )
+            batched = _time_federation(
+                n_sites, per_site, ticks, True,
+                workload=workload, repeats=repeats,
+            )
+            scaling.append(
+                {
+                    "workload": workload,
+                    "n_sites": int(n_sites),
+                    "servers_per_site": int(per_site),
+                    "n_servers": int(n_sites * per_site),
+                    "ticks": int(ticks),
+                    "scalar_ms_per_tick": scalar["tick_s"] / ticks * 1e3,
+                    "batched_ms_per_tick": batched["tick_s"] / ticks * 1e3,
+                    "speedup": scalar["tick_s"] / batched["tick_s"],
+                    "batched_build_s": batched["build_s"],
+                }
+            )
+
+    frontier = []
+    for label, n_sites, per_site, n_ticks in frontier_points:
+        timing = _time_federation(
+            n_sites, per_site, n_ticks, True, workload="steady", repeats=1
+        )
+        ms_per_tick = timing["tick_s"] / n_ticks * 1e3
+        frontier.append(
+            {
+                "label": label,
+                "n_sites": int(n_sites),
+                "servers_per_site": int(per_site),
+                "n_servers": int(n_sites * per_site),
+                "ticks": int(n_ticks),
+                "build_s": timing["build_s"],
+                "first_tick_s": timing["first_tick_s"],
+                "ms_per_tick": ms_per_tick,
+                "realtime_budget_ms": delta_ms,
+                "realtime_ok": bool(ms_per_tick <= delta_ms),
+            }
+        )
+    return {"scaling": scaling, "frontier": frontier}
+
+
 # ----------------------------------------------------------------- tracing
 def _guard_cost_ns(iters: int = 500_000) -> float:
     """Measured cost of one disabled ``tracer.enabled`` guard check.
@@ -493,8 +684,19 @@ def run_benchmarks(
 
     meta = {
         "python": platform.python_version(),
+        "numpy": np.__version__,
         "machine": platform.machine(),
         "cpus": os.cpu_count(),
+        # BLAS/OpenMP pool sizes change array-op timings wildly between
+        # machines; record them so two BENCH files are comparable.
+        "threads": {
+            var: os.environ.get(var)
+            for var in (
+                "OMP_NUM_THREADS",
+                "OPENBLAS_NUM_THREADS",
+                "MKL_NUM_THREADS",
+            )
+        },
         "quick": bool(quick),
     }
 
@@ -507,6 +709,7 @@ def run_benchmarks(
             ticks=60 if quick else 200,
             repeats=2 if quick else 3,
         ),
+        "federation": bench_federation(quick=quick),
     }
     tick_path = out_dir / "BENCH_tick.json"
     tick_path.write_text(json.dumps(tick_payload, indent=2) + "\n")
@@ -560,6 +763,29 @@ def format_report(paths: Dict[str, Path]) -> str:
             lines.append(
                 f"  {row['mode']:<18s}  {row['ms_per_tick']:8.3f} ms/tick"
                 f"  overhead {row['overhead_pct']:6.2f}%{extra}"
+            )
+    federation = tick.get("federation", {})
+    if federation.get("scaling"):
+        lines.append("federation (scalar coordinator loop vs batched fleet):")
+        for row in federation["scaling"]:
+            lines.append(
+                f"  {row['workload']:<12s} {row['n_sites']}x"
+                f"{row['servers_per_site']}={row['n_servers']:6d}"
+                f"  scalar {row['scalar_ms_per_tick']:8.2f} ms"
+                f"  batched {row['batched_ms_per_tick']:8.2f} ms"
+                f"  speedup {row['speedup']:5.2f}x"
+            )
+    if federation.get("frontier"):
+        lines.append("federation frontier (batched only):")
+        for row in federation["frontier"]:
+            verdict = "realtime" if row["realtime_ok"] else "not realtime"
+            lines.append(
+                f"  {row['label']:<14s} {row['n_sites']}x"
+                f"{row['servers_per_site']}={row['n_servers']:6d}"
+                f"  {row['ms_per_tick']:9.1f} ms/tick"
+                f" (budget {row['realtime_budget_ms']:.0f} ms, {verdict};"
+                f" build {row['build_s']:.1f} s"
+                f" + first tick {row['first_tick_s']:.1f} s)"
             )
     lines.append("sweep scaling (9-point paper sweep):")
     for row in sweep["scaling"]:

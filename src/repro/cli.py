@@ -164,6 +164,11 @@ def build_bench_parser() -> argparse.ArgumentParser:
         "--sizes", type=str, default=None, metavar="N,M",
         help="comma-separated fleet sizes from {18, 64, 256}",
     )
+    parser.add_argument(
+        "--profile", type=str, default=None, metavar="FILE",
+        help="profile the benchmark run with cProfile and dump pstats "
+             "to FILE (inspect with 'python -m pstats FILE')",
+    )
     return parser
 
 
@@ -185,7 +190,22 @@ def bench_main(argv: List[str]) -> int:
                 file=sys.stderr,
             )
             return 2
-    paths = run_benchmarks(args.out, quick=args.quick, sizes=sizes)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            paths = run_benchmarks(args.out, quick=args.quick, sizes=sizes)
+        finally:
+            profiler.disable()
+        stats = pstats.Stats(profiler)
+        stats.dump_stats(args.profile)
+        print(f"wrote profile to {args.profile}; top by cumulative time:")
+        stats.sort_stats("cumulative").print_stats(15)
+    else:
+        paths = run_benchmarks(args.out, quick=args.quick, sizes=sizes)
     print(format_report(paths))
     print(f"wrote {paths['tick']} and {paths['sweep']}")
     return 0
@@ -558,6 +578,11 @@ def build_federation_parser() -> argparse.ArgumentParser:
         help="per-site solar peak in W (default: the federation "
              "experiment's sizing)",
     )
+    parser.add_argument(
+        "--vectorized", action="store_true",
+        help="batch all sites into one shared fleet block "
+             "(same results, faster; see docs/performance.md)",
+    )
     _add_trace_argument(parser)
     return parser
 
@@ -613,6 +638,7 @@ def federation_main(argv: List[str]) -> int:
         wan_cost_power=args.wan_cost,
         wan_cost_ticks=args.wan_ticks,
         tracer=tracer,
+        vectorized=args.vectorized,
     )
     _close_tracer(tracer, args.trace)
 

@@ -378,6 +378,20 @@ class WillowController:
         """
         return True
 
+    # -------------------------------------------- federation hosting hooks
+    def vm_departed(self, vm) -> None:
+        """Hook: a federation coordinator moved ``vm`` off this site.
+
+        The scalar controller reads hosting straight from the
+        ``server.vms`` dicts the coordinator already rewired, so there
+        is nothing to do; the vectorized controller overrides this to
+        keep its batched per-host index in sync.
+        """
+
+    def vm_arrived(self, vm, dst_node_id: int) -> None:
+        """Hook: a federation coordinator placed ``vm`` on this site's
+        server ``dst_node_id``.  See :meth:`vm_departed`."""
+
     # ------------------------------------------------------- demand reports
     def _aggregate_demands(self, now: float) -> None:
         """Propagate smoothed demand bottom-up; one message per link."""

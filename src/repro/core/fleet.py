@@ -26,7 +26,12 @@ from repro.core.state import ServerRuntime, SleepState
 from repro.power.smoothing import VectorSmoother
 from repro.thermal.model import power_cap_arrays
 
-__all__ = ["FleetState", "fold_segment_sums", "build_fold_index"]
+__all__ = [
+    "FleetState",
+    "FederationFleet",
+    "fold_segment_sums",
+    "build_fold_index",
+]
 
 
 def build_fold_index(sizes: np.ndarray) -> tuple:
@@ -200,3 +205,124 @@ class FleetState:
             decay=self.decay_window,
         )
         return np.minimum(self.circuit_limit, thermal_cap)
+
+
+#: FleetState array fields concatenated into the federation block.  The
+#: immutable parameter arrays ride along so federation-wide sweeps (raw
+#: demand, Eq. 3/4, serving) touch exactly one contiguous buffer each.
+_BLOCK_FIELDS = (
+    "static_power",
+    "standby_power",
+    "slope",
+    "t_ambient",
+    "t_limit",
+    "c1",
+    "c2",
+    "thermal_window",
+    "decay_tick",
+    "decay_window",
+    "awake",
+    "asleep",
+    "waking",
+    "mig_cost",
+    "budget",
+    "temperature",
+    "raw",
+    "served",
+)
+
+
+class FederationFleet:
+    """One struct-of-arrays block spanning every site of a federation.
+
+    Concatenates the member :class:`FleetState` arrays into shared
+    buffers and *rebinds* each site's arrays (and its
+    :class:`~repro.power.smoothing.VectorSmoother` lanes) to basic
+    slices of the block.  Basic slicing shares memory, so per-site code
+    (gathers, the per-site vectorized tick, consolidation resync) keeps
+    working unchanged while federation-wide sweeps -- demand, Eq. 4
+    smoothing, Eq. 2/3 thermal, serving, and the rebalance snapshot's
+    segment reductions -- run once over the whole block.
+
+    Sites may differ in ``alpha`` (per-lane array, bit-identical to the
+    per-site scalar broadcast) and in thermal mode (``window_caps``
+    falls back to per-site assembly when mixed).
+    """
+
+    def __init__(self, fleets: List[FleetState]):
+        if not fleets:
+            raise ValueError("FederationFleet needs at least one site fleet")
+        self.fleets = list(fleets)
+        sizes = np.array([f.n for f in self.fleets], dtype=np.intp)
+        bounds = np.concatenate(([0], np.cumsum(sizes)))
+        self.n = int(bounds[-1])
+        self.site_slices = [
+            slice(int(bounds[i]), int(bounds[i + 1]))
+            for i in range(len(self.fleets))
+        ]
+        self.site_offsets = bounds[:-1]
+
+        for name in _BLOCK_FIELDS:
+            block = np.concatenate(
+                [getattr(f, name) for f in self.fleets]
+            )
+            setattr(self, name, block)
+            for f, sl in zip(self.fleets, self.site_slices):
+                setattr(f, name, block[sl])
+
+        # Shared smoother lanes: per-lane alpha so sites with different
+        # Eq. 4 weights still advance in one elementwise update.
+        self.smoother_values = np.concatenate(
+            [f.smoother.values for f in self.fleets]
+        )
+        self.smoother_primed = np.concatenate(
+            [f.smoother.primed for f in self.fleets]
+        )
+        self.alpha = np.concatenate(
+            [np.full(f.n, f.smoother.alpha) for f in self.fleets]
+        )
+        for f, sl in zip(self.fleets, self.site_slices):
+            f.smoother.values = self.smoother_values[sl]
+            f.smoother.primed = self.smoother_primed[sl]
+
+        caps = [f.window_caps for f in self.fleets]
+        if all(c is not None for c in caps):
+            self.window_caps = np.concatenate(caps)
+            for f, sl in zip(self.fleets, self.site_slices):
+                f.window_caps = self.window_caps[sl]
+        else:
+            self.window_caps = None
+
+    # -------------------------------------------------------------- gather
+    def gather_sleep(self) -> None:
+        for fleet in self.fleets:
+            fleet.gather_sleep()
+
+    def gather_costs(self) -> None:
+        for fleet in self.fleets:
+            fleet.gather_costs()
+
+    # ---------------------------------------------------------------- caps
+    def hard_caps(self) -> np.ndarray:
+        """Federation-wide :meth:`FleetState.hard_caps`.
+
+        One block read when every site runs window-reset thermal caps;
+        otherwise assembled from the per-site views (still array ops
+        per site, just not a single fused one).
+        """
+        if self.window_caps is not None and all(
+            f.config.thermal_enabled for f in self.fleets
+        ):
+            return self.window_caps
+        return np.concatenate([f.hard_caps() for f in self.fleets])
+
+    # ------------------------------------------------------------ reduction
+    def site_sums(self, values: np.ndarray) -> np.ndarray:
+        """Per-site left-to-right fold of a block-shaped array (the
+        rebalance snapshot's segment reduction)."""
+        return np.array(
+            [
+                float(sum(values[sl].tolist()))
+                for sl in self.site_slices
+            ]
+        )

@@ -91,6 +91,14 @@ class VectorizedWillowController(WillowController):
             [self.fleet.index[vm.host_id] for vm in self.placement.vms],
             dtype=np.intp,
         )
+        # Cross-site hosting support (geo-federation): home VMs that a
+        # coordinator moved away contribute nothing here, while foreign
+        # VMs hosted on this site's servers are added as a sparse
+        # correction on top of the batched per-host sums.
+        self._vm_away = np.zeros(len(self.placement.vms), dtype=bool)
+        self._away_count = 0
+        self._foreign_vms: Dict[int, object] = {}
+        self._foreign_rows: Dict[int, int] = {}
         self._n_nodes = max(node.node_id for node in self.tree) + 1
         self._caps_buffer = np.zeros(self._n_nodes)
         self._budget_buffer = np.zeros(self._n_nodes)
@@ -209,14 +217,7 @@ class VectorizedWillowController(WillowController):
 
         # 1+2. sample demand, aggregate per host, smooth (Eq. 4).
         vm_demands = self._sample_vm_demands()
-        if vm_demands is not None:
-            vm_sums = np.bincount(
-                self._vm_host_rows, weights=vm_demands, minlength=fleet.n
-            )
-        else:
-            vm_sums = np.fromiter(
-                (s.vm_demand for s in fleet.servers), float, fleet.n
-            )
+        vm_sums = self._host_demand_sums(vm_demands)
         raw = np.where(
             fleet.asleep,
             fleet.standby_power,
@@ -229,7 +230,7 @@ class VectorizedWillowController(WillowController):
         # Waking servers keep reporting their wake forecast; everyone
         # else (awake or asleep) absorbs this tick's observation.
         smoothed = fleet.smoother.update(raw, mask=~fleet.waking)
-        fleet.raw = raw
+        fleet.raw[...] = raw
         raw_list = raw.tolist()
         smoothed_list = smoothed.tolist()
         for i, server in enumerate(fleet.servers):
@@ -284,9 +285,7 @@ class VectorizedWillowController(WillowController):
                     float,
                     len(self.placement.vms),
                 )
-            vm_sums = np.bincount(
-                self._vm_host_rows, weights=vm_demands, minlength=fleet.n
-            )
+            vm_sums = self._host_demand_sums(vm_demands)
             fleet.gather_costs()
 
         # 6. serve power within budget; throttle any residual excess.
@@ -302,7 +301,7 @@ class VectorizedWillowController(WillowController):
                 served[i] = self._serve_scalar(
                     fleet.servers[i], available_list[i], now
                 )
-        fleet.served = served
+        fleet.served[...] = served
         served_list = served.tolist()
         for i, server in enumerate(fleet.servers):
             server.served_power = served_list[i]
@@ -337,7 +336,7 @@ class VectorizedWillowController(WillowController):
                 decay=fleet.decay_tick,
             )
             violations = temps > fleet.t_limit + 1e-9
-        fleet.temperature = temps
+        fleet.temperature[...] = temps
         utilization = np.where(
             fleet.awake, np.minimum(served / fleet.slope, 1.0), 0.0
         )
@@ -398,18 +397,7 @@ class VectorizedWillowController(WillowController):
         deficient_mask = fleet.awake & (raw > fleet.budget + _EPS)
         if not bool(deficient_mask.any()):
             return None
-        flags = self._int_flags
-        for j, runtime in enumerate(self._internal_list):
-            flags[j] = (
-                runtime.budget_reduced
-                and runtime.smoothed_demand > runtime.budget + _EPS
-            )
-        reduced = np.fromiter(
-            (s.budget_reduced for s in fleet.servers), bool, fleet.n
-        )
-        squeezed = (reduced & (smoothed > fleet.budget + _EPS)) | flags[
-            self._anc_matrix
-        ].any(axis=1)
+        squeezed = self._squeezed_mask(smoothed)
         overhead = (
             self.config.p_min + self.config.migration_cost_power
         )
@@ -429,6 +417,24 @@ class VectorizedWillowController(WillowController):
         return self.migration_planner.plan_prescreened(
             self.servers, deficient, capacity
         )
+
+    def _squeezed_mask(self, smoothed: np.ndarray) -> np.ndarray:
+        """Fleet-wide :meth:`MigrationPlanner._squeezed`: a server is
+        squeezed when it (or any ancestor) had its budget reduced while
+        its smoothed demand still exceeds that budget."""
+        fleet = self.fleet
+        flags = self._int_flags
+        for j, runtime in enumerate(self._internal_list):
+            flags[j] = (
+                runtime.budget_reduced
+                and runtime.smoothed_demand > runtime.budget + _EPS
+            )
+        reduced = np.fromiter(
+            (s.budget_reduced for s in fleet.servers), bool, fleet.n
+        )
+        return (reduced & (smoothed > fleet.budget + _EPS)) | flags[
+            self._anc_matrix
+        ].any(axis=1)
 
     # ------------------------------------------------------- demand reports
     def _aggregate_demands(self, now: float) -> None:
@@ -453,13 +459,63 @@ class VectorizedWillowController(WillowController):
             )
 
     # -------------------------------------------------------------- demand
-    def _sample_vm_demands(self) -> Optional[np.ndarray]:
+    def _sample_vm_demands(
+        self, write_objects: bool = True
+    ) -> Optional[np.ndarray]:
         """One tick of demand; the flat per-VM vector when available."""
         source = self.demand_source
         if isinstance(source, DemandGenerator):
-            return source.sample_tick_array()
+            return source.sample_tick_array(write_objects=write_objects)
         source.sample_tick()
         return None
+
+    def _host_demand_sums(self, vm_demands: Optional[np.ndarray]) -> np.ndarray:
+        """Per-host VM demand sums, honouring cross-site hosting.
+
+        The batched sum runs over the home placement (plan order, which
+        matches each ``server.vms`` insertion order); VMs a federation
+        coordinator moved away are zeroed out of the weights, and
+        foreign guests are added afterwards in arrival order -- the
+        same order the scalar controller's per-server dict sum sees.
+        """
+        fleet = self.fleet
+        if vm_demands is None:
+            return np.fromiter(
+                (s.vm_demand for s in fleet.servers), float, fleet.n
+            )
+        weights = vm_demands
+        if self._away_count:
+            weights = np.where(self._vm_away, 0.0, vm_demands)
+        sums = np.bincount(
+            self._vm_host_rows, weights=weights, minlength=fleet.n
+        )
+        if self._foreign_vms:
+            rows = self._foreign_rows
+            for vm_id, vm in self._foreign_vms.items():
+                sums[rows[vm_id]] += vm.current_demand
+        return sums
+
+    # ------------------------------------------------- federation hosting
+    def vm_departed(self, vm) -> None:
+        row = self._vm_row.get(vm.vm_id)
+        if row is not None:
+            if not self._vm_away[row]:
+                self._vm_away[row] = True
+                self._away_count += 1
+        else:
+            self._foreign_vms.pop(vm.vm_id, None)
+            self._foreign_rows.pop(vm.vm_id, None)
+
+    def vm_arrived(self, vm, dst_node_id: int) -> None:
+        row = self._vm_row.get(vm.vm_id)
+        if row is not None:  # a home VM returning from another site
+            if self._vm_away[row]:
+                self._vm_away[row] = False
+                self._away_count -= 1
+            self._vm_host_rows[row] = self.fleet.index[dst_node_id]
+        else:
+            self._foreign_vms[vm.vm_id] = vm
+            self._foreign_rows[vm.vm_id] = self.fleet.index[dst_node_id]
 
     # ------------------------------------------------------------- serving
     def _serve_scalar(self, server, available: float, now: float) -> float:
@@ -576,9 +632,13 @@ class VectorizedWillowController(WillowController):
         moves = list(moves)
         super()._execute_moves(moves, cause, now)
         for move in moves:
-            self._vm_host_rows[self._vm_row[move.vm.vm_id]] = (
-                self.fleet.index[move.dst.node_id]
-            )
+            vm_id = move.vm.vm_id
+            dst_row = self.fleet.index[move.dst.node_id]
+            row = self._vm_row.get(vm_id)
+            if row is not None:
+                self._vm_host_rows[row] = dst_row
+            else:  # an intra-site move of a foreign (federated) guest
+                self._foreign_rows[vm_id] = dst_row
 
     # ------------------------------------------------------------ switches
     def _record_switches(self, now: float) -> None:

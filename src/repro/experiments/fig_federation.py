@@ -102,6 +102,7 @@ def run(
     seed: int = 1,
     target_utilization: float = 0.35,
     policy: str = "proportional",
+    vectorized: bool = False,
 ) -> ExperimentResult:
     config = WillowConfig()
     t_limit = config.thermal.t_limit
@@ -137,6 +138,7 @@ def run(
             build_specs(n_sites, **specs_kwargs),
             n_ticks=n_ticks,
             policy="neutral",
+            vectorized=vectorized,
         )
         iso_summary = summarize_federation(isolated)
         for factor in wan_cost_factors:
@@ -146,6 +148,7 @@ def run(
                 n_ticks=n_ticks,
                 policy=policy,
                 wan_cost_power=wan_cost,
+                vectorized=vectorized,
             )
             fed_summary = summarize_federation(federated)
             iso_dropped = iso_summary.total_dropped_power

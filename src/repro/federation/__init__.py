@@ -12,8 +12,10 @@ from repro.federation.coordinator import (
     CrossSiteMigration,
     FederationConfig,
     FederationCoordinator,
+    build_federation,
     run_federation,
 )
+from repro.federation.vectorized import BatchedFederationCoordinator
 from repro.federation.policies import (
     POLICIES,
     SiteStatus,
@@ -31,7 +33,9 @@ __all__ = [
     "build_site",
     "FederationConfig",
     "FederationCoordinator",
+    "BatchedFederationCoordinator",
     "CrossSiteMigration",
+    "build_federation",
     "run_federation",
     "POLICIES",
     "SiteStatus",

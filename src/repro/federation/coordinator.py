@@ -48,6 +48,7 @@ __all__ = [
     "FederationConfig",
     "CrossSiteMigration",
     "FederationCoordinator",
+    "build_federation",
     "run_federation",
 ]
 
@@ -370,6 +371,8 @@ class FederationCoordinator:
 
         del src.vms[vm.vm_id]
         dst.vms[vm.vm_id] = vm
+        src_site.controller.vm_departed(vm)
+        dst_site.controller.vm_arrived(vm, dst_node)
         if dst.node.node_id == vm.host_id:
             # Node-id spaces are per-site, so a cross-site move can land
             # on the same numeric id; record the hop without the core
@@ -427,6 +430,61 @@ class FederationCoordinator:
         return float(sum(m.demand for m in self.cross_migrations))
 
 
+def build_federation(
+    specs: Sequence[SiteSpec],
+    *,
+    n_ticks: int = 100,
+    policy: Union[str, Callable] = "neutral",
+    wan_cost_power: Optional[float] = None,
+    wan_cost_ticks: Optional[int] = None,
+    margin: Optional[float] = None,
+    tracer: Optional[Tracer] = None,
+    vectorized: bool = False,
+    site_tracer: Optional[Tracer] = None,
+) -> FederationCoordinator:
+    """Build a geo-federation without running it.
+
+    Each :class:`SiteSpec` becomes a self-contained Willow instance
+    (VM ids renumbered to be federation-unique; the first site keeps
+    offset 0, preserving the single-site equivalence contract).
+
+    ``vectorized=True`` builds every eligible site on the array-based
+    controller and returns a
+    :class:`~repro.federation.vectorized.BatchedFederationCoordinator`
+    whose per-tick hot path sweeps one shared
+    :class:`~repro.core.fleet.FederationFleet` block across all sites
+    at once (fault-schedule sites keep their scalar controller and
+    tick scalar inside the batch).
+    """
+    if n_ticks < 1:
+        raise ValueError(f"n_ticks must be >= 1, got {n_ticks}")
+    sites: List[Site] = []
+    offset = 0
+    for spec in specs:
+        if vectorized and not spec.vectorized:
+            from dataclasses import replace
+
+            spec = replace(spec, vectorized=True)
+        site = build_site(
+            spec, n_ticks=n_ticks, vm_id_offset=offset, tracer=site_tracer
+        )
+        offset += len(site.controller.placement.vms)
+        sites.append(site)
+    config = FederationConfig(
+        policy=policy,
+        wan_cost_power=wan_cost_power,
+        wan_cost_ticks=wan_cost_ticks,
+        margin=margin,
+    )
+    if vectorized:
+        from repro.federation.vectorized import BatchedFederationCoordinator
+
+        return BatchedFederationCoordinator(
+            sites, federation=config, tracer=tracer
+        )
+    return FederationCoordinator(sites, federation=config, tracer=tracer)
+
+
 def run_federation(
     specs: Sequence[SiteSpec],
     *,
@@ -436,31 +494,22 @@ def run_federation(
     wan_cost_ticks: Optional[int] = None,
     margin: Optional[float] = None,
     tracer: Optional[Tracer] = None,
+    vectorized: bool = False,
 ) -> FederationCoordinator:
     """Build and run a geo-federation in one call.
 
-    Each :class:`SiteSpec` becomes a self-contained Willow instance
-    (VM ids renumbered to be federation-unique; the first site keeps
-    offset 0, preserving the single-site equivalence contract).
+    See :func:`build_federation` for the construction contract.
     Returns the finished :class:`FederationCoordinator`; summarise it
     with :func:`repro.metrics.federation.summarize_federation`.
     """
-    if n_ticks < 1:
-        raise ValueError(f"n_ticks must be >= 1, got {n_ticks}")
-    sites: List[Site] = []
-    offset = 0
-    for spec in specs:
-        site = build_site(spec, n_ticks=n_ticks, vm_id_offset=offset)
-        offset += len(site.controller.placement.vms)
-        sites.append(site)
-    coordinator = FederationCoordinator(
-        sites,
-        federation=FederationConfig(
-            policy=policy,
-            wan_cost_power=wan_cost_power,
-            wan_cost_ticks=wan_cost_ticks,
-            margin=margin,
-        ),
+    coordinator = build_federation(
+        specs,
+        n_ticks=n_ticks,
+        policy=policy,
+        wan_cost_power=wan_cost_power,
+        wan_cost_ticks=wan_cost_ticks,
+        margin=margin,
         tracer=tracer,
+        vectorized=vectorized,
     )
     return coordinator.run(n_ticks)

@@ -67,6 +67,14 @@ class SiteSpec:
         Workload knobs, mirroring :func:`repro.core.controller.run_willow`.
     ambient_overrides:
         Per-server ambient map for hot/cold zones inside the site.
+    vectorized:
+        Run the site on the array-based
+        :class:`~repro.core.vectorized.VectorizedWillowController`.
+        Silently ignored for sites the vectorized tick cannot model
+        faithfully (a non-empty plant-fault schedule needs the
+        ``_server_cap``/``_advance_plant`` hooks, and device-class
+        thermal state is object-shaped): those keep their scalar
+        controller, exactly as the batched federation expects.
     """
 
     name: str
@@ -82,6 +90,7 @@ class SiteSpec:
     seed: int = 0
     apps: tuple = SIMULATION_APPS
     ambient_overrides: Optional[Mapping[str, float]] = None
+    vectorized: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -200,6 +209,12 @@ def build_site(
         controller = FaultTolerantWillowController(
             tree, config, delivered, placement,
             plant_faults=schedule, **kwargs
+        )
+    elif spec.vectorized and config.device_classes is None:
+        from repro.core.vectorized import VectorizedWillowController
+
+        controller = VectorizedWillowController(
+            tree, config, delivered, placement, **kwargs
         )
     else:
         controller = WillowController(

@@ -271,8 +271,10 @@ def _grouped_waterfill(
         live_lane = active & alive[seg]
         weight_sum = segment_sums(np.where(live_lane, weights, 0.0))
         safe_sum = np.where(alive, weight_sum, 1.0)
+        # Same normalise-then-scale order as _waterfill (bit-exactness
+        # between the scalar and grouped paths relies on it).
         share = np.where(
-            live_lane, remaining[seg] * weights / safe_sum[seg], 0.0
+            live_lane, remaining[seg] * (weights / safe_sum[seg]), 0.0
         )
         new_alloc = np.minimum(alloc + share, limits)
         delta = new_alloc - alloc
@@ -325,7 +327,11 @@ def _waterfill(
             break
         weight_sum = weights[active].sum()
         share = np.zeros(n)
-        share[active] = remaining * weights[active] / weight_sum
+        # Normalise before scaling: remaining * (w / sum) keeps every
+        # share <= remaining even for denormal weights, where the
+        # (remaining * w) / sum order can round the product so coarsely
+        # that the quotient overshoots the budget being divided.
+        share[active] = remaining * (weights[active] / weight_sum)
         new_alloc = np.minimum(alloc + share, limits)
         distributed = (new_alloc - alloc).sum()
         alloc = new_alloc

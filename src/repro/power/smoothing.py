@@ -130,6 +130,12 @@ class VectorSmoother:
     lane's sequence is bit-identical to a scalar smoother fed the same
     observations.  Unprimed lanes (no observation yet) are seeded by
     their first observation, exactly like the scalar cold-start rule.
+
+    ``values`` and ``primed`` are updated strictly in place, so callers
+    may alias them (the federation block in
+    :class:`~repro.core.fleet.FederationFleet` rebinds them to slices
+    of one shared array) without the update silently detaching the
+    view.
     """
 
     def __init__(self, alpha: float, n: int):
@@ -153,11 +159,11 @@ class VectorSmoother:
         )
         fresh = np.where(self.primed, smoothed, observations)
         if mask is None:
-            self.values = fresh
-            self.primed = np.ones_like(self.primed)
+            self.values[...] = fresh
+            self.primed[...] = True
         else:
-            self.values = np.where(mask, fresh, self.values)
-            self.primed = self.primed | mask
+            np.copyto(self.values, fresh, where=mask)
+            self.primed |= mask
         return self.values
 
     def reset_lane(self, index: int, initial: float | None = None) -> None:

@@ -294,20 +294,24 @@ class DemandGenerator:
             )
         self._cursor = 0
 
-    def sample_tick_array(self) -> np.ndarray:
+    def sample_tick_array(self, write_objects: bool = True) -> np.ndarray:
         """Sample one tick for all VMs; return demands (W) by plan order.
 
         Updates each ``vm.current_demand`` in place, exactly like
         :meth:`sample_tick`, but returns the flat demand vector (indexed
-        like ``plan.vms``) for array-based consumers.
+        like ``plan.vms``) for array-based consumers.  Callers that keep
+        the truth in arrays (the batched federation tick) pass
+        ``write_objects=False`` to skip the per-VM scatter and flush the
+        objects themselves only when scalar code needs them.
         """
         if self._buffer is None or self._cursor >= self._block_size:
             self._refill()
         draws = self._buffer[:, self._cursor]
         self._cursor += 1
         demands = draws.astype(float) * self.plan.scale
-        for vm, demand in zip(self.plan.vms, demands.tolist()):
-            vm.current_demand = demand
+        if write_objects:
+            for vm, demand in zip(self.plan.vms, demands.tolist()):
+                vm.current_demand = demand
         return demands
 
     def sample_tick(self) -> Dict[int, float]:

@@ -399,3 +399,98 @@ def test_cli_trace_rejects_missing_file(tmp_path, capsys):
 
     assert cli.main(["trace", str(tmp_path / "nope.jsonl")]) == 2
     assert "trace:" in capsys.readouterr().err
+
+
+# ------------------------------------------------------- batched federation
+def _traced_federation(batched):
+    """A 2-site solar federation over vectorized site controllers,
+    traced at both the coordinator and site levels.
+
+    ``batched=False`` drives the same vectorized controllers through
+    the scalar site-major :class:`FederationCoordinator` -- the frame
+    reference the batched coordinator must reproduce exactly.
+    """
+    from dataclasses import replace
+
+    from repro.experiments.fig_federation import build_specs
+    from repro.federation import build_federation
+
+    specs = [replace(s, vectorized=True) for s in build_specs(2, seed=SEED)]
+    fed_writer = MemoryTraceWriter()
+    site_writer = MemoryTraceWriter()
+    coordinator = build_federation(
+        specs,
+        n_ticks=TICKS,
+        policy="proportional",
+        vectorized=batched,
+        tracer=Tracer(fed_writer),
+        site_tracer=Tracer(site_writer),
+    )
+    coordinator.run(TICKS)
+    return coordinator, fed_writer.frames, site_writer.frames
+
+
+def test_batched_federation_frames_match_scalar_coordinator():
+    """With site tracing on, the batched coordinator's frames -- both
+    the coordinator-level grant/migration frames and every site's
+    per-tick budget frames -- must be byte-identical to the scalar
+    site-major coordinator over the same vectorized controllers."""
+    _, fed_scalar, site_scalar = _traced_federation(batched=False)
+    _, fed_batched, site_batched = _traced_federation(batched=True)
+    assert fed_scalar == fed_batched
+    assert site_scalar == site_batched
+
+
+def test_batched_federation_fused_tick_coordinator_frames_match():
+    """Coordinator-level tracing alone leaves the fused array tick
+    active; its rebalance decisions (grants, cross-site migrations)
+    must still trace identically to the scalar coordinator."""
+    from dataclasses import replace
+
+    from repro.experiments.fig_federation import build_specs
+    from repro.federation import build_federation
+
+    frames = []
+    for batched in (False, True):
+        specs = [
+            replace(s, vectorized=True) for s in build_specs(2, seed=SEED)
+        ]
+        writer = MemoryTraceWriter()
+        coordinator = build_federation(
+            specs,
+            n_ticks=TICKS,
+            policy="proportional",
+            vectorized=batched,
+            tracer=Tracer(writer),
+        )
+        coordinator.run(TICKS)
+        frames.append(writer.frames)
+    assert frames[0] == frames[1]
+
+
+def test_federated_site_frames_are_faithful_to_budgets():
+    """Budget-path faithfulness, federated: every leaf allocation
+    record in a batched site's tick frame must carry the budget that
+    site's controller actually set (cross-checked against the
+    collector's per-tick server samples)."""
+    coordinator, _, site_frames = _traced_federation(batched=True)
+    tick_frames = [f for f in site_frames if f.get("type") == "tick"]
+    n_sites = len(coordinator.sites)
+    assert tick_frames, "site tracer recorded no tick frames"
+    # Sites tick in order, so frames interleave site0, site1, ... per tick.
+    checked = 0
+    for position, frame in enumerate(tick_frames):
+        site = coordinator.sites[position % n_sites]
+        recorded = {
+            s.server_id: s.budget
+            for s in site.controller.collector.server_samples
+            if s.time == frame["t"]
+        }
+        leaf_ids = set(site.controller.servers.keys())
+        for record in frame.get("alloc", ()):
+            if record["node"] not in leaf_ids:
+                continue
+            assert record["node"] in recorded
+            assert record["budget"] == recorded[record["node"]]
+            checked += 1
+    assert checked > 0, "no leaf allocation records to check"
