@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-guard federation-bench-smoke trace-smoke examples-smoke federation-smoke experiments clean-cache
+.PHONY: test bench bench-smoke bench-guard federation-bench-smoke trace-smoke examples-smoke federation-smoke service-smoke experiments clean-cache
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -44,6 +44,19 @@ bench-guard:
 federation-bench-smoke:
 	$(PYTHON) -m pytest tests/test_federation_vectorized.py -q
 	$(PYTHON) -m pytest benchmarks/test_bench_federation.py -q
+
+## Willow-as-a-service smoke: a short live run (TCP gateway + wall-clock
+## ticks + self-generated load) whose audit log is then replayed offline
+## -- the replay exits non-zero unless it is bit-exact with the live run.
+service-smoke:
+	@set -e; audit=$$(mktemp -d)/audit.jsonl; \
+	timeout 120 $(PYTHON) -m repro.cli serve $$audit \
+		--ticks 8 --tick-seconds 0.1 --load 8000 --seed 11; \
+	timeout 120 $(PYTHON) -m repro.cli replay $$audit --summary; \
+	timeout 120 $(PYTHON) -m repro.cli serve $$audit \
+		--ticks 4 --tick-seconds 0.05 --controller vectorized --no-listen; \
+	timeout 120 $(PYTHON) -m repro.cli replay $$audit; \
+	rm -rf $$(dirname $$audit); echo "service live/replay parity OK"
 
 ## Record a faulty-plant run with tracing on, then replay it through
 ## the trace CLI (overview, per-server explanation, fault edges).

@@ -1,0 +1,98 @@
+"""Regression guard for the live-service ingest path.
+
+Mirrors ``test_bench_federation.py``: the recorded ``service`` section
+of ``BENCH_tick.json`` (written by ``python -m repro.cli bench`` or
+``... bench service``) pins the headline numbers -- >= 10k sustained
+accepted events/sec with every tick inside the Delta_d = 1 s budget --
+and a fresh quick measurement guards against order-of-magnitude
+regressions with tolerances generous enough for shared CI runners.
+The fresh run also re-checks the replay contract under real load:
+its audit log must replay bit-exactly.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_tick.json"
+
+#: The acceptance floor for the *recorded* run: the service must have
+#: sustained at least this many accepted events/sec at Delta_d = 1 s.
+_RECORDED_EVENTS_PER_SEC_FLOOR = 10_000.0
+
+#: Floor for a fresh quick run on an arbitrary (possibly throttled CI)
+#: machine -- well below the recorded headline, above any real collapse.
+_FRESH_EVENTS_PER_SEC_FLOOR = 2_000.0
+
+#: A fresh run may be this many times slower than the recording before
+#: we call it a regression.
+_SLOWDOWN_TOLERANCE = 10.0
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    if not _BASELINE.is_file():
+        pytest.skip("no recorded baseline (run: python -m repro.cli bench)")
+    payload = json.loads(_BASELINE.read_text())
+    if "service" not in payload:
+        pytest.skip("baseline predates the service suite (re-run bench)")
+    return payload["service"]
+
+
+@pytest.fixture(scope="module")
+def fresh():
+    from repro.benchmarks.harness import bench_service
+
+    return bench_service(quick=True)
+
+
+def test_recorded_run_sustains_10k_events_per_sec(baseline):
+    assert baseline["accepted_per_sec"] >= _RECORDED_EVENTS_PER_SEC_FLOOR, (
+        f"recorded service ingest sustained only "
+        f"{baseline['accepted_per_sec']:.0f} accepted events/s "
+        f"(floor {_RECORDED_EVENTS_PER_SEC_FLOOR:.0f}); re-run "
+        f"'python -m repro.cli bench service' on a quiet machine"
+    )
+
+
+def test_recorded_run_ticked_inside_delta_d(baseline):
+    assert baseline["realtime_ok"], (
+        f"recorded live run overran the Delta_d budget: max tick work "
+        f"{baseline['max_tick_ms']:.0f} ms of "
+        f"{baseline['tick_budget_ms']:.0f} ms, "
+        f"{baseline['overruns']} overrun(s)"
+    )
+
+
+def test_recorded_run_replayed_bit_exactly(baseline):
+    assert baseline["replay_parity"], (
+        "the recorded live run's audit log did not replay bit-exactly"
+    )
+
+
+def test_fresh_run_keeps_throughput_floor(fresh):
+    assert fresh["accepted_per_sec"] >= _FRESH_EVENTS_PER_SEC_FLOOR, (
+        f"fresh service ingest sustained only "
+        f"{fresh['accepted_per_sec']:.0f} accepted events/s "
+        f"(floor {_FRESH_EVENTS_PER_SEC_FLOOR:.0f})"
+    )
+
+
+def test_fresh_run_not_regressed_vs_baseline(baseline, fresh):
+    floor = baseline["accepted_per_sec"] / _SLOWDOWN_TOLERANCE
+    assert fresh["accepted_per_sec"] >= floor, (
+        f"fresh ingest rate {fresh['accepted_per_sec']:.0f} events/s is "
+        f"> {_SLOWDOWN_TOLERANCE}x below the recorded "
+        f"{baseline['accepted_per_sec']:.0f} events/s"
+    )
+
+
+def test_fresh_run_replays_bit_exactly_and_stays_realtime(fresh):
+    assert fresh["replay_parity"], (
+        "a live run under benchmark load no longer replays bit-exactly"
+    )
+    assert fresh["overruns"] == 0 and fresh["realtime_ok"], (
+        f"fresh live run overran Delta_d: max tick "
+        f"{fresh['max_tick_ms']:.0f} ms, {fresh['overruns']} overrun(s)"
+    )

@@ -43,8 +43,18 @@ runs:
     the 256-tick Poisson prefetch) are reported separately from the
     steady-state tick.
 
+``bench_service``
+    Live-mode ingest: a load generator drives the JSON-lines gateway
+    over loopback TCP while the live runner ticks the embedded
+    controller on the wall clock at the paper's Delta_d = 1 s.  Reports
+    sustained accepted events/sec, p99 ingest (queue) latency, and the
+    worst tick's work time against the Delta_d budget; the audit log is
+    replayed afterwards and the bit-exact parity verdict is recorded.
+
 Run via ``python -m repro.cli bench`` (or ``python benchmarks/harness.py``),
 which writes ``BENCH_tick.json`` and ``BENCH_sweep.json``.
+``python -m repro.cli bench service`` reruns just the service suite and
+merges it into an existing ``BENCH_tick.json``.
 """
 
 from __future__ import annotations
@@ -63,7 +73,9 @@ __all__ = [
     "bench_sweep_scaling",
     "bench_trace",
     "bench_federation",
+    "bench_service",
     "run_benchmarks",
+    "run_service_benchmark",
 ]
 
 #: (label, branching) per fleet size; branching multiplies to n_servers.
@@ -539,6 +551,99 @@ def bench_federation(quick: bool = False) -> dict:
     return {"scaling": scaling, "frontier": frontier}
 
 
+# ----------------------------------------------------------------- service
+def bench_service(quick: bool = False) -> dict:
+    """Live-mode ingest throughput and tick budget at Delta_d = 1 s.
+
+    Runs the real thing end to end on loopback: ``IngestGateway`` TCP
+    server + ``LiveRunner`` wall-clock worker in one event loop (this
+    is a 1-core-honest number -- ingest and control share the core,
+    exactly as ``serve`` runs them), with the batching load generator
+    offering demand samples as fast as the loop accepts them.  The
+    audit log the run writes is then replayed and the parity verdict
+    recorded, so the benchmark doubles as an end-to-end smoke of the
+    replay contract under real load.
+    """
+    import asyncio
+    import tempfile
+
+    from repro.service import (
+        AuditLog,
+        IngestGateway,
+        LiveRunner,
+        LiveSimulation,
+        ServiceSpec,
+        generate_load,
+        replay,
+    )
+
+    ticks = 3 if quick else 5
+    tick_seconds = 1.0  # the paper's Delta_d, honestly
+    queue_bound = 65536
+    spec = ServiceSpec(seed=7, controller="scalar")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        audit_path = Path(tmp) / "bench_audit.jsonl"
+
+        async def run_live():
+            sim = LiveSimulation(spec)
+            gateway = IngestGateway(
+                queue_bound=queue_bound, allow_faults=sim.allow_faults
+            )
+            runner = LiveRunner(
+                sim,
+                gateway,
+                AuditLog(audit_path),
+                tick_seconds=tick_seconds,
+                max_ticks=ticks,
+            )
+            server = await gateway.start_server()
+            port = server.sockets[0].getsockname()[1]
+            vm_ids = sorted(sim.controller._vm_by_id)
+            # Stop offering half a tick before the runner stops so the
+            # last batch in flight is drained into the final tick
+            # instead of accepted-but-never-applied.
+            load_task = asyncio.ensure_future(
+                generate_load(
+                    "127.0.0.1",
+                    port,
+                    vm_ids,
+                    duration_s=(ticks - 0.5) * tick_seconds,
+                    batch_size=512,
+                    seed=3,
+                    source="bench",
+                )
+            )
+            report = await runner.run()
+            load = await load_task
+            server.close()
+            await server.wait_closed()
+            return report, load
+
+        report, load = asyncio.run(run_live())
+        parity = replay(audit_path).parity
+
+    return {
+        "ticks": int(report.ticks),
+        "tick_seconds": tick_seconds,
+        "queue_bound": int(queue_bound),
+        "offered": int(load.offered),
+        "accepted": int(report.accepted),
+        "rejected_full": int(report.rejected_full),
+        "accepted_per_sec": load.accepted / max(load.wall_s, 1e-9),
+        "offered_per_sec": load.offered_per_sec,
+        "p99_ingest_ms": report.p99_ingest_ms(),
+        "p99_batch_rtt_ms": load.p99_batch_rtt_ms(),
+        "max_tick_ms": report.max_tick_ms,
+        "overruns": int(report.overruns),
+        "tick_budget_ms": tick_seconds * 1e3,
+        "realtime_ok": bool(
+            report.overruns == 0 and report.max_tick_ms <= tick_seconds * 1e3
+        ),
+        "replay_parity": bool(parity),
+    }
+
+
 # ----------------------------------------------------------------- tracing
 def _guard_cost_ns(iters: int = 500_000) -> float:
     """Measured cost of one disabled ``tracer.enabled`` guard check.
@@ -710,6 +815,7 @@ def run_benchmarks(
             repeats=2 if quick else 3,
         ),
         "federation": bench_federation(quick=quick),
+        "service": bench_service(quick=quick),
     }
     tick_path = out_dir / "BENCH_tick.json"
     tick_path.write_text(json.dumps(tick_payload, indent=2) + "\n")
@@ -725,6 +831,46 @@ def run_benchmarks(
     sweep_path.write_text(json.dumps(sweep_payload, indent=2) + "\n")
 
     return {"tick": tick_path, "sweep": sweep_path}
+
+
+def run_service_benchmark(
+    out_dir: str | Path = ".", *, quick: bool = False
+) -> Path:
+    """Run only the service suite; merge into ``BENCH_tick.json``.
+
+    Keeps every other suite's recorded numbers when the file already
+    exists (so ``bench service`` is cheap to iterate on); writes a
+    service-only file otherwise.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    tick_path = out_dir / "BENCH_tick.json"
+    payload: dict = {}
+    if tick_path.is_file():
+        payload = json.loads(tick_path.read_text())
+    payload["service"] = bench_service(quick=quick)
+    tick_path.write_text(json.dumps(payload, indent=2) + "\n")
+    return tick_path
+
+
+def format_service_report(service: dict) -> str:
+    """The service suite's lines of the human-readable report."""
+    verdict = "realtime" if service["realtime_ok"] else "NOT realtime"
+    parity = "replay bit-exact" if service["replay_parity"] else "REPLAY MISMATCH"
+    return "\n".join(
+        [
+            "service (live ingest at Delta_d = 1 s, one core):",
+            f"  accepted {service['accepted']:7d} of {service['offered']} "
+            f"offered over {service['ticks']} tick(s)"
+            f"  ({service['rejected_full']} backpressured)",
+            f"  sustained {service['accepted_per_sec']:9.0f} accepted "
+            f"events/s   p99 queue latency {service['p99_ingest_ms']:7.1f} ms"
+            f"   p99 batch rtt {service['p99_batch_rtt_ms']:6.1f} ms",
+            f"  max tick work {service['max_tick_ms']:7.1f} ms of "
+            f"{service['tick_budget_ms']:.0f} ms budget, "
+            f"{service['overruns']} overrun(s) ({verdict}; {parity})",
+        ]
+    )
 
 
 def format_report(paths: Dict[str, Path]) -> str:
@@ -787,6 +933,8 @@ def format_report(paths: Dict[str, Path]) -> str:
                 f" build {row['build_s']:.1f} s"
                 f" + first tick {row['first_tick_s']:.1f} s)"
             )
+    if tick.get("service"):
+        lines.append(format_service_report(tick["service"]))
     lines.append("sweep scaling (9-point paper sweep):")
     for row in sweep["scaling"]:
         lines.append(

@@ -12,6 +12,10 @@ Usage::
     python -m repro.cli resilience --trips 2 --trace run.trace
     python -m repro.cli federation --sites 3 --policy greedy-greenest
     python -m repro.cli trace run.trace --server 3 --tick 40
+    python -m repro.cli serve audit.jsonl --port 7717
+    python -m repro.cli serve audit.jsonl --ticks 5 --tick-seconds 0.1 --load 5000
+    python -m repro.cli replay audit.jsonl
+    python -m repro.cli bench service --quick
     python -m repro.cli --version
 
 Builds the paper's 18-server data center (or a custom balanced tree),
@@ -27,6 +31,12 @@ tolerant controller (:mod:`repro.plant_faults`) and reports QoS loss
 and the thermal-safety verdict.  ``federation`` runs N sites on
 anti-correlated solar supply with supply-aware cross-site load shifting
 (:mod:`repro.federation`).
+
+``serve`` runs Willow-as-a-service (:mod:`repro.service`): a live,
+wall-clock-ticked controller fed by external JSON-lines events over TCP
+with bounded-queue backpressure, every accepted event recorded in a
+replayable audit log.  ``replay`` re-executes an audit log offline and
+verifies bit-exact parity with the live run (see docs/service.md).
 
 Every run subcommand takes ``--trace FILE`` to record the structured
 tick trace (:mod:`repro.trace`); ``trace`` replays a recorded file into
@@ -147,10 +157,34 @@ def _close_tracer(tracer, path: Optional[str]) -> None:
         print(f"wrote trace to {path}")
 
 
+def _missing_parent(path: str, flag: str) -> Optional[str]:
+    """A clear error message when an output path's directory is absent.
+
+    Output flags that write a single file (``bench --profile``, the
+    ``serve`` audit log) fail up front with this instead of a traceback
+    deep inside ``open``/``dump_stats`` -- and without silently
+    creating whole directory trees the user probably mistyped.
+    """
+    from pathlib import Path
+
+    parent = Path(path).expanduser().parent
+    if not parent.is_dir():
+        return (
+            f"{flag}: directory {parent} does not exist "
+            f"(create it first, or check the path)"
+        )
+    return None
+
+
 def build_bench_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli bench",
         description="Run the hot-path benchmark harness.",
+    )
+    parser.add_argument(
+        "suite", nargs="?", choices=("all", "service"), default="all",
+        help="'service' reruns only the live-ingest suite and merges it "
+             "into an existing BENCH_tick.json (default: all suites)",
     )
     parser.add_argument(
         "--out", type=str, default=".", metavar="DIR",
@@ -174,7 +208,13 @@ def build_bench_parser() -> argparse.ArgumentParser:
 
 def bench_main(argv: List[str]) -> int:
     args = build_bench_parser().parse_args(argv)
-    from repro.benchmarks.harness import FLEET_SHAPES, format_report, run_benchmarks
+    from repro.benchmarks.harness import (
+        FLEET_SHAPES,
+        format_report,
+        format_service_report,
+        run_benchmarks,
+        run_service_benchmark,
+    )
 
     sizes = None
     if args.sizes:
@@ -191,13 +231,24 @@ def bench_main(argv: List[str]) -> int:
             )
             return 2
     if args.profile:
+        error = _missing_parent(args.profile, "--profile")
+        if error:
+            print(error, file=sys.stderr)
+            return 2
+
+    def run():
+        if args.suite == "service":
+            return {"tick": run_service_benchmark(args.out, quick=args.quick)}
+        return run_benchmarks(args.out, quick=args.quick, sizes=sizes)
+
+    if args.profile:
         import cProfile
         import pstats
 
         profiler = cProfile.Profile()
         profiler.enable()
         try:
-            paths = run_benchmarks(args.out, quick=args.quick, sizes=sizes)
+            paths = run()
         finally:
             profiler.disable()
         stats = pstats.Stats(profiler)
@@ -205,9 +256,16 @@ def bench_main(argv: List[str]) -> int:
         print(f"wrote profile to {args.profile}; top by cumulative time:")
         stats.sort_stats("cumulative").print_stats(15)
     else:
-        paths = run_benchmarks(args.out, quick=args.quick, sizes=sizes)
-    print(format_report(paths))
-    print(f"wrote {paths['tick']} and {paths['sweep']}")
+        paths = run()
+    if args.suite == "service":
+        import json
+
+        payload = json.loads(paths["tick"].read_text())
+        print(format_service_report(payload["service"]))
+        print(f"wrote {paths['tick']}")
+    else:
+        print(format_report(paths))
+        print(f"wrote {paths['tick']} and {paths['sweep']}")
     return 0
 
 
@@ -774,6 +832,242 @@ def trace_main(argv: List[str]) -> int:
     return 0
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli serve",
+        description=(
+            "Run Willow-as-a-service: a live controller ticked on the "
+            "wall clock, fed by JSON-lines events over TCP through a "
+            "bounded queue, with every accepted event recorded in a "
+            "replayable audit log (see docs/service.md)."
+        ),
+    )
+    parser.add_argument(
+        "audit", type=str, metavar="AUDIT_FILE",
+        help="audit log to write (JSONL; replay with "
+             "'python -m repro.cli replay AUDIT_FILE')",
+    )
+    parser.add_argument(
+        "--host", type=str, default="127.0.0.1",
+        help="listen address (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (default 0 = ephemeral, printed on start)",
+    )
+    parser.add_argument(
+        "--no-listen", action="store_true",
+        help="no TCP server; ingest only via the in-process API "
+             "(embedding and tests)",
+    )
+    parser.add_argument(
+        "--ticks", type=int, default=None, metavar="N",
+        help="stop after N ticks (default: run until SIGINT/SIGTERM)",
+    )
+    parser.add_argument(
+        "--tick-seconds", type=float, default=None, metavar="S",
+        help="wall-clock seconds per control tick (default: the "
+             "config's delta_d = 1 s)",
+    )
+    parser.add_argument(
+        "--queue-bound", type=int, default=8192, metavar="N",
+        help="max events pending between ticks; beyond it the gateway "
+             "rejects with 429 + retry_after (default 8192)",
+    )
+    parser.add_argument(
+        "--controller", type=str, default="scalar",
+        choices=("scalar", "vectorized"),
+        help="embedded controller: scalar accepts live fault events, "
+             "vectorized is faster at large fleets (default scalar)",
+    )
+    parser.add_argument(
+        "--utilization", type=float, default=0.5,
+        help="initial fleet utilization in (0, 1] (default 0.5)",
+    )
+    parser.add_argument(
+        "--vms-per-server", type=int, default=4, metavar="N",
+        help="initial VMs per server (0 = start empty; default 4)",
+    )
+    parser.add_argument(
+        "--branching", type=str, default=None, metavar="A,B,C",
+        help="custom balanced tree, e.g. 3,3,3 (default: paper's 2,3,3)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    parser.add_argument(
+        "--supply-factor", type=float, default=1.0,
+        help="initial root budget as a multiple of fleet circuit "
+             "capacity (supply_update events change it live)",
+    )
+    parser.add_argument(
+        "--outside", type=float, default=35.0, metavar="DEGC",
+        help="outside air temperature for cooling derates",
+    )
+    parser.add_argument(
+        "--fsync", action="store_true",
+        help="fsync the audit log at every tick boundary (crash-"
+             "durable, costs a disk round-trip per tick)",
+    )
+    parser.add_argument(
+        "--load", type=int, default=None, metavar="N",
+        help="self-load: drive N events through the TCP gateway from "
+             "an in-process load generator (smoke runs / benchmarks)",
+    )
+    return parser
+
+
+def serve_main(argv: List[str]) -> int:
+    args = build_serve_parser().parse_args(argv)
+    if args.ticks is not None and args.ticks < 1:
+        print("--ticks must be >= 1", file=sys.stderr)
+        return 2
+    if args.tick_seconds is not None and args.tick_seconds <= 0:
+        print("--tick-seconds must be positive", file=sys.stderr)
+        return 2
+    if args.queue_bound < 1:
+        print("--queue-bound must be >= 1", file=sys.stderr)
+        return 2
+    if args.load is not None and (args.load < 1 or args.no_listen):
+        print(
+            "--load needs a positive count and the TCP server "
+            "(drop --no-listen)",
+            file=sys.stderr,
+        )
+        return 2
+    error = _missing_parent(args.audit, "audit path")
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    branching = None
+    if args.branching:
+        try:
+            branching = tuple(int(x) for x in args.branching.split(","))
+        except ValueError:
+            print("--branching must be comma-separated ints", file=sys.stderr)
+            return 2
+
+    import asyncio
+    import signal
+
+    from repro.metrics import summarize_run
+    from repro.service import (
+        AuditLog,
+        IngestGateway,
+        LiveRunner,
+        LiveSimulation,
+        ServiceSpec,
+        generate_load,
+    )
+
+    try:
+        spec = ServiceSpec(
+            seed=args.seed,
+            controller=args.controller,
+            branching=branching,
+            utilization=args.utilization,
+            vms_per_server=args.vms_per_server,
+            supply_factor=args.supply_factor,
+            outside_temp=args.outside,
+        )
+    except ValueError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+    sim = LiveSimulation(spec)
+    if args.load is not None and not sim.n_vms:
+        print("--load needs an initial fleet (--vms-per-server > 0)",
+              file=sys.stderr)
+        return 2
+    gateway = IngestGateway(
+        queue_bound=args.queue_bound, allow_faults=sim.allow_faults
+    )
+    audit = AuditLog(args.audit, fsync=args.fsync)
+    runner = LiveRunner(
+        sim,
+        gateway,
+        audit,
+        tick_seconds=args.tick_seconds,
+        max_ticks=args.ticks,
+    )
+
+    async def run():
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, runner.request_stop)
+            except (NotImplementedError, RuntimeError):
+                signal.signal(signum, lambda *_: runner.request_stop())
+        server = None
+        load_task = None
+        if not args.no_listen:
+            server = await gateway.start_server(args.host, args.port)
+            host, port = server.sockets[0].getsockname()[:2]
+            print(f"serving on {host}:{port} (audit -> {args.audit})",
+                  flush=True)
+            if args.load is not None:
+                load_task = asyncio.ensure_future(
+                    generate_load(
+                        host,
+                        port,
+                        sorted(sim.controller._vm_by_id),
+                        total_events=args.load,
+                        source="self-load",
+                    )
+                )
+        report = await runner.run()
+        if load_task is not None:
+            load = await load_task
+            print(
+                f"self-load: offered {load.offered}, accepted "
+                f"{load.accepted}, {load.rejected_full} backpressured "
+                f"({load.accepted_per_sec:.0f} accepted events/s)"
+            )
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        return report
+
+    report = asyncio.run(run())
+    print(report.format())
+    print(summarize_run(sim.collector).format())
+    return 0
+
+
+def build_replay_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli replay",
+        description=(
+            "Re-execute a live run's audit log offline and verify "
+            "bit-exact parity with the recorded decision digest."
+        ),
+    )
+    parser.add_argument(
+        "file", type=str, metavar="AUDIT_FILE",
+        help="audit log written by 'serve' (rotated segments found "
+             "automatically)",
+    )
+    parser.add_argument(
+        "--summary", action="store_true",
+        help="also print the replayed run's metrics summary",
+    )
+    return parser
+
+
+def replay_main(argv: List[str]) -> int:
+    args = build_replay_parser().parse_args(argv)
+    from repro.service import AuditRecordError, replay
+
+    try:
+        result = replay(args.file)
+    except (FileNotFoundError, AuditRecordError) as error:
+        print(f"replay: {error}", file=sys.stderr)
+        return 2
+    print(result.format())
+    if args.summary:
+        from repro.metrics import summarize_run
+
+        print(summarize_run(result.collector).format())
+    return 1 if result.parity is False else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "bench":
@@ -786,6 +1080,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return federation_main(argv[1:])
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    if argv and argv[0] == "replay":
+        return replay_main(argv[1:])
     args = build_parser().parse_args(argv)
     if not 0.0 < args.utilization <= 1.0:
         print("--utilization must be in (0, 1]", file=sys.stderr)

@@ -1,0 +1,59 @@
+"""Willow-as-a-service: online event-driven live mode.
+
+The pieces, front to back (docs/service.md walks through them):
+
+* :mod:`repro.service.events` -- the ingest event schema + validation;
+* :mod:`repro.service.gateway` -- bounded queue, backpressure (429 +
+  retry_after), per-source accounting, JSON-lines TCP protocol;
+* :mod:`repro.service.simulation` -- the embedded deterministic
+  controller both live mode and replay drive;
+* :mod:`repro.service.runner` -- wall-clock ticks draining the queue,
+  writing the audit log, graceful shutdown;
+* :mod:`repro.service.audit` -- the replayable audit log format;
+* :mod:`repro.service.replay` -- offline bit-exact re-execution;
+* :mod:`repro.service.loadgen` -- the batching load-generator client.
+"""
+
+from repro.service.audit import AuditLog, AuditRecordError, read_audit
+from repro.service.events import (
+    EVENT_TYPES,
+    FAULT_KINDS,
+    EventValidationError,
+    validate_event,
+)
+from repro.service.gateway import IngestGateway
+from repro.service.loadgen import LoadGenerator, LoadResult, generate_load
+from repro.service.replay import ReplayResult, replay
+from repro.service.runner import LiveReport, LiveRunner
+from repro.service.simulation import (
+    ApplyResult,
+    EventDrivenDemandSource,
+    LiveSimulation,
+    MutableSupply,
+    ServiceSpec,
+    decision_digest,
+)
+
+__all__ = [
+    "EVENT_TYPES",
+    "FAULT_KINDS",
+    "EventValidationError",
+    "validate_event",
+    "IngestGateway",
+    "AuditLog",
+    "AuditRecordError",
+    "read_audit",
+    "ServiceSpec",
+    "EventDrivenDemandSource",
+    "MutableSupply",
+    "ApplyResult",
+    "LiveSimulation",
+    "decision_digest",
+    "LiveRunner",
+    "LiveReport",
+    "ReplayResult",
+    "replay",
+    "LoadGenerator",
+    "LoadResult",
+    "generate_load",
+]

@@ -1,0 +1,264 @@
+"""Ingest event schema and validation (the live-mode wire format).
+
+Live mode (docs/service.md) absorbs the outside world as a stream of
+small JSON events.  Five types map onto the existing simulation
+primitives:
+
+``vm_arrival``
+    A new VM enters the fleet (:class:`repro.workload.vm.VM`).  Fields:
+    optional ``vm_id`` (auto-assigned when omitted), optional ``host``
+    (server name or leaf node id; omitted = deterministic least-loaded
+    placement), optional ``app`` (catalog name from
+    :data:`~repro.workload.applications.SIMULATION_APPS` or an inline
+    ``{"name", "mean_power", "priority"}`` object), optional ``demand``
+    in watts (zero-order held until the next ``demand_sample``).
+``vm_departure``
+    The VM leaves; its demand disappears from its host.
+``demand_sample``
+    A fresh demand observation for one VM, in watts.  Demands are
+    zero-order held between samples, so a quiet VM costs no events.
+``supply_update``
+    A new root power budget in watts (grid signal, renewable forecast
+    revision), in force from the next tick on.
+``fault``
+    A physical-plant edge mapped onto :mod:`repro.plant_faults`
+    windows: ``server_crash``/``server_restart``,
+    ``circuit_trip``/``circuit_restore``,
+    ``cooling_derate``/``cooling_restore``.  Only the scalar
+    (fault-tolerant) live controller accepts these.
+
+Validation is *stateless*: it checks shapes, ranges and catalog
+membership, never simulation state (the queue decouples ingest time
+from apply time, so state checks would race).  State-dependent
+resolution -- does this vm_id exist, is that host a leaf -- happens at
+the tick boundary inside :class:`repro.service.simulation
+.LiveSimulation`, deterministically, with unknown references degrading
+to counted no-ops rather than errors so live and replay always agree.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Tuple
+
+from repro.workload.applications import SIMULATION_APPS, AppType
+
+__all__ = [
+    "EVENT_TYPES",
+    "FAULT_KINDS",
+    "EventValidationError",
+    "validate_event",
+    "app_from_spec",
+]
+
+#: Every ingestable event type.
+EVENT_TYPES: Tuple[str, ...] = (
+    "vm_arrival",
+    "vm_departure",
+    "demand_sample",
+    "supply_update",
+    "fault",
+)
+
+#: Physical-plant edges accepted as live ``fault`` events.
+FAULT_KINDS: Tuple[str, ...] = (
+    "server_crash",
+    "server_restart",
+    "circuit_trip",
+    "circuit_restore",
+    "cooling_derate",
+    "cooling_restore",
+)
+
+#: Open-ended fault windows end here until a matching restore truncates
+#: them (ticks; far beyond any realistic run length).
+OPEN_END_TICK = 2**31
+
+_APP_CATALOG = {app.name: app for app in SIMULATION_APPS}
+
+_ALLOWED_KEYS = {
+    "vm_arrival": {"type", "source", "vm_id", "host", "app", "demand"},
+    "vm_departure": {"type", "source", "vm_id"},
+    "demand_sample": {"type", "source", "vm_id", "demand"},
+    "supply_update": {"type", "source", "budget"},
+    "fault": {
+        "type", "source", "kind", "server", "node", "zone",
+        "ticks", "derate", "ramp_ticks",
+    },
+}
+
+
+class EventValidationError(ValueError):
+    """An ingest event failed schema validation (HTTP-400 analogue)."""
+
+
+def _require_finite(value: Any, field: str, *, minimum: float = 0.0) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise EventValidationError(f"{field} must be a number, got {value!r}")
+    value = float(value)
+    if not math.isfinite(value):
+        raise EventValidationError(f"{field} must be finite, got {value!r}")
+    if value < minimum:
+        raise EventValidationError(f"{field} must be >= {minimum}, got {value}")
+    return value
+
+
+def _require_int(value: Any, field: str, *, minimum: int = 0) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise EventValidationError(f"{field} must be an integer, got {value!r}")
+    if value < minimum:
+        raise EventValidationError(f"{field} must be >= {minimum}, got {value}")
+    return value
+
+
+def app_from_spec(spec: Any) -> AppType:
+    """Resolve a validated ``app`` field to an :class:`AppType`."""
+    if spec is None:
+        return _APP_CATALOG["app-1"]
+    if isinstance(spec, str):
+        return _APP_CATALOG[spec]
+    return AppType(
+        name=str(spec["name"]),
+        mean_power=float(spec.get("mean_power", 1.0)),
+        priority=int(spec.get("priority", 0)),
+    )
+
+
+def _validate_app(spec: Any) -> Any:
+    if isinstance(spec, str):
+        if spec not in _APP_CATALOG:
+            raise EventValidationError(
+                f"unknown app {spec!r} (catalog: {sorted(_APP_CATALOG)})"
+            )
+        return spec
+    if isinstance(spec, dict):
+        unknown = set(spec) - {"name", "mean_power", "priority"}
+        if unknown:
+            raise EventValidationError(
+                f"unknown app fields {sorted(unknown)}"
+            )
+        if "name" not in spec or not isinstance(spec["name"], str):
+            raise EventValidationError("inline app needs a string 'name'")
+        if "mean_power" in spec:
+            mean = _require_finite(spec["mean_power"], "app.mean_power")
+            if mean <= 0:
+                raise EventValidationError("app.mean_power must be positive")
+        if "priority" in spec:
+            _require_int(spec["priority"], "app.priority", minimum=-(2**31))
+        return dict(spec)
+    raise EventValidationError(
+        f"app must be a catalog name or object, got {type(spec).__name__}"
+    )
+
+
+def _validate_node_ref(value: Any, field: str) -> Any:
+    """A tree node reference: a name (str) or a node id (int)."""
+    if isinstance(value, str):
+        if not value:
+            raise EventValidationError(f"{field} must be non-empty")
+        return value
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise EventValidationError(
+            f"{field} must be a node name or id, got {value!r}"
+        )
+    if value < 0:
+        raise EventValidationError(f"{field} must be >= 0, got {value}")
+    return value
+
+
+def validate_event(
+    obj: Any, *, allow_faults: bool = True
+) -> Dict[str, Any]:
+    """Validate one raw ingest object; return its normalized form.
+
+    Raises :class:`EventValidationError` with a client-presentable
+    message on any shape/range violation.  The normalized dict carries
+    only known keys with defaults filled in, and is what the gateway
+    enqueues and the audit log records.
+    """
+    if not isinstance(obj, dict):
+        raise EventValidationError(
+            f"event must be a JSON object, got {type(obj).__name__}"
+        )
+    etype = obj.get("type")
+    if etype not in EVENT_TYPES:
+        raise EventValidationError(
+            f"unknown event type {etype!r} (one of {list(EVENT_TYPES)})"
+        )
+    unknown = set(obj) - _ALLOWED_KEYS[etype]
+    if unknown:
+        raise EventValidationError(
+            f"unknown fields for {etype}: {sorted(unknown)}"
+        )
+    source = obj.get("source")
+    if source is not None and (
+        not isinstance(source, str) or not source or len(source) > 64
+    ):
+        raise EventValidationError(
+            "source must be a non-empty string of <= 64 chars"
+        )
+
+    out: Dict[str, Any] = {"type": etype}
+    if source is not None:
+        out["source"] = source
+
+    if etype == "vm_arrival":
+        if "vm_id" in obj:
+            out["vm_id"] = _require_int(obj["vm_id"], "vm_id")
+        if "host" in obj and obj["host"] is not None:
+            out["host"] = _validate_node_ref(obj["host"], "host")
+        if "app" in obj and obj["app"] is not None:
+            out["app"] = _validate_app(obj["app"])
+        out["demand"] = _require_finite(obj.get("demand", 0.0), "demand")
+    elif etype == "vm_departure":
+        if "vm_id" not in obj:
+            raise EventValidationError("vm_departure needs vm_id")
+        out["vm_id"] = _require_int(obj["vm_id"], "vm_id")
+    elif etype == "demand_sample":
+        if "vm_id" not in obj:
+            raise EventValidationError("demand_sample needs vm_id")
+        if "demand" not in obj:
+            raise EventValidationError("demand_sample needs demand")
+        out["vm_id"] = _require_int(obj["vm_id"], "vm_id")
+        out["demand"] = _require_finite(obj["demand"], "demand")
+    elif etype == "supply_update":
+        if "budget" not in obj:
+            raise EventValidationError("supply_update needs budget")
+        out["budget"] = _require_finite(obj["budget"], "budget")
+    else:  # fault
+        kind = obj.get("kind")
+        if kind not in FAULT_KINDS:
+            raise EventValidationError(
+                f"unknown fault kind {kind!r} (one of {list(FAULT_KINDS)})"
+            )
+        if not allow_faults:
+            raise EventValidationError(
+                "fault events need the scalar (fault-tolerant) live "
+                "controller; this service runs the vectorized one"
+            )
+        out["kind"] = kind
+        if kind in ("server_crash", "server_restart"):
+            if "server" not in obj:
+                raise EventValidationError(f"{kind} needs server")
+            out["server"] = _validate_node_ref(obj["server"], "server")
+        elif kind in ("circuit_trip", "circuit_restore"):
+            if "node" not in obj:
+                raise EventValidationError(f"{kind} needs node")
+            out["node"] = _validate_node_ref(obj["node"], "node")
+        else:  # cooling_derate / cooling_restore
+            if "zone" in obj and obj["zone"] is not None:
+                out["zone"] = _validate_node_ref(obj["zone"], "zone")
+            if kind == "cooling_derate":
+                derate = _require_finite(obj.get("derate", 1.0), "derate")
+                if not 0.0 < derate <= 1.0:
+                    raise EventValidationError(
+                        f"derate must be in (0, 1], got {derate}"
+                    )
+                out["derate"] = derate
+                out["ramp_ticks"] = _require_int(
+                    obj.get("ramp_ticks", 4), "ramp_ticks", minimum=1
+                )
+        if kind in ("server_crash", "circuit_trip", "cooling_derate"):
+            if "ticks" in obj and obj["ticks"] is not None:
+                out["ticks"] = _require_int(obj["ticks"], "ticks", minimum=1)
+    return out

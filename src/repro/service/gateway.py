@@ -1,0 +1,245 @@
+"""Bounded ingest: validation, backpressure, per-source accounting.
+
+The :class:`IngestGateway` is the only door into a live run.  Every
+event -- whether it arrives over the JSON-lines TCP protocol or through
+the in-process :meth:`~IngestGateway.submit` API -- is validated
+(:mod:`repro.service.events`), stamped with a global sequence number,
+and appended to a *bounded* pending queue.  The queue bound is the
+backpressure contract: when the queue is full the gateway rejects with
+a 429-style response carrying ``retry_after`` (seconds until the next
+tick boundary, when the worker drains the whole queue), instead of
+buffering unboundedly and falling behind the wall clock.
+
+Wire protocol (one JSON object per line, one response line each)::
+
+    -> {"type": "demand_sample", "vm_id": 3, "demand": 42.5}
+    <- {"status": "accepted", "seq": 17}
+    -> {"type": "demand_sample", "vm_id": 9999999, "demand": -1}
+    <- {"status": "rejected", "code": 400, "error": "demand must be >= 0..."}
+    -> [{"type": "supply_update", "budget": 900}, {...}]
+    <- [{"status": "accepted", "seq": 18}, {...}]
+    -> {"type": "stats"}
+    <- {"status": "ok", "stats": {...}}
+
+A JSON *array* is a batch: it is accepted or rejected per element and
+answered with an array of the element responses (amortizing syscalls is
+how load generators reach tens of thousands of events per second).
+``{"type": "stats"}`` and ``{"type": "ping"}`` are control requests --
+answered inline, never queued, never audited.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, NamedTuple, Optional
+
+from repro.service.events import EventValidationError, validate_event
+
+__all__ = ["AcceptedEvent", "IngestGateway"]
+
+#: Control request types answered inline (never enqueued).
+_CONTROL_TYPES = ("stats", "ping")
+
+
+class AcceptedEvent(NamedTuple):
+    """What the pending queue holds for each accepted event."""
+
+    seq: int
+    recv: float  # monotonic receive stamp (ingest-latency accounting)
+    source: str
+    event: Dict[str, Any]
+
+
+class IngestGateway:
+    """Validated, bounded, accounted ingest for one live run.
+
+    Parameters
+    ----------
+    queue_bound:
+        Maximum events pending between two tick boundaries.  The worker
+        drains the whole queue each tick, so the bound is also the
+        per-tick ingest ceiling.
+    allow_faults:
+        Whether ``fault`` events validate (scalar controller only).
+    clock:
+        Monotonic clock, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        *,
+        queue_bound: int = 8192,
+        allow_faults: bool = True,
+        clock=time.monotonic,
+    ):
+        if queue_bound < 1:
+            raise ValueError(f"queue_bound must be >= 1, got {queue_bound}")
+        self.queue_bound = queue_bound
+        self.allow_faults = allow_faults
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._pending: Deque[AcceptedEvent] = deque()
+        self._seq = 0
+        self.accepted = 0
+        self.rejected_full = 0
+        self.rejected_invalid = 0
+        #: source -> {"accepted", "rejected_full", "rejected_invalid",
+        #: "first", "last"} (monotonic stamps bound the rate window).
+        self.sources: Dict[str, Dict[str, float]] = {}
+        #: The worker's next tick deadline (monotonic), for retry_after.
+        self.next_tick_eta: Optional[float] = None
+        #: Fallback retry hint when no worker has published a deadline.
+        self.default_retry_after = 1.0
+
+    # ------------------------------------------------------------- ingest
+    def submit(self, obj: Any, source: str = "local") -> Dict[str, Any]:
+        """Validate and enqueue one event; return the response object.
+
+        Thread-safe; this is the in-process client API and the
+        per-element worker for the TCP protocol.
+        """
+        now = self._clock()
+        try:
+            event = validate_event(obj, allow_faults=self.allow_faults)
+        except EventValidationError as error:
+            with self._lock:
+                self.rejected_invalid += 1
+            self._account(source, "rejected_invalid", now)
+            return {"status": "rejected", "code": 400, "error": str(error)}
+        source = event.get("source", source)
+        with self._lock:
+            if len(self._pending) >= self.queue_bound:
+                self.rejected_full += 1
+                seq = None
+            else:
+                self._seq += 1
+                seq = self._seq
+                self._pending.append(AcceptedEvent(seq, now, source, event))
+                self.accepted += 1
+        if seq is None:
+            self._account(source, "rejected_full", now)
+            return {
+                "status": "rejected",
+                "code": 429,
+                "error": "ingest queue full",
+                "retry_after": self.retry_after(now),
+            }
+        self._account(source, "accepted", now)
+        return {"status": "accepted", "seq": seq}
+
+    def drain(self) -> List[AcceptedEvent]:
+        """Atomically take everything pending (the tick-boundary snapshot)."""
+        with self._lock:
+            snapshot = list(self._pending)
+            self._pending.clear()
+        return snapshot
+
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def retry_after(self, now: Optional[float] = None) -> float:
+        """Seconds until the queue next drains (a 429's Retry-After)."""
+        if self.next_tick_eta is None:
+            return self.default_retry_after
+        now = self._clock() if now is None else now
+        return max(round(self.next_tick_eta - now, 6), 0.0)
+
+    # --------------------------------------------------------- accounting
+    def _account(self, source: str, outcome: str, now: float) -> None:
+        with self._lock:
+            row = self.sources.get(source)
+            if row is None:
+                row = self.sources[source] = {
+                    "accepted": 0,
+                    "rejected_full": 0,
+                    "rejected_invalid": 0,
+                    "first": now,
+                    "last": now,
+                }
+            row[outcome] += 1
+            row["last"] = now
+
+    def stats(self) -> Dict[str, Any]:
+        """A point-in-time snapshot (the ``stats`` control response)."""
+        with self._lock:
+            per_source = {}
+            for name, row in self.sources.items():
+                window = max(row["last"] - row["first"], 1e-9)
+                per_source[name] = {
+                    "accepted": int(row["accepted"]),
+                    "rejected_full": int(row["rejected_full"]),
+                    "rejected_invalid": int(row["rejected_invalid"]),
+                    "accept_rate_per_sec": row["accepted"] / window,
+                }
+            return {
+                "accepted": self.accepted,
+                "rejected_full": self.rejected_full,
+                "rejected_invalid": self.rejected_invalid,
+                "pending": len(self._pending),
+                "queue_bound": self.queue_bound,
+                "sources": per_source,
+            }
+
+    # ------------------------------------------------------------ network
+    def _respond(self, obj: Any, source: str) -> Any:
+        """One parsed request object -> one response object."""
+        if isinstance(obj, list):
+            return [self._respond(item, source) for item in obj]
+        if isinstance(obj, dict) and obj.get("type") in _CONTROL_TYPES:
+            if obj["type"] == "ping":
+                return {"status": "ok", "pong": True}
+            return {"status": "ok", "stats": self.stats()}
+        return self.submit(obj, source=source)
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One JSON-lines client connection (asyncio.start_server cb)."""
+        peer = writer.get_extra_info("peername")
+        source = f"{peer[0]}:{peer[1]}" if peer else "tcp"
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError as error:
+                    response: Any = {
+                        "status": "rejected",
+                        "code": 400,
+                        "error": f"bad JSON: {error}",
+                    }
+                    with self._lock:
+                        self.rejected_invalid += 1
+                    self._account(source, "rejected_invalid", self._clock())
+                else:
+                    response = self._respond(obj, source)
+                writer.write(
+                    json.dumps(response, separators=(",", ":")).encode()
+                    + b"\n"
+                )
+                if writer.transport.get_write_buffer_size() > 256 * 1024:
+                    await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def start_server(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> asyncio.AbstractServer:
+        """Listen for JSON-lines clients; port 0 picks an ephemeral one."""
+        return await asyncio.start_server(self.handle_connection, host, port)

@@ -1,0 +1,121 @@
+"""Offline, bit-exact replay of a live run's audit log.
+
+``replay(path)`` rebuilds the run's initial conditions from the audit
+meta record, then drives the *same* :class:`~repro.service.simulation
+.LiveSimulation` the live worker drove -- applying each logged event at
+the tick boundary it was originally applied at -- with no wall clock,
+no sockets and no queue.  Because the embedded controller's decisions
+are a pure function of (spec, event-to-tick assignment), the replay's
+decision digest equals the live run's; :class:`ReplayResult.parity`
+reports the comparison against the digest recorded in the ``end``
+record when one exists (graceful shutdowns write it).
+
+The per-event ``applied`` flags are cross-checked too: if a logged
+event applied live but no-ops offline (or vice versa) the replay's
+state diverged from the live run's, and ``apply_mismatches`` counts it
+-- a zero there plus matching digests is the full replay contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.metrics.collector import MetricsCollector
+from repro.service.audit import read_audit
+from repro.service.simulation import LiveSimulation, ServiceSpec, decision_digest
+
+__all__ = ["ReplayResult", "replay"]
+
+
+@dataclass
+class ReplayResult:
+    """The rebuilt run plus the parity verdict."""
+
+    sim: LiveSimulation
+    collector: MetricsCollector
+    ticks: int
+    events_applied: int
+    events_ignored: int
+    apply_mismatches: int
+    digest: str
+    live_digest: Optional[str]  # None when the run died before `end`
+    truncated_lines: int
+
+    @property
+    def parity(self) -> Optional[bool]:
+        """True/False vs the recorded live digest; None if unrecorded."""
+        if self.live_digest is None:
+            return None
+        return self.digest == self.live_digest and self.apply_mismatches == 0
+
+    def format(self) -> str:
+        lines = [
+            f"replayed {self.ticks} tick(s): "
+            f"{self.events_applied} event(s) applied, "
+            f"{self.events_ignored} no-op(s)",
+            f"decision digest: {self.digest}",
+        ]
+        if self.truncated_lines:
+            lines.append(
+                f"warning: skipped {self.truncated_lines} partial/garbled "
+                f"audit line(s) (hard kill mid-write?)"
+            )
+        if self.apply_mismatches:
+            lines.append(
+                f"warning: {self.apply_mismatches} event(s) resolved "
+                f"differently than live (state divergence)"
+            )
+        if self.live_digest is None:
+            lines.append(
+                "replay parity: UNVERIFIED (no end record -- the live run "
+                "did not shut down gracefully)"
+            )
+        else:
+            lines.append(
+                "replay parity: OK (bit-exact with the live run)"
+                if self.parity
+                else f"replay parity: MISMATCH (live digest {self.live_digest})"
+            )
+        return "\n".join(lines)
+
+
+def replay(path) -> ReplayResult:
+    """Re-run an audit log through the offline tick path."""
+    document = read_audit(path)
+    spec = ServiceSpec.from_meta(document["meta"]["spec"])
+    sim = LiveSimulation(spec)
+
+    by_tick: Dict[int, List[dict]] = {}
+    last_event_tick = -1
+    for record in document["events"]:
+        by_tick.setdefault(record["tick"], []).append(record)
+        last_event_tick = max(last_event_tick, record["tick"])
+    end = document["end"]
+    n_ticks = end["ticks"] if end is not None else last_event_tick + 1
+    n_ticks = max(n_ticks, last_event_tick + 1)
+
+    applied = ignored = mismatches = 0
+    for tick in range(n_ticks):
+        for record in by_tick.get(tick, ()):
+            result = sim.apply(record["event"])
+            if result.applied:
+                applied += 1
+            else:
+                ignored += 1
+            if result.applied != record.get("applied", result.applied):
+                mismatches += 1
+        sim.step()
+
+    collector = sim.finish()
+    return ReplayResult(
+        sim=sim,
+        collector=collector,
+        ticks=sim.tick,
+        events_applied=applied,
+        events_ignored=ignored,
+        apply_mismatches=mismatches,
+        digest=decision_digest(collector),
+        live_digest=end.get("digest") if end is not None else None,
+        truncated_lines=document["truncated_lines"],
+    )

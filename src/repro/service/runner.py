@@ -1,0 +1,220 @@
+"""The live worker: wall-clock ticks over a bounded ingest queue.
+
+The :class:`LiveRunner` is the queue/worker half of Willow-as-a-service
+(the :class:`~repro.service.gateway.IngestGateway` is the API half).
+Every ``tick_seconds`` of wall time it
+
+1. snapshots the gateway's pending queue (one atomic swap -- events
+   that arrive after the boundary wait for the next tick),
+2. appends each snapshot event to the audit log with the tick it is
+   about to be applied at,
+3. applies the events to the embedded :class:`~repro.service
+   .simulation.LiveSimulation` and advances it exactly one control
+   tick, then flushes the audit batch.
+
+Graceful shutdown (:meth:`request_stop`, wired to SIGINT/SIGTERM by
+``python -m repro.cli serve``) drains whatever is still queued into one
+final tick, writes the ``end`` record -- tick count, acceptance totals
+and the run's decision digest -- and closes the log.  A second SIGINT
+falls through to the default handler (hard kill); the audit log stays
+parseable because records are complete lines flushed per tick.
+
+Overrun policy: when a tick's work exceeds the budget the runner ticks
+again immediately and re-anchors the deadline to *now* instead of
+letting a backlog of overdue ticks pile up -- the controller's notion
+of a tick stays "one Delta_d of real time", it just slips, and the
+``overruns`` counter reports how often.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.service.audit import AuditLog
+from repro.service.gateway import IngestGateway
+from repro.service.simulation import LiveSimulation, decision_digest
+
+__all__ = ["LiveReport", "LiveRunner"]
+
+
+@dataclass
+class LiveReport:
+    """What one live run did (returned by :meth:`LiveRunner.run`)."""
+
+    ticks: int = 0
+    accepted: int = 0
+    rejected_full: int = 0
+    rejected_invalid: int = 0
+    applied: Dict[str, int] = field(default_factory=dict)
+    ignored: Dict[str, int] = field(default_factory=dict)
+    overruns: int = 0
+    tick_seconds: float = 1.0
+    tick_wall_ms: List[float] = field(default_factory=list)
+    #: gateway-receive -> applied latency per event, seconds
+    ingest_latency_s: List[float] = field(default_factory=list)
+    digest: str = ""
+    stopped_early: bool = False
+
+    @property
+    def max_tick_ms(self) -> float:
+        return max(self.tick_wall_ms, default=0.0)
+
+    def p99_ingest_ms(self) -> float:
+        if not self.ingest_latency_s:
+            return 0.0
+        ordered = sorted(self.ingest_latency_s)
+        return ordered[int(0.99 * (len(ordered) - 1))] * 1000.0
+
+    def format(self) -> str:
+        lines = [
+            f"live run: {self.ticks} tick(s) at {self.tick_seconds:g} s/tick, "
+            f"{self.overruns} overrun(s), "
+            f"max tick work {self.max_tick_ms:.1f} ms",
+            f"ingest: {self.accepted} accepted, "
+            f"{self.rejected_full} rejected (429 queue full), "
+            f"{self.rejected_invalid} rejected (400 invalid), "
+            f"p99 queue latency {self.p99_ingest_ms():.1f} ms",
+        ]
+        if self.applied:
+            parts = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.applied.items())
+            )
+            lines.append(f"applied: {parts}")
+        if self.ignored:
+            parts = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.ignored.items())
+            )
+            lines.append(f"ignored (no-op): {parts}")
+        lines.append(f"decision digest: {self.digest}")
+        return "\n".join(lines)
+
+
+class LiveRunner:
+    """Drains the ingest queue into controller ticks on a wall clock.
+
+    Parameters
+    ----------
+    sim, gateway, audit:
+        The embedded simulation, its ingest door, and the audit log
+        (the runner writes the meta record on start and owns closing).
+    tick_seconds:
+        Wall-clock tick period.  Defaults to the config's ``delta_d``
+        read as seconds (the paper's Delta_d = 1 s); tests and smoke
+        runs shrink it to run faster than real time.
+    max_ticks:
+        Stop after this many ticks (None = run until stopped).
+    clock:
+        Monotonic clock, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        sim: LiveSimulation,
+        gateway: IngestGateway,
+        audit: AuditLog,
+        *,
+        tick_seconds: Optional[float] = None,
+        max_ticks: Optional[int] = None,
+        clock=time.monotonic,
+    ):
+        if tick_seconds is not None and tick_seconds <= 0:
+            raise ValueError("tick_seconds must be positive")
+        if max_ticks is not None and max_ticks < 1:
+            raise ValueError("max_ticks must be >= 1")
+        self.sim = sim
+        self.gateway = gateway
+        self.audit = audit
+        self.tick_seconds = (
+            float(tick_seconds)
+            if tick_seconds is not None
+            else float(sim.config.delta_d)
+        )
+        self.max_ticks = max_ticks
+        self._clock = clock
+        self._stop = asyncio.Event()
+        self.report = LiveReport(tick_seconds=self.tick_seconds)
+
+    def request_stop(self) -> None:
+        """Ask for a graceful shutdown at the next boundary (signal-safe)."""
+        self._stop.set()
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    # ----------------------------------------------------------- tick work
+    def _tick_once(self) -> None:
+        """One boundary: snapshot -> audit -> apply -> step -> flush."""
+        started = self._clock()
+        sim = self.sim
+        audit = self.audit
+        report = self.report
+        tick = sim.tick
+        for entry in self.gateway.drain():
+            result = sim.apply(entry.event)
+            audit.write_event(
+                tick,
+                entry.seq,
+                entry.source,
+                entry.event,
+                applied=result.applied,
+                reason=result.reason,
+            )
+            report.ingest_latency_s.append(started - entry.recv)
+        sim.step()
+        audit.flush()
+        report.tick_wall_ms.append((self._clock() - started) * 1000.0)
+        report.ticks = sim.tick
+
+    # ------------------------------------------------------------ main loop
+    async def run(self) -> LiveReport:
+        """Tick until ``max_ticks`` or :meth:`request_stop`; then drain."""
+        gateway = self.gateway
+        report = self.report
+        self.audit.write_meta(
+            self.sim.spec.to_meta(),
+            tick_seconds=self.tick_seconds,
+            queue_bound=gateway.queue_bound,
+        )
+        deadline = self._clock() + self.tick_seconds
+        gateway.next_tick_eta = deadline
+        while not self._stop.is_set() and (
+            self.max_ticks is None or report.ticks < self.max_ticks
+        ):
+            remaining = deadline - self._clock()
+            if remaining > 0:
+                try:
+                    await asyncio.wait_for(self._stop.wait(), timeout=remaining)
+                    break  # stop requested while waiting for the boundary
+                except asyncio.TimeoutError:
+                    pass
+            self._tick_once()
+            deadline += self.tick_seconds
+            now = self._clock()
+            if deadline <= now:  # tick work overran the budget
+                report.overruns += 1
+                deadline = now + self.tick_seconds
+            gateway.next_tick_eta = deadline
+            await asyncio.sleep(0)  # let ingest handlers run every tick
+        report.stopped_early = self._stop.is_set()
+        if gateway.pending_count():
+            # Graceful drain: in-flight events get one final tick.
+            self._tick_once()
+        collector = self.sim.finish()
+        report.accepted = gateway.accepted
+        report.rejected_full = gateway.rejected_full
+        report.rejected_invalid = gateway.rejected_invalid
+        report.applied = dict(self.sim.applied)
+        report.ignored = dict(self.sim.ignored)
+        report.digest = decision_digest(collector)
+        self.audit.write_end(
+            ticks=report.ticks,
+            accepted=report.accepted,
+            digest=report.digest,
+            overruns=report.overruns,
+        )
+        self.audit.close()
+        return report

@@ -21,7 +21,9 @@ every segment of a trace in chronological order, which is what
 from __future__ import annotations
 
 import json
+import os
 import re
+import threading
 from pathlib import Path
 from typing import Any, Dict, List, Protocol
 
@@ -71,6 +73,12 @@ class MemoryTraceWriter:
 class JsonlTraceWriter:
     """Rotating JSON-lines sink.
 
+    Safe under concurrent append: a lock serializes ``write_frame``,
+    rotation, ``flush`` and ``close``, so frames written from a live
+    worker and a signal/shutdown path can never interleave bytes within
+    a line or race a segment rename (see docs/observability.md,
+    "Durability and concurrency").
+
     Parameters
     ----------
     path:
@@ -79,27 +87,57 @@ class JsonlTraceWriter:
         Rotate once the active segment exceeds this size (checked after
         each frame, so a segment may overshoot by one frame).  ``None``
         disables rotation.
+    fsync:
+        When True, :meth:`flush` also ``os.fsync``\\ s the segment so
+        every flushed frame survives a machine crash, and rotation
+        fsyncs the finished segment before renaming it.  Costs a disk
+        round-trip per flush; live audit logs enable it via
+        ``serve --fsync``.
     """
 
-    def __init__(self, path, *, max_bytes: int | None = 32 * 1024 * 1024):
+    def __init__(
+        self,
+        path,
+        *,
+        max_bytes: int | None = 32 * 1024 * 1024,
+        fsync: bool = False,
+    ):
         if max_bytes is not None and max_bytes <= 0:
             raise ValueError("max_bytes must be positive or None")
         self.path = Path(path)
         self.max_bytes = max_bytes
+        self.fsync = fsync
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
         self._handle = self.path.open("w")
         self._written = 0
         self._next_segment = 1
 
     def write_frame(self, frame: Dict[str, Any]) -> None:
         line = json.dumps(frame, separators=(",", ":"))
-        self._handle.write(line)
-        self._handle.write("\n")
-        self._written += len(line) + 1
-        if self.max_bytes is not None and self._written > self.max_bytes:
-            self._rotate()
+        with self._lock:
+            self._handle.write(line)
+            self._handle.write("\n")
+            self._written += len(line) + 1
+            if self.max_bytes is not None and self._written > self.max_bytes:
+                self._rotate()
+
+    def _sync_locked(self) -> None:
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+
+    def flush(self) -> None:
+        """Push buffered frames to the OS (and disk, with ``fsync``)."""
+        with self._lock:
+            if not self._handle.closed:
+                self._sync_locked()
 
     def _rotate(self) -> None:
+        # Caller holds the lock.  The finished segment is synced before
+        # the rename so a crash can never leave a renamed-but-empty
+        # segment ahead of its data.
+        self._sync_locked()
         self._handle.close()
         self.path.rename(
             self.path.with_name(f"{self.path.name}.{self._next_segment}")
@@ -109,9 +147,10 @@ class JsonlTraceWriter:
         self._written = 0
 
     def close(self) -> None:
-        if not self._handle.closed:
-            self._handle.flush()
-            self._handle.close()
+        with self._lock:
+            if not self._handle.closed:
+                self._sync_locked()
+                self._handle.close()
 
 
 def trace_segments(path) -> List[Path]:
