@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-guard federation-bench-smoke trace-smoke examples-smoke federation-smoke service-smoke experiments clean-cache
+.PHONY: test bench bench-smoke bench-guard federation-bench-smoke trace-smoke examples-smoke federation-smoke service-smoke resume-smoke experiments clean-cache
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -57,6 +57,35 @@ service-smoke:
 		--ticks 4 --tick-seconds 0.05 --controller vectorized --no-listen; \
 	timeout 120 $(PYTHON) -m repro.cli replay $$audit; \
 	rm -rf $$(dirname $$audit); echo "service live/replay parity OK"
+
+## Crash-recovery drill: kill -9 a live checkpointed run mid-flight,
+## corrupt the newest checkpoint, recover from the previous valid one
+## plus the audit tail, and verify the combined audit log replays
+## bit-exactly against the recovered run's decision digest.
+resume-smoke:
+	@set -e; dir=$$(mktemp -d); audit=$$dir/audit.jsonl; \
+	$(PYTHON) -m repro.cli serve $$audit \
+		--ticks 500 --tick-seconds 0.05 --seed 3 --load 4000 \
+		--checkpoint-dir $$audit.ckpt --checkpoint-every 4 \
+		> $$dir/serve.out 2>&1 & pid=$$!; \
+	for i in $$(seq 1 200); do \
+		n=$$(ls $$audit.ckpt/checkpoint-*.wck 2>/dev/null | wc -l); \
+		[ "$$n" -ge 3 ] && break; sleep 0.2; \
+	done; \
+	[ "$$n" -ge 3 ] || { echo "no checkpoints appeared"; kill -9 $$pid; exit 1; }; \
+	kill -9 $$pid; wait $$pid 2>/dev/null || true; \
+	echo "killed live run after $$n checkpoint(s)"; \
+	newest=$$(ls $$audit.ckpt/checkpoint-*.wck | tail -1); \
+	printf 'CORRUPT' | dd of=$$newest bs=1 seek=400 conv=notrunc 2>/dev/null; \
+	timeout 120 $(PYTHON) -m repro.cli serve $$audit \
+		--recover --no-listen --ticks 6 --tick-seconds 0.02; \
+	timeout 120 $(PYTHON) -m repro.cli replay $$audit; \
+	timeout 120 $(PYTHON) -m repro.cli checkpoint $$dir/batch.ckpt \
+		--ticks 30 --seed 7 | grep "decision digest" > $$dir/a; \
+	timeout 120 $(PYTHON) -m repro.cli resume $$dir/batch.ckpt \
+		| grep "decision digest" > $$dir/b; \
+	cmp $$dir/a $$dir/b; \
+	rm -rf $$dir; echo "crash recovery parity OK"
 
 ## Record a faulty-plant run with tracing on, then replay it through
 ## the trace CLI (overview, per-server explanation, fault edges).

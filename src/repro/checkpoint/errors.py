@@ -1,0 +1,23 @@
+"""Checkpoint error hierarchy.
+
+Kept dependency-free so controller modules can raise these without
+importing the rest of the checkpoint machinery.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CheckpointError", "CheckpointCorruptError"]
+
+
+class CheckpointError(Exception):
+    """Any checkpoint failure: unsupported state, bad version, no snapshot."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """The file on disk is not a readable, integrity-verified checkpoint.
+
+    Raised for a missing or wrong magic line, an undecodable header, a
+    payload shorter than the header promises (torn write), or a sha256
+    mismatch.  Callers scanning a checkpoint directory treat this as
+    "skip and fall back to the previous snapshot", never as fatal.
+    """

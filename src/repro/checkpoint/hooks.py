@@ -1,0 +1,98 @@
+"""Cadence hooks: snapshot a running controller or federation.
+
+Checkpoints land on the consolidation cadence (``Delta_A = eta2``
+ticks) by default — consolidation is the natural epoch boundary: the
+drop accumulator has just been reset and no migration plan is in
+flight.
+
+Two hook shapes are handled:
+
+* ``WillowController.on_tick`` fires *inside* the tick, before the
+  tick counter and clock advance; the hook fixes both up so the stored
+  snapshot is a clean between-ticks state (``tick`` = completed ticks,
+  ``now`` = the clock the next tick will see).
+* ``FederationCoordinator.on_tick`` fires between ticks; the snapshot
+  is stored as-is.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.checkpoint.store import CheckpointStore
+
+__all__ = ["Checkpointer"]
+
+
+class Checkpointer:
+    """Saves periodic snapshots of a run into a :class:`CheckpointStore`.
+
+    Usage::
+
+        store = CheckpointStore(directory)
+        Checkpointer(store).attach(controller)
+        controller.run(n_ticks)
+
+    Attributes
+    ----------
+    saved:
+        Ticks checkpointed so far, in order.
+    """
+
+    def __init__(
+        self,
+        store: CheckpointStore,
+        *,
+        every: Optional[int] = None,
+        kind: Optional[str] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ):
+        if every is not None and every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.store = store
+        self.every = every
+        self.kind = kind
+        self.meta = dict(meta or {})
+        self.saved: List[int] = []
+
+    def _save(self, kind: str, tick: int, state: Dict[str, Any]) -> None:
+        self.store.save(kind=self.kind or kind, tick=tick, state=state, meta=self.meta)
+        self.saved.append(tick)
+
+    def attach(self, target) -> "Checkpointer":
+        """Register on ``target.on_tick``; returns self for chaining.
+
+        ``target`` is a :class:`~repro.core.controller.WillowController`
+        (any subclass) or a
+        :class:`~repro.federation.coordinator.FederationCoordinator`.
+        """
+        if hasattr(target, "sites"):  # federation coordinator
+            if self.every is None:
+                self.every = target.sites[0].config.eta2
+
+            def federation_hook(coordinator, completed: int) -> None:
+                if completed % self.every:
+                    return
+                state = coordinator.snapshot_state()
+                self._save("federation", completed, state)
+
+            target.on_tick.append(federation_hook)
+        else:
+            if self.every is None:
+                self.every = target.config.eta2
+
+            def controller_hook(controller, tick_index: int, now: float) -> None:
+                completed = tick_index + 1
+                if completed % self.every:
+                    return
+                state = controller.snapshot_state()
+                # on_tick runs before the counter/clock advance; store
+                # the state the next tick will start from.  The clock
+                # arithmetic matches Environment exactly (one float add
+                # of delta_d), so resume reproduces the same timestamps.
+                state["tick"] = completed
+                state["now"] = now + controller.config.delta_d
+                self._save("controller", completed, state)
+
+            target.on_tick.append(controller_hook)
+        return self

@@ -15,6 +15,10 @@ Usage::
     python -m repro.cli serve audit.jsonl --port 7717
     python -m repro.cli serve audit.jsonl --ticks 5 --tick-seconds 0.1 --load 5000
     python -m repro.cli replay audit.jsonl
+    python -m repro.cli serve audit.jsonl --checkpoint-dir run.ckpt
+    python -m repro.cli serve audit.jsonl --recover --ticks 20
+    python -m repro.cli checkpoint run.ckpt --ticks 200 --seed 7
+    python -m repro.cli resume run.ckpt
     python -m repro.cli bench service --quick
     python -m repro.cli --version
 
@@ -37,6 +41,11 @@ wall-clock-ticked controller fed by external JSON-lines events over TCP
 with bounded-queue backpressure, every accepted event recorded in a
 replayable audit log.  ``replay`` re-executes an audit log offline and
 verifies bit-exact parity with the live run (see docs/service.md).
+
+``checkpoint``/``resume`` run and resume crash-safe batch simulations,
+and ``serve --recover`` restores a killed live run from its latest
+valid checkpoint plus the audit tail -- both resume bit-exactly (see
+docs/checkpointing.md).
 
 Every run subcommand takes ``--trace FILE`` to record the structured
 tick trace (:mod:`repro.trace`); ``trace`` replays a recorded file into
@@ -912,6 +921,24 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="self-load: drive N events through the TCP gateway from "
              "an in-process load generator (smoke runs / benchmarks)",
     )
+    parser.add_argument(
+        "--checkpoint-dir", type=str, default=None, metavar="DIR",
+        help="write periodic hash-verified checkpoints of the live "
+             "simulation into DIR (crash recovery: serve --recover)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="checkpoint cadence in ticks (default: the config's "
+             "eta2 consolidation cadence)",
+    )
+    parser.add_argument(
+        "--recover", action="store_true",
+        help="crash recovery: restore the latest valid checkpoint from "
+             "--checkpoint-dir (default AUDIT_FILE.ckpt), replay the "
+             "audit tail, and continue the run appending to the same "
+             "audit log; spec flags are taken from the audit meta, and "
+             "--ticks means additional ticks",
+    )
     return parser
 
 
@@ -933,6 +960,15 @@ def serve_main(argv: List[str]) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.checkpoint_every is not None:
+        if args.checkpoint_every < 1:
+            print("--checkpoint-every must be >= 1", file=sys.stderr)
+            return 2
+        if args.checkpoint_dir is None and not args.recover:
+            print(
+                "--checkpoint-every needs --checkpoint-dir", file=sys.stderr
+            )
+            return 2
     error = _missing_parent(args.audit, "audit path")
     if error:
         print(error, file=sys.stderr)
@@ -948,6 +984,7 @@ def serve_main(argv: List[str]) -> int:
     import asyncio
     import signal
 
+    from repro.checkpoint import CheckpointError, CheckpointStore
     from repro.metrics import summarize_run
     from repro.service import (
         AuditLog,
@@ -958,20 +995,41 @@ def serve_main(argv: List[str]) -> int:
         generate_load,
     )
 
-    try:
-        spec = ServiceSpec(
-            seed=args.seed,
-            controller=args.controller,
-            branching=branching,
-            utilization=args.utilization,
-            vms_per_server=args.vms_per_server,
-            supply_factor=args.supply_factor,
-            outside_temp=args.outside,
-        )
-    except ValueError as error:
-        print(f"serve: {error}", file=sys.stderr)
-        return 2
-    sim = LiveSimulation(spec)
+    checkpoint_dir = args.checkpoint_dir
+    if args.recover:
+        # The crashed run's spec lives in its audit meta; CLI spec
+        # flags (seed, controller, ...) are not consulted.
+        if checkpoint_dir is None:
+            checkpoint_dir = f"{args.audit}.ckpt"
+        from repro.service import AuditRecordError, recover_simulation
+
+        try:
+            recovery = recover_simulation(args.audit, checkpoint_dir)
+        except FileNotFoundError as error:
+            print(f"serve --recover: {error}", file=sys.stderr)
+            return 2
+        except (AuditRecordError, CheckpointError) as error:
+            print(f"serve --recover: {error}", file=sys.stderr)
+            return 2
+        print(recovery.format(), flush=True)
+        sim = recovery.sim
+        max_ticks = sim.tick + args.ticks if args.ticks is not None else None
+    else:
+        try:
+            spec = ServiceSpec(
+                seed=args.seed,
+                controller=args.controller,
+                branching=branching,
+                utilization=args.utilization,
+                vms_per_server=args.vms_per_server,
+                supply_factor=args.supply_factor,
+                outside_temp=args.outside,
+            )
+        except ValueError as error:
+            print(f"serve: {error}", file=sys.stderr)
+            return 2
+        sim = LiveSimulation(spec)
+        max_ticks = args.ticks
     if args.load is not None and not sim.n_vms:
         print("--load needs an initial fleet (--vms-per-server > 0)",
               file=sys.stderr)
@@ -979,13 +1037,21 @@ def serve_main(argv: List[str]) -> int:
     gateway = IngestGateway(
         queue_bound=args.queue_bound, allow_faults=sim.allow_faults
     )
-    audit = AuditLog(args.audit, fsync=args.fsync)
+    audit = AuditLog(args.audit, fsync=args.fsync, append=args.recover)
+    checkpoints = (
+        CheckpointStore(checkpoint_dir, fsync=args.fsync)
+        if checkpoint_dir is not None
+        else None
+    )
     runner = LiveRunner(
         sim,
         gateway,
         audit,
         tick_seconds=args.tick_seconds,
-        max_ticks=args.ticks,
+        max_ticks=max_ticks,
+        checkpoints=checkpoints,
+        checkpoint_every=args.checkpoint_every,
+        write_meta=not args.recover,
     )
 
     async def run():
@@ -1068,6 +1134,274 @@ def replay_main(argv: List[str]) -> int:
     return 1 if result.parity is False else 0
 
 
+def _build_resumable_run(
+    *,
+    seed: int,
+    vectorized: bool,
+    utilization: float,
+    branching,
+    supply_factor: float,
+    vms_per_server: int,
+):
+    """A batch controller built exactly as ``checkpoint``/``resume`` need:
+    the same (tree, supply, placement, seed) recipe on both sides is
+    what makes restore-onto-a-fresh-twin bit-exact."""
+    from repro.core import WillowConfig, WillowController
+    from repro.core.vectorized import VectorizedWillowController
+    from repro.power import constant_supply
+    from repro.sim import RandomStreams
+    from repro.topology import build_balanced, build_paper_simulation
+    from repro.workload import (
+        SIMULATION_APPS,
+        random_placement,
+        scale_for_target_utilization,
+    )
+
+    tree = (
+        build_balanced([int(b) for b in branching])
+        if branching
+        else build_paper_simulation()
+    )
+    servers = tree.servers()
+    config = WillowConfig()
+    supply = constant_supply(
+        supply_factor * len(servers) * config.circuit_limit
+    )
+    streams = RandomStreams(seed)
+    placement = random_placement(
+        [s.node_id for s in servers],
+        SIMULATION_APPS,
+        streams["placement"],
+        vms_per_server=vms_per_server,
+    )
+    scale_for_target_utilization(
+        placement, config.server_model.slope, utilization
+    )
+    cls = VectorizedWillowController if vectorized else WillowController
+    return cls(tree, config, supply, placement, seed=seed)
+
+
+def build_checkpoint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli checkpoint",
+        description=(
+            "Run a batch Willow simulation while writing periodic "
+            "hash-verified checkpoints; resume it bit-exactly with "
+            "'python -m repro.cli resume DIR' (see docs/checkpointing.md)."
+        ),
+    )
+    parser.add_argument(
+        "dir", type=str, metavar="DIR",
+        help="checkpoint directory (created if absent)",
+    )
+    parser.add_argument(
+        "--ticks", type=int, default=100, help="control ticks to run"
+    )
+    parser.add_argument(
+        "--every", type=int, default=None, metavar="N",
+        help="checkpoint cadence in ticks (default: the config's eta2 "
+             "consolidation cadence)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    parser.add_argument(
+        "--vectorized", action="store_true",
+        help="use the array-based controller",
+    )
+    parser.add_argument(
+        "--utilization", type=float, default=0.5,
+        help="target mean utilization in (0, 1] (default 0.5)",
+    )
+    parser.add_argument(
+        "--branching", type=str, default=None, metavar="A,B,C",
+        help="custom balanced tree, e.g. 3,3,3 (default: paper's 2,3,3)",
+    )
+    parser.add_argument(
+        "--supply-factor", type=float, default=1.0,
+        help="supply as a multiple of fleet circuit capacity",
+    )
+    parser.add_argument(
+        "--vms-per-server", type=int, default=4, metavar="N",
+        help="initial VMs per server (default 4)",
+    )
+    parser.add_argument(
+        "--keep", type=int, default=None, metavar="N",
+        help="retain only the newest N checkpoints (default: all)",
+    )
+    parser.add_argument(
+        "--fsync", action="store_true",
+        help="fsync every checkpoint (crash-durable)",
+    )
+    return parser
+
+
+def checkpoint_main(argv: List[str]) -> int:
+    args = build_checkpoint_parser().parse_args(argv)
+    if args.ticks < 1:
+        print("--ticks must be >= 1", file=sys.stderr)
+        return 2
+    if args.every is not None and args.every < 1:
+        print("--every must be >= 1", file=sys.stderr)
+        return 2
+    if not 0.0 < args.utilization <= 1.0:
+        print("--utilization must be in (0, 1]", file=sys.stderr)
+        return 2
+    branching = None
+    if args.branching:
+        try:
+            branching = tuple(int(x) for x in args.branching.split(","))
+        except ValueError:
+            print("--branching must be comma-separated ints", file=sys.stderr)
+            return 2
+
+    from repro.checkpoint import CheckpointStore, Checkpointer
+    from repro.metrics import summarize_run
+    from repro.service.simulation import decision_digest
+
+    controller = _build_resumable_run(
+        seed=args.seed,
+        vectorized=args.vectorized,
+        utilization=args.utilization,
+        branching=branching,
+        supply_factor=args.supply_factor,
+        vms_per_server=args.vms_per_server,
+    )
+    store = CheckpointStore(args.dir, fsync=args.fsync, keep=args.keep)
+    # The meta rides inside every checkpoint header so `resume` can
+    # rebuild the identical twin without any side-channel.
+    meta = {
+        "ticks": args.ticks,
+        "seed": args.seed,
+        "vectorized": args.vectorized,
+        "utilization": args.utilization,
+        "branching": list(branching) if branching else None,
+        "supply_factor": args.supply_factor,
+        "vms_per_server": args.vms_per_server,
+    }
+    checkpointer = Checkpointer(store, every=args.every, meta=meta)
+    checkpointer.attach(controller)
+    collector = controller.run(args.ticks)
+    print(
+        f"checkpointed run: {args.ticks} tick(s), seed {args.seed}, "
+        f"{len(checkpointer.saved)} checkpoint(s) at ticks "
+        f"{checkpointer.saved} -> {args.dir}"
+    )
+    print(f"decision digest: {decision_digest(collector)}")
+    print(summarize_run(collector).format())
+    return 0
+
+
+def build_resume_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli resume",
+        description=(
+            "Resume a checkpointed batch run from its latest valid "
+            "checkpoint (corrupt files are skipped) and run it to "
+            "completion; the decision digest matches an uninterrupted "
+            "run bit-exactly."
+        ),
+    )
+    parser.add_argument(
+        "dir", type=str, metavar="DIR",
+        help="checkpoint directory written by 'checkpoint'",
+    )
+    parser.add_argument(
+        "--at", type=int, default=None, metavar="TICK",
+        help="resume from the checkpoint at this exact tick instead of "
+             "the latest valid one",
+    )
+    parser.add_argument(
+        "--ticks", type=int, default=None, metavar="N",
+        help="total ticks to run to (default: the run length recorded "
+             "when the checkpoints were written)",
+    )
+    return parser
+
+
+def resume_main(argv: List[str]) -> int:
+    args = build_resume_parser().parse_args(argv)
+    from pathlib import Path
+
+    from repro.checkpoint import (
+        CheckpointCorruptError,
+        CheckpointError,
+        CheckpointStore,
+    )
+    from repro.metrics import summarize_run
+    from repro.service.simulation import decision_digest
+
+    if not Path(args.dir).is_dir():
+        print(
+            f"resume: {args.dir} is not a directory (run "
+            f"'python -m repro.cli checkpoint {args.dir}' first?)",
+            file=sys.stderr,
+        )
+        return 2
+    store = CheckpointStore(args.dir)
+    try:
+        if args.at is not None:
+            document = store.load(args.at)
+        else:
+            document = store.latest_valid()
+    except (FileNotFoundError, PermissionError) as error:
+        print(f"resume: {error}", file=sys.stderr)
+        return 2
+    except CheckpointCorruptError as error:
+        print(f"resume: corrupt checkpoint: {error}", file=sys.stderr)
+        return 2
+    except CheckpointError as error:
+        print(f"resume: {error}", file=sys.stderr)
+        return 2
+    if document is None:
+        print(
+            f"resume: no valid checkpoint found in {args.dir}",
+            file=sys.stderr,
+        )
+        return 2
+    for path, reason in document.get("skipped", ()):
+        print(f"resume: skipped corrupt checkpoint {path}: {reason}")
+    meta = document["meta"]
+    required = ("ticks", "seed", "vectorized", "utilization",
+                "supply_factor", "vms_per_server")
+    if any(key not in meta for key in required):
+        print(
+            f"resume: checkpoint at tick {document['tick']} has no "
+            f"rebuild recipe in its meta (written by 'checkpoint'? "
+            f"service checkpoints are resumed with 'serve --recover')",
+            file=sys.stderr,
+        )
+        return 2
+    total_ticks = args.ticks if args.ticks is not None else meta["ticks"]
+    if total_ticks < document["tick"]:
+        print(
+            f"resume: --ticks {total_ticks} is before the checkpoint "
+            f"at tick {document['tick']}",
+            file=sys.stderr,
+        )
+        return 2
+    controller = _build_resumable_run(
+        seed=meta["seed"],
+        vectorized=meta["vectorized"],
+        utilization=meta["utilization"],
+        branching=meta.get("branching"),
+        supply_factor=meta["supply_factor"],
+        vms_per_server=meta["vms_per_server"],
+    )
+    try:
+        controller.restore_state(document["state"])
+    except CheckpointError as error:
+        print(f"resume: {error}", file=sys.stderr)
+        return 2
+    remaining = total_ticks - document["tick"]
+    print(
+        f"resumed from checkpoint at tick {document['tick']} "
+        f"({document['path']}); running {remaining} more tick(s)"
+    )
+    collector = controller.run(remaining)
+    print(f"decision digest: {decision_digest(collector)}")
+    print(summarize_run(collector).format())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "bench":
@@ -1084,6 +1418,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "replay":
         return replay_main(argv[1:])
+    if argv and argv[0] == "checkpoint":
+        return checkpoint_main(argv[1:])
+    if argv and argv[0] == "resume":
+        return resume_main(argv[1:])
     args = build_parser().parse_args(argv)
     if not 0.0 < args.utilization <= 1.0:
         print("--utilization must be in (0, 1]", file=sys.stderr)

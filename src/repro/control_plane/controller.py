@@ -190,6 +190,17 @@ class DistributedWillowController(WillowController):
         """Reordered/retransmitted frames agents refused to apply."""
         return sum(agent.stale_discards for agent in self._agents())
 
+    def snapshot_state(self):
+        """Not supported: in-flight transport frames, per-agent retry
+        queues and staleness clocks are not captured by the base
+        snapshot, and resuming without them would diverge silently."""
+        from repro.checkpoint.errors import CheckpointError
+
+        raise CheckpointError(
+            "DistributedWillowController does not support checkpointing; "
+            "run the scalar or vectorized controller for resumable runs"
+        )
+
 
 def run_distributed(
     *,

@@ -642,6 +642,178 @@ class WillowController:
         """Look up a server runtime by its tree node name."""
         return self.servers[self.tree.by_name(name).node_id]
 
+    # --------------------------------------------------- checkpoint/restore
+    def _demand_source_state(self):
+        source = self.demand_source
+        state_dict = getattr(source, "state_dict", None)
+        if state_dict is None:
+            from repro.checkpoint.errors import CheckpointError
+
+            raise CheckpointError(
+                f"demand source {type(source).__name__} does not support "
+                "checkpointing; give it state_dict()/load_state_dict()"
+            )
+        return state_dict()
+
+    def snapshot_state(self) -> Dict:
+        """Capture every mutable between-tick quantity of this run.
+
+        The snapshot pairs with :meth:`restore_state` on a *freshly
+        constructed* controller built from identical inputs (tree,
+        config, supply, placement recipe, seed): construction-derived
+        structure is rebuilt, run state is overlaid, and the resumed run
+        reproduces the uninterrupted run bit-exactly.  VM objects are
+        stored directly (one pickle payload preserves identity/sharing);
+        caches (`_path_cache`) and within-tick transients
+        (`_tick_migration_traffic`) are deliberately excluded.
+
+        Valid capture points are *between* ticks, or inside an
+        ``on_tick`` hook with the tick/clock fixup
+        :class:`repro.checkpoint.Checkpointer` applies.
+        """
+        if self.config.device_classes is not None:
+            from repro.checkpoint.errors import CheckpointError
+
+            raise CheckpointError(
+                "checkpointing runs with device_classes is not supported yet"
+            )
+        servers: Dict[int, Dict] = {}
+        for sid, s in self.servers.items():
+            servers[sid] = {
+                "budget": s.budget,
+                "previous_budget": s.previous_budget,
+                "budget_reduced": s.budget_reduced,
+                "sleep_state": s.sleep_state,
+                "wake_ticks_left": s.wake_ticks_left,
+                "pending_costs": dict(s._pending_costs),
+                "raw_demand": s.raw_demand,
+                "smoothed_demand": s.smoothed_demand,
+                "served_power": s.served_power,
+                "asleep_ticks": s.asleep_ticks,
+                "failed_ticks": s.failed_ticks,
+                "smoother_value": s.smoother._value,
+                "t_ambient": s.thermal_params.t_ambient,
+                "temperature": s.thermal.temperature,
+                "peak": s.thermal.peak,
+                "violations": s.thermal.violations,
+            }
+        internals: Dict[int, Dict] = {}
+        for nid, n in self.internals.items():
+            internals[nid] = {
+                "budget": n.budget,
+                "previous_budget": n.previous_budget,
+                "budget_reduced": n.budget_reduced,
+                "smoothed_demand": n.smoothed_demand,
+                "smoother_value": n.smoother._value,
+            }
+        import dataclasses as _dc
+
+        collector = {
+            field.name: list(getattr(self.collector, field.name))
+            for field in _dc.fields(self.collector)
+            if isinstance(getattr(self.collector, field.name), list)
+        }
+        return {
+            "controller": type(self).__name__,
+            "tick": self._tick_index,
+            "now": self.env.now,
+            "root_budget": self.root_budget,
+            "dropped_since_consolidation": self._dropped_since_consolidation,
+            "last_switch_power": dict(self._last_switch_power),
+            "streams": self.streams.state_dict(),
+            "demand_source": self._demand_source_state(),
+            "placement_vms": list(self.placement.vms),
+            "placement_scale": self.placement.scale,
+            "vm_by_id": dict(self._vm_by_id),
+            "server_vms": {sid: dict(s.vms) for sid, s in self.servers.items()},
+            "servers": servers,
+            "internals": internals,
+            "collector": collector,
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Overlay a :meth:`snapshot_state` dict onto this fresh controller.
+
+        Must be called before :meth:`run`; the controller must have been
+        constructed from the same inputs as the snapshotted one (same
+        tree/config shape — validated by node-id sets — and the same
+        seed, validated by the stream snapshot).
+        """
+        from repro.checkpoint.errors import CheckpointError
+
+        if set(state["servers"]) != set(self.servers) or set(
+            state["internals"]
+        ) != set(self.internals):
+            raise CheckpointError(
+                "snapshot topology does not match this controller's tree"
+            )
+        self._tick_index = int(state["tick"])
+        self.env.advance(float(state["now"]) - self.env.now)
+        self.root_budget = state["root_budget"]
+        self._dropped_since_consolidation = state["dropped_since_consolidation"]
+        self._last_switch_power = dict(state["last_switch_power"])
+        try:
+            self.streams.load_state_dict(state["streams"])
+        except ValueError as error:
+            raise CheckpointError(str(error)) from None
+        load = getattr(self.demand_source, "load_state_dict", None)
+        if load is None:
+            raise CheckpointError(
+                f"demand source {type(self.demand_source).__name__} does not "
+                "support checkpointing"
+            )
+        load(state["demand_source"])
+
+        # Adopt the snapshot's VM objects wholesale: live runs may hold
+        # VMs (arrivals, federation guests) that a fresh construction
+        # cannot know about.  placement.vms is mutated in place so the
+        # demand source's plan reference stays coherent.
+        self.placement.vms[:] = state["placement_vms"]
+        self.placement.scale = state["placement_scale"]
+        self._vm_by_id = dict(state["vm_by_id"])
+        for sid, runtime in self.servers.items():
+            runtime.vms = dict(state["server_vms"][sid])
+            data = state["servers"][sid]
+            runtime.budget = data["budget"]
+            runtime.previous_budget = data["previous_budget"]
+            runtime.budget_reduced = data["budget_reduced"]
+            runtime.sleep_state = data["sleep_state"]
+            runtime.wake_ticks_left = data["wake_ticks_left"]
+            runtime._pending_costs = dict(data["pending_costs"])
+            runtime.raw_demand = data["raw_demand"]
+            runtime.smoothed_demand = data["smoothed_demand"]
+            runtime.served_power = data["served_power"]
+            runtime.asleep_ticks = data["asleep_ticks"]
+            runtime.failed_ticks = data["failed_ticks"]
+            runtime.smoother._value = data["smoother_value"]
+            if data["t_ambient"] != runtime.thermal_params.t_ambient:
+                runtime.set_ambient(data["t_ambient"])
+            runtime.thermal.temperature = data["temperature"]
+            runtime.thermal.peak = data["peak"]
+            runtime.thermal.violations = data["violations"]
+        for nid, runtime in self.internals.items():
+            data = state["internals"][nid]
+            runtime.budget = data["budget"]
+            runtime.previous_budget = data["previous_budget"]
+            runtime.budget_reduced = data["budget_reduced"]
+            runtime.smoothed_demand = data["smoothed_demand"]
+            runtime.smoother._value = data["smoother_value"]
+        import dataclasses as _dc
+
+        collector_fields = {
+            field.name
+            for field in _dc.fields(self.collector)
+            if isinstance(getattr(self.collector, field.name), list)
+        }
+        if set(state["collector"]) - collector_fields:
+            raise CheckpointError(
+                "snapshot has collector tables this build does not know: "
+                f"{sorted(set(state['collector']) - collector_fields)}"
+            )
+        for name in collector_fields:
+            rows = getattr(self.collector, name)
+            rows[:] = state["collector"].get(name, [])
+
 
 def run_willow(
     *,

@@ -517,6 +517,34 @@ class VectorizedWillowController(WillowController):
             self._foreign_vms[vm.vm_id] = vm
             self._foreign_rows[vm.vm_id] = self.fleet.index[dst_node_id]
 
+    # --------------------------------------------------- checkpoint/restore
+    def snapshot_state(self) -> Dict:
+        state = super().snapshot_state()
+        # The batched bookkeeping is stored verbatim rather than rebuilt
+        # from VM host ids: away VMs keep a stale row on purpose, and
+        # live arrivals live outside the plan-ordered row map.
+        state["vectorized"] = {
+            "vm_row": dict(self._vm_row),
+            "vm_host_rows": self._vm_host_rows.copy(),
+            "vm_away": self._vm_away.copy(),
+            "away_count": self._away_count,
+            "foreign_vms": dict(self._foreign_vms),
+            "foreign_rows": dict(self._foreign_rows),
+        }
+        return state
+
+    def restore_state(self, state: Dict) -> None:
+        super().restore_state(state)
+        batched = state["vectorized"]
+        self._vm_row = dict(batched["vm_row"])
+        self._vm_host_rows = np.array(batched["vm_host_rows"], dtype=np.intp)
+        self._vm_away = np.array(batched["vm_away"], dtype=bool)
+        self._away_count = int(batched["away_count"])
+        self._foreign_vms = dict(batched["foreign_vms"])
+        self._foreign_rows = dict(batched["foreign_rows"])
+        # Re-seed every fleet array from the freshly restored objects.
+        self.fleet.gather()
+
     # ------------------------------------------------------------- serving
     def _serve_scalar(self, server, available: float, now: float) -> float:
         """The scalar controller's per-VM priority serving loop, for

@@ -160,6 +160,12 @@ class FederationCoordinator:
         self.transfer_log: List[Tuple[int, List[Transfer]]] = []
         self._tick_index = 0
 
+        #: Observer hooks run *between* ticks --
+        #: ``hook(coordinator, completed_ticks)`` fires after every
+        #: site's tick and clock advance, so a checkpoint taken here
+        #: needs no fixup (see :mod:`repro.checkpoint`).
+        self.on_tick: List[Callable] = []
+
         self.tracer = tracer if tracer is not None else active_tracer()
         if self.tracer.enabled:
             self.tracer.write_federation_meta(
@@ -196,6 +202,8 @@ class FederationCoordinator:
         for site in self.sites:
             site.controller.env.advance(site.config.delta_d)
         self._tick_index += 1
+        for hook in self.on_tick:
+            hook(self, self._tick_index)
 
     # ----------------------------------------------------------- shifting
     def statuses(self, now: float) -> List[SiteStatus]:
@@ -419,6 +427,59 @@ class FederationCoordinator:
                 dst_surplus,
                 wan_power,
             )
+
+    # --------------------------------------------------- checkpoint/restore
+    def snapshot_state(self) -> Dict:
+        """Capture the whole federation between ticks.
+
+        Per-site controller snapshots plus the coordinator's own run
+        state, in one structure: pickling it as a single payload
+        preserves VM object identity across sites, so a VM hosted away
+        from home is restored as *one* object referenced by both its
+        home placement and the hosting server's runtime.
+        """
+        return {
+            "controller": type(self).__name__,
+            "tick": self._tick_index,
+            "sites": [
+                {
+                    "name": site.name,
+                    "controller": site.controller.snapshot_state(),
+                    "vms_received": site.vms_received,
+                    "vms_sent": site.vms_sent,
+                    "watts_received": site.watts_received,
+                    "watts_sent": site.watts_sent,
+                }
+                for site in self.sites
+            ],
+            "cross_migrations": list(self.cross_migrations),
+            "transfer_log": list(self.transfer_log),
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Overlay a snapshot onto a freshly built, identical federation.
+
+        The coordinator must have been rebuilt from the same site specs
+        (same names, same order, same ``n_ticks`` horizon — battery
+        buffering is precomputed over the run horizon at build time).
+        """
+        from repro.checkpoint.errors import CheckpointError
+
+        names = [entry["name"] for entry in state["sites"]]
+        if names != [site.name for site in self.sites]:
+            raise CheckpointError(
+                f"snapshot sites {names} do not match this federation "
+                f"({[site.name for site in self.sites]})"
+            )
+        self._tick_index = int(state["tick"])
+        for site, entry in zip(self.sites, state["sites"]):
+            site.controller.restore_state(entry["controller"])
+            site.vms_received = entry["vms_received"]
+            site.vms_sent = entry["vms_sent"]
+            site.watts_received = entry["watts_received"]
+            site.watts_sent = entry["watts_sent"]
+        self.cross_migrations[:] = state["cross_migrations"]
+        self.transfer_log[:] = state["transfer_log"]
 
     # ------------------------------------------------------------ helpers
     def site(self, name: str) -> Site:

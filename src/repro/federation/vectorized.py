@@ -1064,6 +1064,20 @@ class BatchedFederationCoordinator(FederationCoordinator):
             controller, VectorizedWillowController
         ) and isinstance(controller.demand_source, DemandGenerator)
 
+    def snapshot_state(self) -> Dict:
+        """Not supported: the fused tick defers object scatter behind
+        per-site dirty flags, so between-ticks object state is not
+        guaranteed coherent.  Build with ``vectorized=False`` for a
+        checkpointable federation (site controllers may themselves be
+        vectorized via ``SiteSpec.vectorized``)."""
+        from repro.checkpoint.errors import CheckpointError
+
+        raise CheckpointError(
+            "BatchedFederationCoordinator does not support checkpointing; "
+            "build the federation with vectorized=False (per-site "
+            "vectorized controllers remain supported)"
+        )
+
     # ------------------------------------------------------------------ run
     def run(self, n_ticks: int) -> "FederationCoordinator":
         result = super().run(n_ticks)

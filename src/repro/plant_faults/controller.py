@@ -378,6 +378,37 @@ class FaultTolerantWillowController(WillowController):
             return False
         return self._thermally_recovered(server)
 
+    # --------------------------------------------------- checkpoint/restore
+    def snapshot_state(self) -> Dict:
+        state = super().snapshot_state()
+        # The schedule travels with the snapshot: live fault events
+        # replace it wholesale (dataclasses.replace), so the restored
+        # run must see the schedule as of the snapshot, not as built.
+        state["plant"] = {
+            "schedule": self.plant_faults,
+            "force_allocation": self._force_allocation,
+            "crash_down": set(self._crash_down),
+            "thermal_down": set(self._thermal_down),
+            "active_trip_roots": self._active_trip_roots,
+            "tripped_leaves": self._tripped_leaves,
+            "sensors": self.sensors.state_dict(),
+        }
+        return state
+
+    def restore_state(self, state: Dict) -> None:
+        super().restore_state(state)
+        plant = state["plant"]
+        self.plant_faults = plant["schedule"]
+        # The sensor bank holds its own schedule reference; keep it
+        # pointed at the restored schedule object.
+        self.sensors.schedule = self.plant_faults
+        self._force_allocation = plant["force_allocation"]
+        self._crash_down = set(plant["crash_down"])
+        self._thermal_down = set(plant["thermal_down"])
+        self._active_trip_roots = frozenset(plant["active_trip_roots"])
+        self._tripped_leaves = frozenset(plant["tripped_leaves"])
+        self.sensors.load_state_dict(plant["sensors"])
+
 
 def run_resilient(
     *,

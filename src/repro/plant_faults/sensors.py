@@ -269,3 +269,28 @@ class SensorBank:
             # hotter than modelled, the hotter belief wins.
             return max(measured, self._model_temp[sid])
         return self._model_temp[sid] + self.validator.uncertainty_margin
+
+    # --------------------------------------------------- checkpoint/restore
+    def state_dict(self) -> Dict[str, object]:
+        """Snapshot the validation state machine.
+
+        The noise stream is owned by the controller's ``RandomStreams``
+        (snapshotted there); the fault schedule is snapshotted by the
+        controller, which also rebinds ``self.schedule`` on restore.
+        """
+        return {
+            "model_temp": dict(self._model_temp),
+            "measured": dict(self._measured),
+            "trusted": dict(self._trusted),
+            "quarantine_left": dict(self._quarantine_left),
+            "reason": dict(self._reason),
+            "stuck_values": dict(self._stuck_values),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self._model_temp = dict(state["model_temp"])  # type: ignore[arg-type]
+        self._measured = dict(state["measured"])  # type: ignore[arg-type]
+        self._trusted = dict(state["trusted"])  # type: ignore[arg-type]
+        self._quarantine_left = dict(state["quarantine_left"])  # type: ignore[arg-type]
+        self._reason = dict(state["reason"])  # type: ignore[arg-type]
+        self._stuck_values = dict(state["stuck_values"])  # type: ignore[arg-type]

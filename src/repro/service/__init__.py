@@ -11,6 +11,7 @@ The pieces, front to back (docs/service.md walks through them):
   writing the audit log, graceful shutdown;
 * :mod:`repro.service.audit` -- the replayable audit log format;
 * :mod:`repro.service.replay` -- offline bit-exact re-execution;
+* :mod:`repro.service.recover` -- crash recovery (checkpoint + tail);
 * :mod:`repro.service.loadgen` -- the batching load-generator client.
 """
 
@@ -23,6 +24,7 @@ from repro.service.events import (
 )
 from repro.service.gateway import IngestGateway
 from repro.service.loadgen import LoadGenerator, LoadResult, generate_load
+from repro.service.recover import RecoveryResult, recover_simulation
 from repro.service.replay import ReplayResult, replay
 from repro.service.runner import LiveReport, LiveRunner
 from repro.service.simulation import (
@@ -53,6 +55,8 @@ __all__ = [
     "LiveReport",
     "ReplayResult",
     "replay",
+    "RecoveryResult",
+    "recover_simulation",
     "LoadGenerator",
     "LoadResult",
     "generate_load",

@@ -48,8 +48,11 @@ class AuditLog:
         *,
         max_bytes: Optional[int] = 32 * 1024 * 1024,
         fsync: bool = False,
+        append: bool = False,
     ):
-        self._writer = JsonlTraceWriter(path, max_bytes=max_bytes, fsync=fsync)
+        self._writer = JsonlTraceWriter(
+            path, max_bytes=max_bytes, fsync=fsync, append=append
+        )
         self.path = Path(path)
 
     def write_meta(self, spec_meta: Mapping[str, Any], **extra: Any) -> None:

@@ -108,6 +108,19 @@ class LiveRunner:
         Stop after this many ticks (None = run until stopped).
     clock:
         Monotonic clock, injectable for tests.
+    checkpoints:
+        A :class:`~repro.checkpoint.CheckpointStore` to snapshot the
+        simulation into at tick boundaries (after the audit flush, so
+        a checkpoint at tick C holds exactly the events applied at
+        ticks < C and crash recovery replays the tail from C).
+    checkpoint_every:
+        Checkpoint cadence in ticks; defaults to the config's ``eta2``
+        (the consolidation cadence).
+    write_meta:
+        Write the audit meta record on start.  Crash recovery resumes
+        an existing log in append mode and must not write a second
+        meta (``read_audit`` keeps the first), so ``serve --recover``
+        passes False.
     """
 
     def __init__(
@@ -119,11 +132,16 @@ class LiveRunner:
         tick_seconds: Optional[float] = None,
         max_ticks: Optional[int] = None,
         clock=time.monotonic,
+        checkpoints=None,
+        checkpoint_every: Optional[int] = None,
+        write_meta: bool = True,
     ):
         if tick_seconds is not None and tick_seconds <= 0:
             raise ValueError("tick_seconds must be positive")
         if max_ticks is not None and max_ticks < 1:
             raise ValueError("max_ticks must be >= 1")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
         self.sim = sim
         self.gateway = gateway
         self.audit = audit
@@ -134,8 +152,19 @@ class LiveRunner:
         )
         self.max_ticks = max_ticks
         self._clock = clock
+        self.checkpoints = checkpoints
+        self.checkpoint_every = (
+            int(checkpoint_every)
+            if checkpoint_every is not None
+            else int(sim.config.eta2)
+        )
+        self.write_meta = write_meta
         self._stop = asyncio.Event()
-        self.report = LiveReport(tick_seconds=self.tick_seconds)
+        # A recovered simulation starts mid-run; max_ticks still means
+        # total ticks, so the resumed count must be visible from tick 0.
+        self.report = LiveReport(
+            ticks=sim.tick, tick_seconds=self.tick_seconds
+        )
 
     def request_stop(self) -> None:
         """Ask for a graceful shutdown at the next boundary (signal-safe)."""
@@ -166,6 +195,16 @@ class LiveRunner:
             report.ingest_latency_s.append(started - entry.recv)
         sim.step()
         audit.flush()
+        if self.checkpoints is not None and sim.tick % self.checkpoint_every == 0:
+            # After the flush: the events this checkpoint depends on are
+            # already durable lines, so crash recovery can always replay
+            # the tail from the checkpoint's tick.
+            self.checkpoints.save(
+                kind="service",
+                tick=sim.tick,
+                state=sim.snapshot_state(),
+                meta={"spec": sim.spec.to_meta()},
+            )
         report.tick_wall_ms.append((self._clock() - started) * 1000.0)
         report.ticks = sim.tick
 
@@ -174,11 +213,12 @@ class LiveRunner:
         """Tick until ``max_ticks`` or :meth:`request_stop`; then drain."""
         gateway = self.gateway
         report = self.report
-        self.audit.write_meta(
-            self.sim.spec.to_meta(),
-            tick_seconds=self.tick_seconds,
-            queue_bound=gateway.queue_bound,
-        )
+        if self.write_meta:
+            self.audit.write_meta(
+                self.sim.spec.to_meta(),
+                tick_seconds=self.tick_seconds,
+                queue_bound=gateway.queue_bound,
+            )
         deadline = self._clock() + self.tick_seconds
         gateway.next_tick_eta = deadline
         while not self._stop.is_set() and (

@@ -107,6 +107,14 @@ class EventDrivenDemandSource:
     def sample_tick(self) -> Dict[int, float]:
         return {}
 
+    # Checkpointing: a zero-order hold has no state of its own (VM
+    # demands live on the VM objects, captured by the controller).
+    def state_dict(self) -> Dict[str, Any]:
+        return {}
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        pass
+
 
 class MutableSupply:
     """A root supply stepped by ``supply_update`` events.
@@ -262,6 +270,43 @@ class LiveSimulation:
         """Flush the tracer and hand back the metrics."""
         self.controller.tracer.flush()
         return self.collector
+
+    # -------------------------------------------------------- checkpointing
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Full live-run state at a tick boundary (between ``step`` calls).
+
+        Call only between ticks -- the live worker snapshots right after
+        ``step``/audit flush, so the checkpoint at tick C contains every
+        event applied at ticks < C and nothing later.  Restoring onto a
+        fresh ``LiveSimulation(spec)`` and replaying the audit tail
+        (events with tick >= C) reproduces the uninterrupted run's
+        ``decision_digest`` bit-exactly.
+        """
+        return {
+            "spec": self.spec.to_meta(),
+            "tick": self.tick,
+            "applied": dict(self.applied),
+            "ignored": dict(self.ignored),
+            "next_vm_id": self._next_vm_id,
+            "supply_budget": self.supply.current,
+            "controller": self.controller.snapshot_state(),
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Overlay a snapshot onto a freshly built twin of the same spec."""
+        from repro.checkpoint.errors import CheckpointError
+
+        if dict(state["spec"]) != self.spec.to_meta():
+            raise CheckpointError(
+                "checkpoint was taken under a different service spec: "
+                f"{state['spec']!r} != {self.spec.to_meta()!r}"
+            )
+        self.controller.restore_state(state["controller"])
+        self.supply.set(float(state["supply_budget"]))
+        self.tick = int(state["tick"])
+        self.applied = dict(state["applied"])
+        self.ignored = dict(state["ignored"])
+        self._next_vm_id = int(state["next_vm_id"])
 
     # ---------------------------------------------------------- resolution
     def _resolve_leaf(self, ref) -> Optional[int]:

@@ -11,11 +11,15 @@ runs and across the order in which they are first requested.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Any, Dict
 
 import numpy as np
 
 __all__ = ["RandomStreams"]
+
+#: Domain-separation constant mixed into fork() derivations so a fork
+#: can never collide with a named stream of the same root seed.
+_FORK_DOMAIN = 0x666F726B  # "fork"
 
 
 class RandomStreams:
@@ -67,5 +71,43 @@ class RandomStreams:
         """A new family with a seed derived from this one and ``salt``.
 
         Useful for replications: ``streams.fork(i)`` for replicate ``i``.
+
+        The child seed is ``SeedSequence([root, _FORK_DOMAIN, salt])``
+        collapsed to one 32-bit word — a documented, process-independent
+        contract (unlike Python's ``hash``, which is neither specified
+        nor stable for serialization purposes).
         """
-        return RandomStreams(hash((self.seed, int(salt))) & 0x7FFFFFFF)
+        sequence = np.random.SeedSequence([self.seed, _FORK_DOMAIN, int(salt)])
+        return RandomStreams(int(sequence.generate_state(1, dtype=np.uint32)[0]))
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Serializable snapshot: root seed plus every realised stream.
+
+        Only streams that have actually been requested are captured;
+        restoring recreates them by name and overwrites their
+        ``bit_generator.state``, so draws continue bit-exactly from the
+        snapshot point.
+        """
+        return {
+            "seed": self.seed,
+            "streams": {
+                name: gen.bit_generator.state
+                for name, gen in self._generators.items()
+            },
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot in place.
+
+        Generator objects are preserved (state is written through
+        ``bit_generator.state``), so external references to a stream —
+        e.g. a sensor bank holding ``streams["sensor-noise"]`` — observe
+        the restored state without rebinding.
+        """
+        if int(state["seed"]) != self.seed:
+            raise ValueError(
+                f"stream snapshot was taken with seed {state['seed']}, "
+                f"cannot restore into a family seeded with {self.seed}"
+            )
+        for name, generator_state in state["streams"].items():
+            self[name].bit_generator.state = generator_state

@@ -51,12 +51,24 @@ class TraceRun:
 
 
 def _iter_frames(path) -> Iterator[Dict[str, Any]]:
+    """Yield frames across all segments, skipping undecodable lines.
+
+    A hard kill can tear the final line of *any* segment that was
+    active when the process died -- after a crash-recovery restart in
+    append mode the torn segment may sit in the middle of the rotation
+    order, so every segment gets the same tolerance, counted via
+    :attr:`TraceReader.skipped_lines` by the caller.
+    """
     for segment in trace_segments(path):
         with segment.open() as handle:
             for line in handle:
                 line = line.strip()
-                if line:
+                if not line:
+                    continue
+                try:
                     yield json.loads(line)
+                except json.JSONDecodeError:
+                    yield None  # sentinel: caller counts it
 
 
 class TraceReader:
@@ -70,13 +82,22 @@ class TraceReader:
     run:
         Which run to query when the file holds several; defaults to the
         last one, matching "the run I just recorded".
+
+    Attributes
+    ----------
+    skipped_lines:
+        Partial/garbled lines tolerated while reading (hard kills can
+        tear the tail of any segment, not just the newest).
     """
 
     def __init__(self, path, *, run: int = -1):
         self.runs: List[TraceRun] = []
+        self.skipped_lines = 0
         current: Optional[TraceRun] = None
         for frame in _iter_frames(path):
-            if frame.get("type") == "meta":
+            if frame is None:
+                self.skipped_lines += 1
+            elif frame.get("type") == "meta":
                 current = TraceRun(frame)
                 self.runs.append(current)
             elif current is not None:

@@ -93,6 +93,14 @@ class JsonlTraceWriter:
         fsyncs the finished segment before renaming it.  Costs a disk
         round-trip per flush; live audit logs enable it via
         ``serve --fsync``.
+    append:
+        When True, continue an existing (possibly rotated) trace
+        instead of truncating it: a torn final line in the active
+        segment (hard kill mid-write) is cut back to the last complete
+        line, the byte counter resumes from the surviving size, and
+        rotation numbering continues after the highest existing
+        suffix.  Crash recovery (``serve --recover``) appends to the
+        original audit log this way.
     """
 
     def __init__(
@@ -101,6 +109,7 @@ class JsonlTraceWriter:
         *,
         max_bytes: int | None = 32 * 1024 * 1024,
         fsync: bool = False,
+        append: bool = False,
     ):
         if max_bytes is not None and max_bytes <= 0:
             raise ValueError("max_bytes must be positive or None")
@@ -109,9 +118,39 @@ class JsonlTraceWriter:
         self.fsync = fsync
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
-        self._handle = self.path.open("w")
-        self._written = 0
-        self._next_segment = 1
+        if append:
+            self._written = self._truncate_torn_tail()
+            self._handle = self.path.open("a")
+            self._next_segment = 1 + max(
+                (suffix for suffix, _ in self._rotated_segments()), default=0
+            )
+        else:
+            self._handle = self.path.open("w")
+            self._written = 0
+            self._next_segment = 1
+
+    def _rotated_segments(self) -> List[tuple]:
+        """``(suffix, path)`` pairs for every rotated segment."""
+        pattern = re.compile(re.escape(self.path.name) + r"\.(\d+)$")
+        found = []
+        if self.path.parent.is_dir():
+            for candidate in self.path.parent.iterdir():
+                match = pattern.fullmatch(candidate.name)
+                if match:
+                    found.append((int(match.group(1)), candidate))
+        return found
+
+    def _truncate_torn_tail(self) -> int:
+        """Drop a partial final line left by a hard kill; return the size."""
+        if not self.path.is_file():
+            return 0
+        with self.path.open("r+b") as handle:
+            data = handle.read()
+            if data and not data.endswith(b"\n"):
+                keep = data.rfind(b"\n") + 1  # 0 when no complete line
+                handle.truncate(keep)
+                return keep
+        return len(data)
 
     def write_frame(self, frame: Dict[str, Any]) -> None:
         line = json.dumps(frame, separators=(",", ":"))

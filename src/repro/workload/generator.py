@@ -186,6 +186,14 @@ class BurstyDemandGenerator:
             return 0.0
         return sum(self._bursting.values()) / len(self._bursting)
 
+    def state_dict(self) -> Dict[str, object]:
+        """Checkpoint: the per-VM regime map (streams are owned by the
+        controller's :class:`RandomStreams` and snapshotted there)."""
+        return {"bursting": dict(self._bursting)}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self._bursting = dict(state["bursting"])  # type: ignore[arg-type]
+
 
 class DiurnalDemandGenerator:
     """Daily-rhythm demand: a sinusoidal day profile times Poisson noise.
@@ -249,6 +257,13 @@ class DiurnalDemandGenerator:
             vm.current_demand = demand
             per_host[vm.host_id] = per_host.get(vm.host_id, 0.0) + demand
         return per_host
+
+    def state_dict(self) -> Dict[str, object]:
+        """Checkpoint: position within the day profile."""
+        return {"tick": self._tick}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self._tick = int(state["tick"])  # type: ignore[arg-type]
 
 
 class DemandGenerator:
@@ -331,3 +346,28 @@ class DemandGenerator:
     def expected_host_demand(self) -> Dict[int, float]:
         """Expected (mean) per-host demand in watts."""
         return self.plan.mean_demand_per_host()
+
+    def state_dict(self) -> Dict[str, object]:
+        """Checkpoint: the prefetched Poisson block and the read cursor.
+
+        The buffer must travel with the RNG states: the per-VM streams
+        have already advanced past the whole block, so resuming without
+        the unconsumed draws would skip up to ``block_size`` ticks of
+        demand.
+        """
+        return {
+            "buffer": None if self._buffer is None else self._buffer.copy(),
+            "cursor": self._cursor,
+            "block_size": self._block_size,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        block_size = int(state["block_size"])  # type: ignore[arg-type]
+        if block_size != self._block_size:
+            raise ValueError(
+                f"demand block_size mismatch: snapshot has {block_size}, "
+                f"generator was built with {self._block_size}"
+            )
+        buffer = state["buffer"]
+        self._buffer = None if buffer is None else np.array(buffer, dtype=np.int64)
+        self._cursor = int(state["cursor"])  # type: ignore[arg-type]

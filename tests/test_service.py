@@ -452,6 +452,46 @@ def test_read_audit_tolerates_truncated_tail(tmp_path):
     assert len(document["events"]) == 1
 
 
+def test_read_audit_tolerates_torn_line_in_middle_segment(tmp_path):
+    # A crash + append-mode recovery leaves the torn line in a segment
+    # that later rotation pushes into the *middle* of the read order;
+    # the reader must tolerate it anywhere, not just at the very end.
+    path = tmp_path / "audit.jsonl"
+    log = AuditLog(path, max_bytes=1)  # rotate after every record
+    log.write_meta(ServiceSpec().to_meta())
+    log.write_event(0, 1, "x", {"type": "supply_update", "budget": 1.0},
+                    applied=True)
+    log.write_event(1, 2, "x", {"type": "supply_update", "budget": 2.0},
+                    applied=True)
+    log.close()
+    segments = trace_segments(path)
+    assert len(segments) >= 3
+    middle = segments[1]
+    with middle.open("a") as handle:
+        handle.write('{"kind": "event", "tick": 0, "se')  # torn mid-rotation
+    document = read_audit(path)
+    assert document["truncated_lines"] == 1
+    assert len(document["events"]) == 2
+
+
+def test_trace_reader_tolerates_torn_line_in_middle_segment(tmp_path):
+    from repro.trace.query import TraceReader
+
+    path = tmp_path / "run.trace"
+    writer = JsonlTraceWriter(path, max_bytes=1)  # rotate per frame
+    writer.write_frame({"type": "meta", "controller": "t", "nodes": []})
+    writer.write_frame({"tick": 0, "t": 0.0})
+    writer.write_frame({"tick": 1, "t": 1.0})
+    writer.close()
+    segments = trace_segments(path)
+    assert len(segments) >= 3
+    with segments[1].open("a") as handle:
+        handle.write('{"tick": 99, "t"')  # torn line mid-rotation
+    reader = TraceReader(path)
+    assert reader.skipped_lines == 1
+    assert [frame["tick"] for frame in reader.run.frames] == [0, 1]
+
+
 def test_read_audit_requires_meta(tmp_path):
     path = tmp_path / "audit.jsonl"
     path.write_text('{"kind": "event", "tick": 0, "seq": 1}\n')
@@ -486,6 +526,62 @@ def test_audit_rotation_segments_replay(tmp_path):
     log.close()
     assert len(trace_segments(path)) > 1
     assert replay(path).parity is True
+
+
+# --------------------------------------------------- JSONL writer append mode
+def test_jsonl_writer_append_truncates_torn_tail(tmp_path):
+    path = tmp_path / "log.jsonl"
+    writer = JsonlTraceWriter(path)
+    writer.write_frame({"i": 0})
+    writer.write_frame({"i": 1})
+    writer.close()
+    with path.open("a") as handle:
+        handle.write('{"i": 2, "torn')  # hard kill mid-write
+    resumed = JsonlTraceWriter(path, append=True)
+    resumed.write_frame({"i": 3})
+    resumed.close()
+    frames = [json.loads(raw) for raw in path.read_text().splitlines()]
+    assert frames == [{"i": 0}, {"i": 1}, {"i": 3}]
+
+
+def test_jsonl_writer_append_continues_rotation_numbering(tmp_path):
+    path = tmp_path / "log.jsonl"
+    writer = JsonlTraceWriter(path, max_bytes=1)  # rotate per frame
+    writer.write_frame({"i": 0})
+    writer.write_frame({"i": 1})
+    writer.close()
+    before = len(trace_segments(path))
+    resumed = JsonlTraceWriter(path, max_bytes=1, append=True)
+    resumed.write_frame({"i": 2})
+    resumed.write_frame({"i": 3})
+    resumed.close()
+    segments = trace_segments(path)
+    assert len(segments) > before
+    frames = [
+        json.loads(raw)
+        for segment in segments
+        for raw in segment.read_text().splitlines()
+    ]
+    assert [frame["i"] for frame in frames] == [0, 1, 2, 3]
+
+
+def test_jsonl_writer_append_resumes_byte_counter(tmp_path):
+    path = tmp_path / "log.jsonl"
+    writer = JsonlTraceWriter(path, max_bytes=64)
+    writer.write_frame({"pad": "x" * 40})  # 51 bytes: below the cap
+    writer.close()
+    resumed = JsonlTraceWriter(path, max_bytes=64, append=True)
+    assert resumed._written == path.stat().st_size
+    resumed.write_frame({"pad": "y" * 40})  # pushes past the cap -> rotate
+    resumed.close()
+    assert len(trace_segments(path)) == 2
+
+
+def test_jsonl_writer_append_missing_file_starts_fresh(tmp_path):
+    writer = JsonlTraceWriter(tmp_path / "new.jsonl", append=True)
+    writer.write_frame({"i": 0})
+    writer.close()
+    assert json.loads((tmp_path / "new.jsonl").read_text()) == {"i": 0}
 
 
 # ------------------------------------------------- JSONL writer concurrency

@@ -61,6 +61,76 @@ def test_fork_changes_streams_deterministically():
     assert not np.array_equal(fork_a, base["w"].random(5))
 
 
+def test_fork_seed_derivation_is_pinned():
+    # SeedSequence-based derivation is a documented serialization
+    # contract: these exact values must never change between releases.
+    assert RandomStreams(9).fork(1).seed == 1494730845
+    assert RandomStreams(0).fork(0).seed == 74991045
+    assert RandomStreams(42).fork(3).seed == 2929963353
+    assert RandomStreams(9).fork(1)["w"].integers(0, 1000, 4).tolist() == [
+        296,
+        65,
+        901,
+        477,
+    ]
+
+
+def test_fork_salts_are_distinct():
+    base = RandomStreams(7)
+    seeds = {base.fork(i).seed for i in range(64)}
+    assert len(seeds) == 64
+
+
+def test_fork_does_not_collide_with_named_streams():
+    base = RandomStreams(5)
+    fork_draw = base.fork(0)["x"].random(8)
+    named_draw = RandomStreams(5)["x"].random(8)
+    assert not np.array_equal(fork_draw, named_draw)
+
+
+def test_state_dict_round_trip_resumes_bit_exactly():
+    streams = RandomStreams(21)
+    _ = streams["demand"].random(17)
+    _ = streams["noise"].standard_normal(5)
+    state = streams["demand"].bit_generator.state  # advance asymmetrically
+    del state
+
+    snapshot = streams.state_dict()
+    expected_a = streams["demand"].random(9)
+    expected_b = streams["noise"].standard_normal(9)
+
+    restored = RandomStreams(21)
+    restored.load_state_dict(snapshot)
+    assert np.array_equal(restored["demand"].random(9), expected_a)
+    assert np.array_equal(restored["noise"].standard_normal(9), expected_b)
+
+
+def test_load_state_dict_preserves_generator_identity():
+    streams = RandomStreams(3)
+    held = streams["sensor-noise"]
+    _ = held.random(4)
+    snapshot = streams.state_dict()
+    _ = held.random(4)
+
+    streams.load_state_dict(snapshot)
+    # The externally held reference must observe the restored state.
+    fresh = RandomStreams(3)
+    fresh.load_state_dict(snapshot)
+    assert np.array_equal(held.random(6), fresh["sensor-noise"].random(6))
+
+
+def test_load_state_dict_rejects_foreign_seed():
+    snapshot = RandomStreams(1).state_dict()
+    with pytest.raises(ValueError, match="seed"):
+        RandomStreams(2).load_state_dict(snapshot)
+
+
+def test_state_dict_only_captures_realised_streams():
+    streams = RandomStreams(11)
+    _ = streams["only"]
+    assert set(streams.state_dict()["streams"]) == {"only"}
+
+
 def test_streams_statistically_distinct():
     # Crude independence check: correlation between two long streams
     # should be near zero.
