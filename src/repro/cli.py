@@ -624,7 +624,22 @@ def build_federation_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--policy", type=str, default="proportional",
         help="shifting policy: neutral, proportional, greedy-greenest, "
-             "price-aware (default proportional)",
+             "price-aware, predictive (default proportional)",
+    )
+    parser.add_argument(
+        "--horizon", type=int, default=0, metavar="K",
+        help="lookahead supply periods for --policy predictive "
+             "(0 degrades to proportional; default 0)",
+    )
+    parser.add_argument(
+        "--cooling", action="store_true",
+        help="charge the modeled cooling-plant overhead against every "
+             "site budget and let the predictive planner actuate "
+             "supply-air setpoints (incompatible with --vectorized)",
+    )
+    parser.add_argument(
+        "--outside-temp", type=float, default=30.0, metavar="DEG_C",
+        help="outside air temperature for --cooling (default 30)",
     )
     parser.add_argument(
         "--wan-cost", type=float, default=None, metavar="W",
@@ -665,6 +680,12 @@ def federation_main(argv: List[str]) -> int:
     if not 0.0 < args.utilization <= 1.0:
         print("--utilization must be in (0, 1]", file=sys.stderr)
         return 2
+    if args.horizon < 0:
+        print("--horizon must be >= 0", file=sys.stderr)
+        return 2
+    if args.cooling and args.vectorized:
+        print("--cooling is incompatible with --vectorized", file=sys.stderr)
+        return 2
 
     from repro.experiments.fig_federation import SOLAR_PEAK, build_specs
     from repro.federation import POLICIES, run_federation
@@ -697,6 +718,11 @@ def federation_main(argv: List[str]) -> int:
         solar_peak=args.solar_peak or SOLAR_PEAK,
         seed=args.seed,
     )
+    cooling = None
+    if args.cooling:
+        from repro.federation import CoolingControl
+
+        cooling = CoolingControl(outside_temp=args.outside_temp)
     tracer = _open_tracer(args.trace)
     coordinator = run_federation(
         specs,
@@ -704,6 +730,8 @@ def federation_main(argv: List[str]) -> int:
         policy=args.policy,
         wan_cost_power=args.wan_cost,
         wan_cost_ticks=args.wan_ticks,
+        horizon=args.horizon,
+        cooling=cooling,
         tracer=tracer,
         vectorized=args.vectorized,
     )
@@ -713,7 +741,9 @@ def federation_main(argv: List[str]) -> int:
         f"Federated Willow run: {args.sites} site(s), "
         f"policy {args.policy}, U={args.utilization:.0%}, "
         f"{args.ticks} ticks, seed {args.seed}"
+        + (f", horizon {args.horizon}" if args.horizon else "")
         + (f", battery {args.battery} per site" if args.battery else "")
+        + (", cooling actuation on" if args.cooling else "")
     )
     print(summarize_federation(coordinator).format())
     t_limit = max(site.config.thermal.t_limit for site in coordinator.sites)

@@ -85,6 +85,43 @@ class CoolingModel:
         result = 1.0 + 1.0 / np.asarray(cop, dtype=float)
         return float(result) if result.ndim == 0 else result
 
+    def setpoint_cop(
+        self,
+        setpoint: float,
+        outside_temp: float,
+        *,
+        reference: float = 25.0,
+    ):
+        """COP with the supply-air setpoint as a controllable input.
+
+        Raising the setpoint by one degree relieves the chiller by
+        (approximately) one degree of outside temperature: warmer supply
+        air means a smaller lift between the chilled-water loop and the
+        room, the standard first-order setpoint model (and the reason
+        ASHRAE keeps widening the recommended inlet envelope).
+        ``reference`` is the setpoint the base :meth:`cop` curve was
+        fitted at.
+        """
+        t = np.asarray(setpoint, dtype=float)
+        return self.cop(outside_temp - (t - reference))
+
+    def setpoint_cooling_power(
+        self,
+        it_power,
+        setpoint: float,
+        outside_temp: float,
+        *,
+        reference: float = 25.0,
+    ):
+        """Cooling-plant watts to remove ``it_power`` at a setpoint."""
+        it = np.asarray(it_power, dtype=float)
+        if np.any(it < 0):
+            raise ValueError("it_power must be non-negative")
+        result = it / self.setpoint_cop(
+            setpoint, outside_temp, reference=reference
+        )
+        return float(result) if result.ndim == 0 else result
+
     def degraded_supply_temperature(
         self,
         base_ambient: float,

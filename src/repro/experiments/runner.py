@@ -26,6 +26,7 @@ from repro.experiments import (
     imbalance,
     fig_degraded,
     fig_federation,
+    fig_predictive,
     fig_resilience,
     fig04_thermal,
     fig05_power,
@@ -67,6 +68,7 @@ REGISTRY: Dict[str, Callable] = {
     "degraded": fig_degraded.run,
     "resilience": fig_resilience.run,
     "federation": fig_federation.run,
+    "predictive": fig_predictive.run,
 }
 
 

@@ -22,8 +22,17 @@ from repro.federation.policies import (
     Transfer,
     greedy_greenest,
     neutral,
+    predictive,
     price_aware,
     proportional,
+)
+from repro.federation.predictive import (
+    ActuatedSupply,
+    CoolingControl,
+    CoolingSetpoint,
+    PredictivePlanner,
+    SiteForecast,
+    predictive_policy,
 )
 from repro.federation.site import Site, SiteSpec, build_site
 
@@ -44,4 +53,11 @@ __all__ = [
     "proportional",
     "greedy_greenest",
     "price_aware",
+    "predictive",
+    "predictive_policy",
+    "PredictivePlanner",
+    "SiteForecast",
+    "CoolingControl",
+    "CoolingSetpoint",
+    "ActuatedSupply",
 ]

@@ -41,6 +41,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from repro.binpack.ffdlr import ffdlr_pack
 from repro.binpack.items import Bin, Item
 from repro.federation.policies import POLICIES, SiteStatus, Transfer
+from repro.federation.predictive import (
+    CoolingControl,
+    CoolingSetpoint,
+    PredictivePlanner,
+    SiteForecast,
+)
 from repro.federation.site import Site, SiteSpec, build_site
 from repro.trace.tracer import Tracer, active_tracer
 
@@ -76,12 +82,33 @@ class FederationConfig:
         Watts of headroom a donor site always keeps (the federation
         analogue of ``P_min``); ``None`` defaults to the site config's
         ``p_min``.
+    horizon:
+        Lookahead steps (supply periods) for forecast-aware policies;
+        0 keeps even ``predictive`` exactly proportional.
+    discount:
+        Per-step geometric discount on predicted deficits.
+    cooling:
+        Optional :class:`~repro.federation.predictive.CoolingControl`:
+        charges the modeled cooling-plant overhead against every site's
+        budget and lets the predictive planner actuate supply-air
+        setpoints.  ``None`` (the default) changes nothing.
     """
 
     policy: Union[str, Callable] = "neutral"
     wan_cost_power: Optional[float] = None
     wan_cost_ticks: Optional[int] = None
     margin: Optional[float] = None
+    horizon: int = 0
+    discount: float = 0.6
+    cooling: Optional[CoolingControl] = None
+
+    def __post_init__(self) -> None:
+        if self.horizon < 0:
+            raise ValueError(f"horizon must be >= 0, got {self.horizon}")
+        if not 0.0 < self.discount <= 1.0:
+            raise ValueError(
+                f"discount must be in (0, 1], got {self.discount}"
+            )
 
     def resolve_policy(self) -> Callable:
         if callable(self.policy):
@@ -154,6 +181,24 @@ class FederationCoordinator:
         self.delta_d = first.delta_d
         self.eta1 = first.eta1
 
+        #: The receding-horizon planner, for forecast-aware policies
+        #: with a positive horizon; ``None`` keeps the plain
+        #: ``policy(statuses, margin=...)`` call (and ``predictive`` at
+        #: ``horizon=0`` therefore stays bit-exact with proportional).
+        self._planner: Optional[PredictivePlanner] = None
+        if (
+            getattr(self._policy, "forecast_aware", False)
+            and self.federation.horizon > 0
+        ):
+            self._planner = PredictivePlanner(
+                horizon=self.federation.horizon,
+                discount=self.federation.discount,
+            )
+        #: Cooling setpoint directives per shift tick.
+        self.setpoint_log: List[Tuple[int, List[CoolingSetpoint]]] = []
+        if self.federation.cooling is not None:
+            self._install_cooling()
+
         #: Executed cross-site moves, time-ordered.
         self.cross_migrations: List[CrossSiteMigration] = []
         #: Policy directives per shift tick: ``(tick, [Transfer, ...])``.
@@ -219,12 +264,114 @@ class FederationCoordinator:
             for site in self.sites
         ]
 
+    def _install_cooling(self) -> None:
+        """Wrap every site's supply in the overhead-charging actuator.
+
+        Rejected for vectorized site controllers: their thermal state
+        lives in fleet arrays, so per-server setpoint actuation has no
+        object path to write through.
+        """
+        from repro.core.vectorized import VectorizedWillowController
+
+        cooling = self.federation.cooling
+        for site in self.sites:
+            if isinstance(site.controller, VectorizedWillowController):
+                raise ValueError(
+                    "cooling actuation needs per-server object thermal "
+                    f"state; site {site.name!r} runs the vectorized "
+                    "controller (build with vectorized=False and "
+                    "SiteSpec.vectorized=False)"
+                )
+            site.install_cooling(cooling)
+
+    def _update_cooling(self, now: float) -> None:
+        """Refresh each site's charged cooling-plant overhead.
+
+        Smoothed IT demand over the COP at the standing setpoint --
+        recomputed on the supply cadence, *before* statuses are taken,
+        so the policy sees supply net of the cooling it is paying for.
+        """
+        cooling = self.federation.cooling
+        if cooling is None or not cooling.charge_overhead:
+            return
+        for site in self.sites:
+            if site.actuated_supply is None:
+                continue
+            setpoint = (
+                site.setpoint
+                if site.setpoint is not None
+                else cooling.nominal_setpoint
+            )
+            site.actuated_supply.overhead = cooling.overhead_power(
+                site.smoothed_demand(), setpoint
+            )
+
+    def forecasts(self, now: float) -> List[SiteForecast]:
+        """One K-step lookahead per site, for the predictive planner.
+
+        ``supplies[k]`` is the segment-exact mean of the *delivered*
+        (post-UPS) supply over future supply period ``k``, minus the
+        site's standing cooling overhead; the battery fields come from
+        the UPS charge plan precomputed at build time.
+        """
+        step = self.eta1 * self.delta_d
+        horizon = self._planner.horizon if self._planner is not None else 0
+        out: List[SiteForecast] = []
+        for site in self.sites:
+            overhead = (
+                site.actuated_supply.overhead
+                if site.actuated_supply is not None
+                else 0.0
+            )
+            supplies = tuple(
+                max(
+                    site.delivered_supply.mean_between(
+                        now + k * step, now + (k + 1) * step
+                    )
+                    - overhead,
+                    0.0,
+                )
+                for k in range(horizon + 1)
+            )
+            out.append(
+                SiteForecast(
+                    name=site.name,
+                    supplies=supplies,
+                    battery_charge=site.battery_charge_at(now),
+                    battery_rate=site.battery_rate,
+                )
+            )
+        return out
+
+    def _wan_break_even(self) -> float:
+        """Energy (W * time units) one WAN move charges, both ends.
+
+        The planner's gate for pre-emptive shifts; the max across sites
+        keeps the gate conservative when WAN costs differ.
+        """
+        return max(
+            2.0 * power * ticks * self.delta_d
+            for power, ticks in (self._wan_cost(site) for site in self.sites)
+        )
+
     def _rebalance(self, tick: int, now: float) -> None:
+        self._update_cooling(now)
         statuses = self.statuses(now)
         margin = self.federation.margin
         if margin is None:
             margin = max(site.config.p_min for site in self.sites)
-        transfers = self._policy(statuses, margin=margin)
+        setpoints: List[CoolingSetpoint] = []
+        if self._planner is not None:
+            transfers, setpoints = self._planner.plan(
+                statuses,
+                self.forecasts(now),
+                margin=margin,
+                step=self.eta1 * self.delta_d,
+                wan_break_even=self._wan_break_even(),
+                cooling=self.federation.cooling,
+            )
+        else:
+            transfers = self._policy(statuses, margin=margin)
         if self.tracer.enabled:
             self.tracer.begin_tick(tick, now)
             for status in statuses:
@@ -235,6 +382,22 @@ class FederationCoordinator:
                     status.headroom,
                     status.carbon,
                     status.price,
+                )
+            if self._planner is not None:
+                for status in statuses:
+                    deficits = self._planner.last_plan.get(status.name)
+                    if deficits:
+                        self.tracer.record_planner(
+                            status.name,
+                            self._planner.horizon,
+                            deficits,
+                            setpoint=self._planner.setpoints.get(status.name),
+                        )
+        if setpoints:
+            self.setpoint_log.append((tick, list(setpoints)))
+            for directive in setpoints:
+                self._by_name[directive.site].apply_setpoint(
+                    directive.base_ambient
                 )
         if not transfers:
             return
@@ -305,6 +468,56 @@ class FederationCoordinator:
                 remaining_directive -= vm.current_demand
         return out
 
+    def _preshed_candidates(
+        self, site: Site, watts: float
+    ) -> List[Tuple[int, float, Item]]:
+        """Whole VMs a *pre-emptive* transfer ships out, ahead of a crunch.
+
+        The source has no over-budget servers yet (that is the point of
+        shifting early), so the Sec. IV-E rule has nothing to shed.
+        Instead take the largest VMs from the least-headroom awake
+        servers -- the ones the forecast dims first -- capped at the
+        directive.  The recorded ``src_deficit`` is the directive
+        itself: the *predicted*, not observed, deficit.
+        """
+        controller = site.controller
+        candidates = sorted(
+            (
+                s
+                for s in controller.servers.values()
+                if s.is_awake and s.vms
+            ),
+            key=lambda s: (s.budget - s.raw_demand, s.node.node_id),
+        )
+        remaining_directive = watts
+        out: List[Tuple[int, float, Item]] = []
+        for server in candidates:
+            if remaining_directive <= _EPS:
+                break
+            for vm in sorted(
+                server.vms.values(),
+                key=lambda v: (-v.current_demand, v.vm_id),
+            ):
+                if remaining_directive <= _EPS:
+                    break
+                if vm.current_demand <= 0:
+                    continue
+                if vm.current_demand > remaining_directive + _EPS:
+                    continue  # would overshoot the directive
+                out.append(
+                    (
+                        server.node.node_id,
+                        watts,
+                        Item(
+                            key=vm.vm_id,
+                            size=vm.current_demand,
+                            payload=vm,
+                        ),
+                    )
+                )
+                remaining_directive -= vm.current_demand
+        return out
+
     def _destination_bins(self, site: Site) -> List[Bin]:
         """Eligible receivers at the destination site, as FFDLR bins.
 
@@ -335,7 +548,11 @@ class FederationCoordinator:
     def _execute_transfer(self, transfer: Transfer, now: float) -> None:
         src_site = self._by_name[transfer.src]
         dst_site = self._by_name[transfer.dst]
-        items = self._shed_candidates(src_site, transfer.watts)
+        items = (
+            self._preshed_candidates(src_site, transfer.watts)
+            if transfer.preemptive
+            else self._shed_candidates(src_site, transfer.watts)
+        )
         if not items:
             return
         bins = self._destination_bins(dst_site)
@@ -438,7 +655,7 @@ class FederationCoordinator:
         from home is restored as *one* object referenced by both its
         home placement and the hosting server's runtime.
         """
-        return {
+        state = {
             "controller": type(self).__name__,
             "tick": self._tick_index,
             "sites": [
@@ -455,6 +672,27 @@ class FederationCoordinator:
             "cross_migrations": list(self.cross_migrations),
             "transfer_log": list(self.transfer_log),
         }
+        if self._planner is not None or self.federation.cooling is not None:
+            state["planner"] = {
+                "planner": (
+                    self._planner.state_dict()
+                    if self._planner is not None
+                    else None
+                ),
+                "setpoint_log": list(self.setpoint_log),
+                "sites": {
+                    site.name: {
+                        "setpoint": site.setpoint,
+                        "overhead": (
+                            site.actuated_supply.overhead
+                            if site.actuated_supply is not None
+                            else None
+                        ),
+                    }
+                    for site in self.sites
+                },
+            }
+        return state
 
     def restore_state(self, state: Dict) -> None:
         """Overlay a snapshot onto a freshly built, identical federation.
@@ -480,6 +718,31 @@ class FederationCoordinator:
             site.watts_sent = entry["watts_sent"]
         self.cross_migrations[:] = state["cross_migrations"]
         self.transfer_log[:] = state["transfer_log"]
+        extra = state.get("planner")
+        if extra is None:
+            return
+        if extra["planner"] is not None:
+            if self._planner is None:
+                raise CheckpointError(
+                    "snapshot carries predictive-planner state but this "
+                    "federation was not built with a forecast-aware "
+                    "policy and positive horizon"
+                )
+            self._planner.load_state_dict(extra["planner"])
+        self.setpoint_log[:] = extra["setpoint_log"]
+        for site in self.sites:
+            entry = extra["sites"].get(site.name)
+            if entry is None:
+                continue
+            # Per-server thermal state was already restored with the
+            # controller snapshot; only the standing-setpoint label and
+            # the charged overhead live on the Site.
+            site.setpoint = entry["setpoint"]
+            if (
+                site.actuated_supply is not None
+                and entry["overhead"] is not None
+            ):
+                site.actuated_supply.overhead = entry["overhead"]
 
     # ------------------------------------------------------------ helpers
     def site(self, name: str) -> Site:
@@ -499,6 +762,9 @@ def build_federation(
     wan_cost_power: Optional[float] = None,
     wan_cost_ticks: Optional[int] = None,
     margin: Optional[float] = None,
+    horizon: int = 0,
+    discount: float = 0.6,
+    cooling: Optional[CoolingControl] = None,
     tracer: Optional[Tracer] = None,
     vectorized: bool = False,
     site_tracer: Optional[Tracer] = None,
@@ -536,6 +802,9 @@ def build_federation(
         wan_cost_power=wan_cost_power,
         wan_cost_ticks=wan_cost_ticks,
         margin=margin,
+        horizon=horizon,
+        discount=discount,
+        cooling=cooling,
     )
     if vectorized:
         from repro.federation.vectorized import BatchedFederationCoordinator
@@ -554,6 +823,9 @@ def run_federation(
     wan_cost_power: Optional[float] = None,
     wan_cost_ticks: Optional[int] = None,
     margin: Optional[float] = None,
+    horizon: int = 0,
+    discount: float = 0.6,
+    cooling: Optional[CoolingControl] = None,
     tracer: Optional[Tracer] = None,
     vectorized: bool = False,
 ) -> FederationCoordinator:
@@ -570,6 +842,9 @@ def run_federation(
         wan_cost_power=wan_cost_power,
         wan_cost_ticks=wan_cost_ticks,
         margin=margin,
+        horizon=horizon,
+        discount=discount,
+        cooling=cooling,
         tracer=tracer,
         vectorized=vectorized,
     )

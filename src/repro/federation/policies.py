@@ -20,6 +20,9 @@ Shipped policies:
   site first.
 * ``price-aware``    -- deficits fill from the cheapest surplus site
   first, and only when it is no more expensive than the deficit site.
+* ``predictive``     -- receding-horizon MPC over each site's supply
+  forecast and battery plan (:mod:`repro.federation.predictive`);
+  ``horizon=0`` degrades exactly to ``proportional``.
 """
 
 from __future__ import annotations
@@ -35,6 +38,7 @@ __all__ = [
     "proportional",
     "greedy_greenest",
     "price_aware",
+    "predictive",
 ]
 
 _EPS = 1e-9
@@ -63,11 +67,18 @@ class SiteStatus:
 
 @dataclass(frozen=True)
 class Transfer:
-    """A directive to shift ``watts`` of VM load ``src`` -> ``dst``."""
+    """A directive to shift ``watts`` of VM load ``src`` -> ``dst``.
+
+    ``preemptive`` marks a *predictive* shift: the source has headroom
+    right now but its forecast shows a deficit ahead, so the
+    coordinator sheds from its least-headroom servers instead of the
+    (empty) set of over-budget ones.
+    """
 
     src: str
     dst: str
     watts: float
+    preemptive: bool = False
 
     def __post_init__(self) -> None:
         if self.src == self.dst:
@@ -180,10 +191,35 @@ def price_aware(
     )
 
 
+def predictive(
+    statuses: Sequence[SiteStatus], *, margin: float = 0.0, **kwargs
+) -> List[Transfer]:
+    """Receding-horizon MPC over supply forecasts and battery plans.
+
+    Thin registry shim around
+    :func:`repro.federation.predictive.predictive_policy` (the import
+    is deferred to keep the registry free of the planner's
+    dependencies).  Called with only ``statuses`` -- no forecasts, no
+    horizon -- it degrades to :func:`proportional`, so the registry
+    entry honours the common policy signature.
+    """
+    from repro.federation.predictive import predictive_policy
+
+    return predictive_policy(statuses, margin=margin, **kwargs)
+
+
+#: The coordinator spots this marker and drives the policy through a
+#: stateful :class:`~repro.federation.predictive.PredictivePlanner`
+#: (forecast windows, battery plans, cooling setpoints) instead of the
+#: plain ``policy(statuses, margin=...)`` call.
+predictive.forecast_aware = True
+
+
 #: Policy registry keyed by CLI/experiment slug.
 POLICIES: Dict[str, Callable[..., List[Transfer]]] = {
     "neutral": neutral,
     "proportional": proportional,
     "greedy-greenest": greedy_greenest,
     "price-aware": price_aware,
+    "predictive": predictive,
 }

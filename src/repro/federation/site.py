@@ -23,7 +23,7 @@ from typing import Mapping, Optional
 from repro.core.config import WillowConfig
 from repro.core.controller import WillowController
 from repro.metrics.collector import MetricsCollector
-from repro.power.battery import Battery, buffer_supply
+from repro.power.battery import Battery, buffer_supply_with_plan
 from repro.power.supply import SupplyTrace, constant_supply
 from repro.sim.rng import RandomStreams
 from repro.topology.tree import Tree
@@ -113,6 +113,16 @@ class Site:
     delivered_supply: SupplyTrace
     carbon: SupplyTrace
     price: SupplyTrace
+    #: The UPS charge plan over the run (W*ticks vs time); ``None``
+    #: without a battery.  The predictive planner reads it.
+    battery_plan: Optional[SupplyTrace] = None
+    #: The UPS discharge limit (W); 0 without a battery.
+    battery_rate: float = 0.0
+    #: Cooling actuation, installed by the coordinator when the
+    #: federation config enables it: the overhead-charging supply
+    #: wrapper and the standing supply-air setpoint.
+    actuated_supply: Optional[object] = None  # ActuatedSupply
+    setpoint: Optional[float] = None
     #: Cross-site bookkeeping, filled by the coordinator.
     vms_received: int = 0
     vms_sent: int = 0
@@ -138,8 +148,51 @@ class Site:
         return self.controller.internals[root.node_id].smoothed_demand
 
     def supply_at(self, now: float) -> float:
-        """Delivered (post-UPS) supply in force at ``now``."""
+        """Delivered (post-UPS, post-cooling-overhead) supply at ``now``."""
+        if self.actuated_supply is not None:
+            return self.actuated_supply.at(now)
         return self.delivered_supply.at(now)
+
+    def battery_charge_at(self, now: float) -> float:
+        """Planned UPS state of charge (W*ticks) at ``now``; 0 without
+        a battery."""
+        if self.battery_plan is None:
+            return 0.0
+        return self.battery_plan.at(now)
+
+    # -- cooling actuation ------------------------------------------------
+    def install_cooling(self, control) -> None:
+        """Wire the cooling actuator in: wrap the controller's supply in
+        an overhead-charging :class:`ActuatedSupply` and start at the
+        nominal setpoint.  Called once by the coordinator."""
+        from repro.federation.predictive import ActuatedSupply
+
+        self.actuated_supply = ActuatedSupply(self.delivered_supply)
+        self.controller.supply = self.actuated_supply
+        self.setpoint = control.nominal_setpoint
+
+    def apply_setpoint(self, value: float) -> None:
+        """Move every rack's supply-air temperature to ``value``.
+
+        The fault-tolerant controller routes through its
+        ``set_base_ambient`` so an in-progress CRAC-derate ramp keeps
+        composing with the new base; plain controllers set the ambient
+        directly (their next eta1 allocation -- the same tick, since
+        rebalances ride the supply cadence -- re-derives the Eq. 3
+        caps).
+        """
+        self.setpoint = value
+        controller = self.controller
+        set_base = getattr(controller, "set_base_ambient", None)
+        if set_base is not None:
+            set_base(value)
+            return
+        for sid in sorted(controller.servers):
+            server = controller.servers[sid]
+            ceiling = server.thermal_params.t_limit - 2.0
+            target = min(value, ceiling)
+            if abs(target - server.thermal_params.t_ambient) > 1e-12:
+                server.set_ambient(target)
 
     def headroom(self, now: float) -> float:
         """Supply minus smoothed demand; negative means a deficit."""
@@ -175,13 +228,16 @@ def build_site(
         len(servers) * config.circuit_limit
     )
     delivered = raw_supply
+    battery_plan = None
+    battery_rate = 0.0
     if spec.battery is not None:
-        delivered = buffer_supply(
+        delivered, battery_plan = buffer_supply_with_plan(
             raw_supply,
             spec.battery,
             duration=max(n_ticks * config.delta_d, config.delta_d),
             dt=config.delta_d,
         )
+        battery_rate = spec.battery.max_rate
 
     streams = RandomStreams(spec.seed)
     placement = random_placement(
@@ -227,4 +283,6 @@ def build_site(
         delivered_supply=delivered,
         carbon=spec.carbon or constant_supply(1.0),
         price=spec.price or constant_supply(1.0),
+        battery_plan=battery_plan,
+        battery_rate=battery_rate,
     )

@@ -1173,6 +1173,58 @@ class BatchedFederationCoordinator(FederationCoordinator):
                 )
         return out
 
+    def _preshed_candidates(
+        self, site: Site, watts: float
+    ) -> List[Tuple[int, float, Item]]:
+        """Pre-emptive shedding for a batched site.
+
+        VM takes are decided on the object metadata, so the deferred
+        segment state is flushed first; server order (least headroom
+        first) comes off the block arrays, bit-identical to the scalar
+        coordinator's attribute reads.
+        """
+        controller = site.controller
+        if not isinstance(controller, VectorizedWillowController):
+            return super()._preshed_candidates(site, watts)
+        entry = self._seg_of_ctrl.get(controller)
+        if entry is not None:
+            entry[0]._flush_vms(entry[1])
+        fleet = controller.fleet
+        headroom = fleet.budget - fleet.raw
+        rows = np.lexsort((fleet.node_ids, headroom))
+        remaining_directive = watts
+        out: List[Tuple[int, float, Item]] = []
+        awake_list = fleet.awake[rows].tolist()
+        for k_row, r in enumerate(rows.tolist()):
+            if remaining_directive <= _EPS:
+                break
+            if not awake_list[k_row]:
+                continue
+            server = fleet.servers[r]
+            for vm in sorted(
+                server.vms.values(),
+                key=lambda v: (-v.current_demand, v.vm_id),
+            ):
+                if remaining_directive <= _EPS:
+                    break
+                if vm.current_demand <= 0:
+                    continue
+                if vm.current_demand > remaining_directive + _EPS:
+                    continue
+                out.append(
+                    (
+                        server.node.node_id,
+                        watts,
+                        Item(
+                            key=vm.vm_id,
+                            size=vm.current_demand,
+                            payload=vm,
+                        ),
+                    )
+                )
+                remaining_directive -= vm.current_demand
+        return out
+
     def _destination_bins(self, site: Site) -> List[Bin]:
         """Array pre-screen of the FFDLR receiver bins (awake, not
         deficient, not squeezed, positive post-margin surplus)."""

@@ -197,6 +197,38 @@ class FaultTolerantWillowController(WillowController):
                 server.set_ambient(target)
                 self._force_allocation = True
 
+    def set_base_ambient(
+        self, value: float, *, zone_id: Optional[int] = None
+    ) -> None:
+        """Move the supply-air setpoint for a zone (default: everywhere).
+
+        This is the cooling *actuator* path (the predictive federation
+        planner raises setpoints into a crunch), as opposed to the
+        cooling *fault* path above.  The two compose: the new base is
+        pushed through :meth:`CoolingModel.degraded_supply_temperature`
+        at each server's **current** effective derate, so changing the
+        setpoint mid-:class:`CoolingDegradation` re-anchors the ramp
+        instead of silently resetting it -- the next ``_apply_cooling``
+        tick continues ramping from the same new base.
+        """
+        tick = self._tick_index
+        events = self.plant_faults.cooling
+        for sid in sorted(self._zone_leaves(zone_id)):
+            server = self.servers[sid]
+            self._base_ambient[sid] = value
+            derate = 0.0
+            for event in events:
+                if sid in self._zone_leaves(event.zone_id):
+                    derate = max(derate, event.effective_derate(tick))
+            target = self.cooling.degraded_supply_temperature(
+                value, self.outside_temp, derate
+            )
+            ceiling = server.thermal_params.t_limit - self.ambient_clamp_headroom
+            target = min(target, ceiling)
+            if abs(target - server.thermal_params.t_ambient) > 1e-12:
+                server.set_ambient(target)
+                self._force_allocation = True
+
     # -- crashes -----------------------------------------------------------
     def _apply_crashes(self, now: float, tick: int) -> None:
         if not self.plant_faults.crashes:
@@ -392,6 +424,9 @@ class FaultTolerantWillowController(WillowController):
             "active_trip_roots": self._active_trip_roots,
             "tripped_leaves": self._tripped_leaves,
             "sensors": self.sensors.state_dict(),
+            # Mutable since setpoint actuation landed; older snapshots
+            # without the key restore to the as-built bases.
+            "base_ambient": dict(self._base_ambient),
         }
         return state
 
@@ -408,6 +443,8 @@ class FaultTolerantWillowController(WillowController):
         self._active_trip_roots = frozenset(plant["active_trip_roots"])
         self._tripped_leaves = frozenset(plant["tripped_leaves"])
         self.sensors.load_state_dict(plant["sensors"])
+        if "base_ambient" in plant:
+            self._base_ambient = dict(plant["base_ambient"])
 
 
 def run_resilient(

@@ -29,6 +29,7 @@ from repro.power.battery import (
     Battery,
     BatterySpec,
     buffer_supply,
+    buffer_supply_with_plan,
     parse_battery_spec,
 )
 
@@ -45,6 +46,7 @@ __all__ = [
     "TESTBED_SERVER",
     "allocate_proportional",
     "buffer_supply",
+    "buffer_supply_with_plan",
     "constant_supply",
     "parse_battery_spec",
     "deficit_supply_trace",

@@ -22,7 +22,13 @@ import numpy as np
 
 from repro.power.supply import SupplyTrace
 
-__all__ = ["Battery", "BatterySpec", "buffer_supply", "parse_battery_spec"]
+__all__ = [
+    "Battery",
+    "BatterySpec",
+    "buffer_supply",
+    "buffer_supply_with_plan",
+    "parse_battery_spec",
+]
 
 
 @dataclass(frozen=True)
@@ -141,6 +147,27 @@ def buffer_supply(
 
     The battery object is mutated (its final charge reflects the run).
     """
+    delivered, _plan = buffer_supply_with_plan(
+        trace, battery, duration=duration, dt=dt, horizon=horizon
+    )
+    return delivered
+
+
+def buffer_supply_with_plan(
+    trace: SupplyTrace,
+    battery: Battery,
+    *,
+    duration: float,
+    dt: float = 1.0,
+    horizon: float = 8.0,
+) -> tuple:
+    """:func:`buffer_supply` that also returns the UPS *charge plan*.
+
+    The second return value is a :class:`SupplyTrace` of the battery's
+    planned state of charge (W * time-units) over the run -- what the
+    predictive federation planner consults to know how much stored
+    energy still backs a site's delivered supply at any future instant.
+    """
     if duration <= 0 or dt <= 0:
         raise ValueError("duration and dt must be positive")
     if horizon < dt:
@@ -149,6 +176,7 @@ def buffer_supply(
     raw = trace.series(times)
     window = max(int(round(horizon / dt)), 1)
     delivered = np.empty_like(raw)
+    charges = np.empty_like(raw)
     for i, supply in enumerate(raw):
         lo = max(i - window + 1, 0)
         target = float(np.mean(raw[lo : i + 1]))
@@ -158,4 +186,8 @@ def buffer_supply(
         else:
             boost = battery.deliver(target - supply, dt)
             delivered[i] = supply + boost
-    return SupplyTrace(tuple(times.tolist()), tuple(delivered.tolist()))
+        charges[i] = battery.charge
+    return (
+        SupplyTrace(tuple(times.tolist()), tuple(delivered.tolist())),
+        SupplyTrace(tuple(times.tolist()), tuple(charges.tolist())),
+    )

@@ -77,13 +77,59 @@ class SupplyTrace:
         """Time-average budget over ``[0, horizon]``."""
         if horizon <= 0:
             raise ValueError("horizon must be positive")
+        return self.mean_between(0.0, horizon)
+
+    def mean_between(self, t0: float, t1: float) -> float:
+        """Segment-exact time-average budget over ``[t0, t1]``.
+
+        The final budget holds forever, so the window may extend past
+        the last segment start.  A ``t0`` landing exactly on a segment
+        boundary reads the segment *starting* there (the same half-open
+        convention as :meth:`at`).
+        """
+        if not math.isfinite(t0) or t0 < 0:
+            raise ValueError(f"t0 must be finite and >= 0, got {t0}")
+        if not math.isfinite(t1) or t1 <= t0:
+            raise ValueError(f"t1 must be finite and > t0, got {t1}")
+        index = bisect_right(self.times, t0) - 1
         total = 0.0
-        for i, (start, budget) in enumerate(zip(self.times, self.budgets)):
-            if start >= horizon:
+        while True:
+            seg_end = (
+                self.times[index + 1]
+                if index + 1 < len(self.times)
+                else math.inf
+            )
+            lo = max(self.times[index], t0)
+            hi = min(seg_end, t1)
+            if hi > lo:
+                total += self.budgets[index] * (hi - lo)
+            if seg_end >= t1:
                 break
-            end = self.times[i + 1] if i + 1 < len(self.times) else horizon
-            total += budget * (min(end, horizon) - start)
-        return total / horizon
+            index += 1
+        return total / (t1 - t0)
+
+    def window(self, t0: float, horizon: float) -> "SupplyTrace":
+        """The forecast window ``[t0, t0 + horizon)`` re-based to time 0.
+
+        Returns a new :class:`SupplyTrace` whose segment boundaries are
+        the clipped originals; the budget in force at ``t0`` becomes the
+        first segment.  Receding-horizon planners read this instead of
+        the whole trace.
+        """
+        if not math.isfinite(t0) or t0 < 0:
+            raise ValueError(f"t0 must be finite and >= 0, got {t0}")
+        if not math.isfinite(horizon) or horizon <= 0:
+            raise ValueError(f"horizon must be finite and positive, got {horizon}")
+        start = bisect_right(self.times, t0) - 1
+        times = [0.0]
+        budgets = [self.budgets[start]]
+        end = t0 + horizon
+        for t, b in zip(self.times[start + 1:], self.budgets[start + 1:]):
+            if t >= end:
+                break
+            times.append(t - t0)
+            budgets.append(b)
+        return SupplyTrace(tuple(times), tuple(budgets))
 
     def scaled(self, factor: float) -> "SupplyTrace":
         """A copy with every budget multiplied by ``factor``."""
@@ -92,8 +138,19 @@ class SupplyTrace:
         return SupplyTrace(self.times, tuple(b * factor for b in self.budgets))
 
     def series(self, times: Sequence[float]) -> np.ndarray:
-        """Vector of budgets sampled at each instant in ``times``."""
-        return np.array([self.at(t) for t in times])
+        """Vector of budgets sampled at each instant in ``times``.
+
+        One vectorized ``searchsorted`` lookup (the federation planner
+        samples every site's trace each supply period), with the same
+        finite/``>= 0`` validation as :meth:`at`.
+        """
+        t = np.asarray(times, dtype=float)
+        if t.size == 0:
+            return np.empty(0, dtype=float)
+        if not np.all(np.isfinite(t)) or np.any(t < 0):
+            raise ValueError("times must be finite and >= 0")
+        index = np.searchsorted(np.asarray(self.times), t, side="right") - 1
+        return np.asarray(self.budgets, dtype=float)[index]
 
 
 def constant_supply(budget: float) -> SupplyTrace:

@@ -362,6 +362,29 @@ class Tracer:
             }
         )
 
+    def record_planner(
+        self,
+        site: str,
+        horizon: int,
+        deficits,
+        setpoint=None,
+    ) -> None:
+        """One site's receding-horizon plan at a predictive rebalance.
+
+        ``deficits[k]`` is the planner's predicted deficit for supply
+        period ``k`` ahead (``deficits[0]`` is the current one);
+        ``setpoint`` is the standing cooling setpoint when cooling
+        actuation is enabled.
+        """
+        record = {
+            "site": site,
+            "horizon": int(horizon),
+            "deficits": [float(d) for d in deficits],
+        }
+        if setpoint is not None:
+            record["setpoint"] = float(setpoint)
+        self._section("planner").append(record)
+
     def record_imbalance(self, watts: float) -> None:
         """The level-0 Eq. 9 power-imbalance residual."""
         if self._frame is not None:

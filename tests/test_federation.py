@@ -133,7 +133,8 @@ def status(name, supply, demand, carbon=1.0, price=1.0):
 class TestPolicies:
     def test_registry_contents(self):
         assert set(POLICIES) == {
-            "neutral", "proportional", "greedy-greenest", "price-aware"
+            "neutral", "proportional", "greedy-greenest", "price-aware",
+            "predictive",
         }
 
     def test_neutral_never_shifts(self):

@@ -68,6 +68,54 @@ class TestSupplyTrace:
         assert trace.mean(10.0) == pytest.approx(15.0)
         assert trace.mean(5.0) == pytest.approx(10.0)
 
+    def test_mean_between_segment_exact(self):
+        trace = step_supply([(0.0, 10.0), (5.0, 20.0), (8.0, 40.0)])
+        # Entirely inside one segment.
+        assert trace.mean_between(1.0, 3.0) == pytest.approx(10.0)
+        # Straddling two segments: 2 units at 10, 1 unit at 20.
+        assert trace.mean_between(3.0, 6.0) == pytest.approx(40.0 / 3.0)
+        # The final budget holds forever past the last segment start.
+        assert trace.mean_between(100.0, 200.0) == pytest.approx(40.0)
+        assert trace.mean_between(7.0, 10.0) == pytest.approx(100.0 / 3.0)
+
+    def test_mean_between_boundary_reads_starting_segment(self):
+        # t0 exactly on a boundary uses the segment starting there,
+        # matching at()'s half-open convention.
+        trace = step_supply([(0.0, 10.0), (5.0, 20.0)])
+        assert trace.mean_between(5.0, 6.0) == pytest.approx(20.0)
+
+    def test_mean_between_agrees_with_mean(self):
+        trace = step_supply([(0.0, 10.0), (5.0, 20.0), (8.0, 40.0)])
+        for horizon in (1.0, 5.0, 6.5, 30.0):
+            assert trace.mean_between(0.0, horizon) == pytest.approx(
+                trace.mean(horizon)
+            )
+
+    def test_mean_between_validation(self):
+        trace = constant_supply(1.0)
+        with pytest.raises(ValueError):
+            trace.mean_between(-1.0, 2.0)
+        with pytest.raises(ValueError):
+            trace.mean_between(2.0, 2.0)
+        with pytest.raises(ValueError):
+            trace.mean_between(0.0, float("nan"))
+
+    def test_window_rebases_and_clips(self):
+        trace = step_supply([(0.0, 10.0), (5.0, 20.0), (8.0, 40.0)])
+        window = trace.window(3.0, 4.0)
+        assert window.times == (0.0, 2.0)
+        assert window.budgets == (10.0, 20.0)
+        # Values agree with the parent trace throughout the window.
+        for offset in (0.0, 1.9, 2.0, 3.9):
+            assert window.at(offset) == trace.at(3.0 + offset)
+
+    def test_window_validation(self):
+        trace = constant_supply(1.0)
+        with pytest.raises(ValueError):
+            trace.window(-1.0, 2.0)
+        with pytest.raises(ValueError):
+            trace.window(0.0, 0.0)
+
     def test_scaled(self):
         trace = step_supply([(0.0, 10.0), (5.0, 20.0)]).scaled(2.0)
         assert trace.at(0.0) == 20.0
@@ -76,6 +124,21 @@ class TestSupplyTrace:
     def test_series(self):
         trace = step_supply([(0.0, 1.0), (2.0, 3.0)])
         assert np.array_equal(trace.series([0.0, 1.0, 2.0, 5.0]), [1, 1, 3, 3])
+
+    def test_series_matches_at_pointwise(self):
+        trace = step_supply([(0.0, 5.0), (1.5, 7.0), (4.0, 2.0), (9.0, 11.0)])
+        times = [0.0, 0.7, 1.5, 3.999, 4.0, 8.9, 9.0, 50.0]
+        assert np.array_equal(
+            trace.series(times), [trace.at(t) for t in times]
+        )
+
+    def test_series_empty_and_validation(self):
+        trace = constant_supply(1.0)
+        assert trace.series([]).size == 0
+        with pytest.raises(ValueError):
+            trace.series([0.0, -1.0])
+        with pytest.raises(ValueError):
+            trace.series([float("nan")])
 
 
 class TestDeficitTrace:
