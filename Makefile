@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-guard federation-bench-smoke trace-smoke examples-smoke federation-smoke mpc-smoke service-smoke resume-smoke experiments clean-cache
+.PHONY: test bench bench-smoke bench-guard federation-bench-smoke trace-smoke examples-smoke federation-smoke mpc-smoke gym-smoke service-smoke resume-smoke experiments clean-cache
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -39,6 +39,20 @@ mpc-smoke:
 		--sites 2 --ticks 24 --battery 500:100 \
 		--policy predictive --horizon 3 --cooling > /dev/null; \
 	echo "mpc smoke OK"
+
+## Gym smoke: train the CEM scheduler on the seeded episode and assert
+## the CI contract (beats neutral, never loses to proportional on
+## dropped demand, zero thermal violations on every row), check the
+## env-step overhead stays under the 10% bound, and pass the gym CLI
+## subcommand end-to-end.
+gym-smoke:
+	@set -e; \
+	timeout 300 $(PYTHON) -c \
+		"from repro.gym.evaluate import smoke; smoke()"; \
+	timeout 300 $(PYTHON) -m pytest benchmarks/test_bench_gym.py -q; \
+	timeout 300 $(PYTHON) -m repro.cli gym \
+		--windows 12 --iterations 1 --population 4 --no-bandit > /dev/null; \
+	echo "gym smoke OK"
 
 ## Full performance run: writes BENCH_tick.json / BENCH_sweep.json.
 bench:

@@ -1,0 +1,81 @@
+"""Regression guard for the gym env-step overhead.
+
+The acceptance bar for :mod:`repro.gym` is that stepping the
+federation through the env (observations, K-step forecasts, reward
+cursors) costs at most 10% over ticking the raw coordinator on the
+same scenario.  A fresh quick measurement enforces that bound
+directly; the recorded ``gym`` section of ``BENCH_tick.json`` at the
+repo root pins the full-sized run to the same bound and guards the
+absolute step time against order-of-magnitude slowdowns.  Skips when
+no baseline (or an old baseline without a ``gym`` section) has been
+recorded.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_tick.json"
+
+#: Hard acceptance bound: env step may cost at most this much over the
+#: raw coordinator tick.  The recorded headline is ~0-9%.
+_MAX_OVERHEAD_PCT = 10.0
+
+#: A fresh run may be this many times slower than the recorded baseline
+#: before we call it a regression (absorbs machine-to-machine spread).
+_SLOWDOWN_TOLERANCE = 10.0
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    if not _BASELINE.is_file():
+        pytest.skip("no recorded baseline (run: python -m repro.cli bench)")
+    payload = json.loads(_BASELINE.read_text())
+    if "gym" not in payload:
+        pytest.skip("baseline predates the gym suite (run: bench gym)")
+    return payload["gym"]
+
+
+@pytest.fixture(scope="module")
+def fresh():
+    from repro.benchmarks.harness import bench_gym
+
+    return bench_gym(quick=True)
+
+
+def test_fresh_env_overhead_within_bound(fresh):
+    assert fresh["steps"], "harness stopped emitting gym step rows"
+    for row in fresh["steps"]:
+        assert row["overhead_pct"] <= _MAX_OVERHEAD_PCT, (
+            f"gym env step at {row['n_sites']} sites costs "
+            f"{row['overhead_pct']:+.2f}% over the raw coordinator tick "
+            f"(bound {_MAX_OVERHEAD_PCT:.0f}%)"
+        )
+
+
+def test_recorded_overhead_within_bound(baseline):
+    assert baseline.get("steps"), "recorded gym section has no step rows"
+    for row in baseline["steps"]:
+        assert row["overhead_pct"] <= _MAX_OVERHEAD_PCT, (
+            f"recorded gym overhead at {row['n_sites']} sites is "
+            f"{row['overhead_pct']:+.2f}% (bound {_MAX_OVERHEAD_PCT:.0f}%; "
+            f"re-run 'python -m repro.cli bench gym' after speeding up "
+            f"the env, not to launder a regression)"
+        )
+
+
+def test_env_step_not_regressed_vs_baseline(baseline, fresh):
+    recorded = {
+        row["n_sites"]: row["env_ms_per_tick"] for row in baseline["steps"]
+    }
+    for row in fresh["steps"]:
+        if row["n_sites"] not in recorded:
+            continue
+        limit = recorded[row["n_sites"]] * _SLOWDOWN_TOLERANCE
+        assert row["env_ms_per_tick"] <= limit, (
+            f"gym env tick at {row['n_sites']} sites is "
+            f"{row['env_ms_per_tick']:.3f} ms vs recorded "
+            f"{recorded[row['n_sites']]:.3f} ms "
+            f"(> {_SLOWDOWN_TOLERANCE}x slower)"
+        )

@@ -23,7 +23,7 @@ Quickstart::
     print(metrics.migration_count(), "migrations")
 """
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 from repro.core import WillowConfig, WillowController, run_willow
 

@@ -74,8 +74,10 @@ __all__ = [
     "bench_trace",
     "bench_federation",
     "bench_service",
+    "bench_gym",
     "run_benchmarks",
     "run_service_benchmark",
+    "run_gym_benchmark",
 ]
 
 #: (label, branching) per fleet size; branching multiplies to n_servers.
@@ -551,6 +553,72 @@ def bench_federation(quick: bool = False) -> dict:
     return {"scaling": scaling, "frontier": frontier}
 
 
+# --------------------------------------------------------------------- gym
+def bench_gym(quick: bool = False) -> dict:
+    """Gym env-step overhead over the raw federation coordinator.
+
+    Rolls the same seeded scenario twice: once as a plain
+    ``proportional`` coordinator run, once stepped through
+    :class:`~repro.gym.env.WillowFedEnv` in ``policy`` mode pinned to
+    the proportional arm -- identical decisions and physics, so the
+    difference is exactly the env's observation/reward plumbing
+    (statuses, K-step forecasts, metric cursors).  Build and warm-up
+    are untimed on both paths.  ``benchmarks/test_bench_gym.py`` guards
+    the overhead at <= 10%.
+    """
+    from repro.federation.coordinator import build_federation
+    from repro.gym.env import GymConfig, WillowFedEnv
+
+    # The overhead is a ratio of two wall-clock timings in the ~0.1 s
+    # range, so best-of-N with interleaved raw/env rollouts (noise hits
+    # both paths alike) is what keeps the number stable on shared
+    # runners.
+    windows = 23 if quick else 46
+    repeats = 5 if quick else 4
+    site_counts = (2,) if quick else (2, 4)
+    rows = []
+    for n_sites in site_counts:
+        config = GymConfig(
+            n_sites=n_sites, windows=windows, action_mode="policy"
+        )
+        arm = config.policy_arms.index("proportional")
+        best_raw = best_env = float("inf")
+        for _ in range(repeats):
+            env = WillowFedEnv(config)
+            env.reset(seed=17)
+            raw = build_federation(
+                env.episode_specs(),
+                n_ticks=env.n_ticks,
+                policy="proportional",
+                margin=config.margin,
+            )
+            raw.run(raw.eta1)  # warm-up parity with reset()
+            t0 = time.perf_counter()
+            raw.run(windows * raw.eta1)
+            best_raw = min(best_raw, time.perf_counter() - t0)
+
+            env = WillowFedEnv(config)
+            env.reset(seed=17)
+            t0 = time.perf_counter()
+            truncated = False
+            while not truncated:
+                _obs, _r, _t, truncated, _info = env.step(arm)
+            best_env = min(best_env, time.perf_counter() - t0)
+        ticks = windows * 4
+        rows.append(
+            {
+                "n_sites": int(n_sites),
+                "windows": int(windows),
+                "ticks": int(ticks),
+                "raw_ms_per_tick": best_raw / ticks * 1e3,
+                "env_ms_per_tick": best_env / ticks * 1e3,
+                "env_ms_per_step": best_env / windows * 1e3,
+                "overhead_pct": (best_env / best_raw - 1.0) * 100.0,
+            }
+        )
+    return {"steps": rows}
+
+
 # ----------------------------------------------------------------- service
 def bench_service(quick: bool = False) -> dict:
     """Live-mode ingest throughput and tick budget at Delta_d = 1 s.
@@ -816,6 +884,7 @@ def run_benchmarks(
         ),
         "federation": bench_federation(quick=quick),
         "service": bench_service(quick=quick),
+        "gym": bench_gym(quick=quick),
     }
     tick_path = out_dir / "BENCH_tick.json"
     tick_path.write_text(json.dumps(tick_payload, indent=2) + "\n")
@@ -851,6 +920,38 @@ def run_service_benchmark(
     payload["service"] = bench_service(quick=quick)
     tick_path.write_text(json.dumps(payload, indent=2) + "\n")
     return tick_path
+
+
+def run_gym_benchmark(
+    out_dir: str | Path = ".", *, quick: bool = False
+) -> Path:
+    """Run only the gym suite; merge into ``BENCH_tick.json``.
+
+    Same merge behaviour as :func:`run_service_benchmark`: every other
+    suite's recorded numbers survive when the file already exists.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    tick_path = out_dir / "BENCH_tick.json"
+    payload: dict = {}
+    if tick_path.is_file():
+        payload = json.loads(tick_path.read_text())
+    payload["gym"] = bench_gym(quick=quick)
+    tick_path.write_text(json.dumps(payload, indent=2) + "\n")
+    return tick_path
+
+
+def format_gym_report(gym: dict) -> str:
+    """The gym suite's lines of the human-readable report."""
+    lines = ["gym env step (policy mode) vs raw coordinator tick:"]
+    for row in gym.get("steps", []):
+        lines.append(
+            f"  sites={row['n_sites']}  raw {row['raw_ms_per_tick']:7.3f}"
+            f" ms/tick  env {row['env_ms_per_tick']:7.3f} ms/tick"
+            f"  ({row['env_ms_per_step']:7.3f} ms/step)"
+            f"  overhead {row['overhead_pct']:+6.2f}%"
+        )
+    return "\n".join(lines)
 
 
 def format_service_report(service: dict) -> str:
@@ -935,6 +1036,8 @@ def format_report(paths: Dict[str, Path]) -> str:
             )
     if tick.get("service"):
         lines.append(format_service_report(tick["service"]))
+    if tick.get("gym"):
+        lines.append(format_gym_report(tick["gym"]))
     lines.append("sweep scaling (9-point paper sweep):")
     for row in sweep["scaling"]:
         lines.append(

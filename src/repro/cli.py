@@ -191,8 +191,8 @@ def build_bench_parser() -> argparse.ArgumentParser:
         description="Run the hot-path benchmark harness.",
     )
     parser.add_argument(
-        "suite", nargs="?", choices=("all", "service"), default="all",
-        help="'service' reruns only the live-ingest suite and merges it "
+        "suite", nargs="?", choices=("all", "service", "gym"), default="all",
+        help="'service' or 'gym' reruns only that suite and merges it "
              "into an existing BENCH_tick.json (default: all suites)",
     )
     parser.add_argument(
@@ -219,9 +219,11 @@ def bench_main(argv: List[str]) -> int:
     args = build_bench_parser().parse_args(argv)
     from repro.benchmarks.harness import (
         FLEET_SHAPES,
+        format_gym_report,
         format_report,
         format_service_report,
         run_benchmarks,
+        run_gym_benchmark,
         run_service_benchmark,
     )
 
@@ -248,6 +250,8 @@ def bench_main(argv: List[str]) -> int:
     def run():
         if args.suite == "service":
             return {"tick": run_service_benchmark(args.out, quick=args.quick)}
+        if args.suite == "gym":
+            return {"tick": run_gym_benchmark(args.out, quick=args.quick)}
         return run_benchmarks(args.out, quick=args.quick, sizes=sizes)
 
     if args.profile:
@@ -266,11 +270,14 @@ def bench_main(argv: List[str]) -> int:
         stats.sort_stats("cumulative").print_stats(15)
     else:
         paths = run()
-    if args.suite == "service":
+    if args.suite in ("service", "gym"):
         import json
 
         payload = json.loads(paths["tick"].read_text())
-        print(format_service_report(payload["service"]))
+        if args.suite == "service":
+            print(format_service_report(payload["service"]))
+        else:
+            print(format_gym_report(payload["gym"]))
         print(f"wrote {paths['tick']}")
     else:
         print(format_report(paths))
@@ -661,6 +668,12 @@ def build_federation_parser() -> argparse.ArgumentParser:
              "experiment's sizing)",
     )
     parser.add_argument(
+        "--forecast", type=str, default="oracle", metavar="SPEC",
+        help="supply forecast model for forecast-aware policies: "
+             "oracle, persistence, noisy-oracle:SIGMA[:SEED], "
+             "ar1:RHO:SIGMA[:SEED] (default oracle)",
+    )
+    parser.add_argument(
         "--vectorized", action="store_true",
         help="batch all sites into one shared fleet block "
              "(same results, faster; see docs/performance.md)",
@@ -697,6 +710,32 @@ def federation_main(argv: List[str]) -> int:
             file=sys.stderr,
         )
         return 2
+    if not POLICIES[args.policy].forecast_aware:
+        # Lookahead knobs silently do nothing without the planner;
+        # reject them instead of pretending they took effect.
+        for flag, given in (
+            ("--horizon", args.horizon > 0),
+            ("--cooling", args.cooling),
+        ):
+            if given:
+                aware = sorted(
+                    name
+                    for name, fn in POLICIES.items()
+                    if fn.forecast_aware
+                )
+                print(
+                    f"{flag} needs a forecast-aware policy "
+                    f"({', '.join(aware)}); {args.policy!r} ignores it",
+                    file=sys.stderr,
+                )
+                return 2
+    from repro.federation import resolve_forecast_model
+
+    try:
+        forecast = resolve_forecast_model(args.forecast)
+    except ValueError as error:
+        print(f"--forecast: {error}", file=sys.stderr)
+        return 2
     battery_capacity = 0.0
     battery_rate = None
     if args.battery is not None:
@@ -732,6 +771,7 @@ def federation_main(argv: List[str]) -> int:
         wan_cost_ticks=args.wan_ticks,
         horizon=args.horizon,
         cooling=cooling,
+        forecast=forecast,
         tracer=tracer,
         vectorized=args.vectorized,
     )
@@ -742,6 +782,11 @@ def federation_main(argv: List[str]) -> int:
         f"policy {args.policy}, U={args.utilization:.0%}, "
         f"{args.ticks} ticks, seed {args.seed}"
         + (f", horizon {args.horizon}" if args.horizon else "")
+        + (
+            f", forecast {args.forecast}"
+            if args.forecast != "oracle"
+            else ""
+        )
         + (f", battery {args.battery} per site" if args.battery else "")
         + (", cooling actuation on" if args.cooling else "")
     )
@@ -1432,6 +1477,145 @@ def resume_main(argv: List[str]) -> int:
     return 0
 
 
+def build_gym_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli gym",
+        description=(
+            "Train learned federation schedulers in the gym environment "
+            "and score them against the shipped policies on one "
+            "scenario (see docs/gym.md)."
+        ),
+    )
+    parser.add_argument(
+        "--sites", type=int, default=2, metavar="N",
+        help="federation size (default 2)",
+    )
+    parser.add_argument(
+        "--windows", type=int, default=23, metavar="W",
+        help="decision windows per episode (default 23 = one solar day)",
+    )
+    parser.add_argument(
+        "--horizon", type=int, default=4, metavar="K",
+        help="forecast steps in the observation (default 4)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="scenario seed (default 0)"
+    )
+    parser.add_argument(
+        "--agent-seed", type=int, default=0,
+        help="agent RNG seed (default 0)",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=2, metavar="I",
+        help="CEM iterations (default 2)",
+    )
+    parser.add_argument(
+        "--population", type=int, default=6, metavar="P",
+        help="CEM population per iteration (default 6)",
+    )
+    parser.add_argument(
+        "--episodes", type=int, default=4, metavar="E",
+        help="bandit training episodes (default 4)",
+    )
+    parser.add_argument(
+        "--utilization", type=float, default=0.35,
+        help="per-site target mean utilization in (0, 1] (default 0.35)",
+    )
+    parser.add_argument(
+        "--battery", type=float, default=0.0, metavar="CAPACITY",
+        help="per-site UPS capacity in W*ticks (default 0 = none)",
+    )
+    parser.add_argument(
+        "--forecast", type=str, default="oracle", metavar="SPEC",
+        help="forecast model behind the observations (default oracle)",
+    )
+    parser.add_argument(
+        "--no-bandit", action="store_true",
+        help="skip the policy-switching bandit rows",
+    )
+    return parser
+
+
+def gym_main(argv: List[str]) -> int:
+    args = build_gym_parser().parse_args(argv)
+    if args.sites < 1:
+        print("--sites must be >= 1", file=sys.stderr)
+        return 2
+    if args.windows < 1:
+        print("--windows must be >= 1", file=sys.stderr)
+        return 2
+    if args.horizon < 0:
+        print("--horizon must be >= 0", file=sys.stderr)
+        return 2
+    if args.iterations < 1:
+        print("--iterations must be >= 1", file=sys.stderr)
+        return 2
+    if args.population < 2:
+        print("--population must be >= 2", file=sys.stderr)
+        return 2
+    if not 0.0 < args.utilization <= 1.0:
+        print("--utilization must be in (0, 1]", file=sys.stderr)
+        return 2
+    if args.battery < 0:
+        print("--battery must be >= 0", file=sys.stderr)
+        return 2
+    from repro.federation import resolve_forecast_model
+
+    try:
+        resolve_forecast_model(args.forecast)
+    except ValueError as error:
+        print(f"--forecast: {error}", file=sys.stderr)
+        return 2
+
+    from repro.gym import GymConfig, compare
+
+    config = GymConfig(
+        n_sites=args.sites,
+        windows=args.windows,
+        horizon=args.horizon,
+        target_utilization=args.utilization,
+        battery_capacity=args.battery,
+        forecast=args.forecast,
+    )
+    rows = compare(
+        config,
+        scenario_seed=args.seed,
+        agent_seed=args.agent_seed,
+        iterations=args.iterations,
+        population=args.population,
+        bandit_episodes=args.episodes,
+        with_bandit=not args.no_bandit,
+    )
+    print(
+        f"Gym schedulers: {args.sites} site(s), {args.windows} windows, "
+        f"K={args.horizon}, scenario seed {args.seed}"
+        + (f", forecast {args.forecast}" if args.forecast != "oracle" else "")
+    )
+    print(
+        f"{'scheduler':>16}  {'dropped':>10}  {'WAN energy':>10}  "
+        f"{'moves':>5}  {'violations':>10}  notes"
+    )
+    for name, row in rows.items():
+        notes = ""
+        if "theta" in row:
+            notes = (
+                f"theta=({row['theta'][0]:.2f}, {row['theta'][1]:.2f})"
+            )
+        if "arm" in row:
+            notes = f"arm={row['arm']}"
+        print(
+            f"{name:>16}  {row['dropped']:>10.0f}  "
+            f"{row['wan_energy']:>10.0f}  {row['moves']:>5}  "
+            f"{row['violations']:>10.0f}  {notes}"
+        )
+    violations = sum(row["violations"] for row in rows.values())
+    print(
+        f"thermal safety: {'OK' if violations == 0 else 'VIOLATED'} "
+        f"({violations:.0f} violation ticks across all schedulers)"
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "bench":
@@ -1442,6 +1626,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return resilience_main(argv[1:])
     if argv and argv[0] == "federation":
         return federation_main(argv[1:])
+    if argv and argv[0] == "gym":
+        return gym_main(argv[1:])
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
     if argv and argv[0] == "serve":

@@ -34,11 +34,15 @@ from repro.experiments.fig_federation import build_specs
 from repro.federation import CoolingControl, run_federation
 from repro.metrics.federation import summarize_federation
 
-__all__ = ["run", "main", "smoke"]
+__all__ = ["run", "run_forecast_sweep", "main", "smoke"]
 
 HORIZONS = (2, 4)
 BATTERY_CAPACITY = 1500.0
 OUTSIDE_TEMP = 30.0
+
+#: Gaussian forecast error levels (W) for the degradation sweep -- up
+#: to roughly the solar base level, where the forecast is mostly noise.
+FORECAST_SIGMAS = (0.0, 200.0, 600.0, 1500.0)
 
 
 def _thermal_violations(coordinator) -> int:
@@ -204,6 +208,126 @@ def run(
             "Predictive must strictly reduce dropped demand vs "
             "proportional at equal-or-lower WAN energy, with "
             f"T <= {t_limit:.0f} C everywhere."
+        ),
+    )
+
+
+def run_forecast_sweep(
+    sigmas: Sequence[float] = FORECAST_SIGMAS,
+    horizon: int = 4,
+    n_sites: int = 3,
+    n_ticks: int = 192,
+    seed: int = 1,
+    target_utilization: float = 0.35,
+    battery_capacity: float = BATTERY_CAPACITY,
+) -> ExperimentResult:
+    """How the MPC win degrades with forecast error (ROADMAP item).
+
+    Re-runs the headline predictive-vs-proportional comparison with the
+    oracle forecast replaced by ``noisy-oracle:SIGMA`` models
+    (:mod:`repro.federation.forecasts`) of increasing error, plus the
+    naive ``persistence`` forecaster as the no-model floor.  The
+    interesting quantity is the fraction of the perfect-forecast drop
+    reduction each error level retains.
+    """
+    def cell(policy, horizon_, forecast):
+        coordinator = run_federation(
+            build_specs(
+                n_sites,
+                battery_capacity=battery_capacity,
+                target_utilization=target_utilization,
+                seed=seed,
+            ),
+            n_ticks=n_ticks,
+            policy=policy,
+            horizon=horizon_,
+            forecast=forecast,
+        )
+        summary = summarize_federation(coordinator)
+        return {
+            "dropped": summary.total_dropped_power,
+            "moves": summary.cross_migrations,
+            "wan_energy": _wan_energy(coordinator),
+            "violations": _thermal_violations(coordinator),
+        }
+
+    baseline = cell("proportional", 0, "oracle")
+    oracle = cell("predictive", horizon, "oracle")
+    full_win = baseline["dropped"] - oracle["dropped"]
+
+    headers = [
+        "forecast",
+        "dropped (W*ticks)",
+        "vs proportional",
+        "win retained",
+        "moves",
+        "WAN energy",
+        "T violations",
+    ]
+    rows = [
+        [
+            "proportional (no forecast)",
+            f"{baseline['dropped']:.0f}",
+            "--",
+            "--",
+            baseline["moves"],
+            f"{baseline['wan_energy']:.0f}",
+            baseline["violations"],
+        ]
+    ]
+    sweep = {("proportional", None): baseline}
+
+    def add_row(label, key, result):
+        sweep[key] = result
+        win = baseline["dropped"] - result["dropped"]
+        retained = win / full_win if full_win > 0 else 0.0
+        reduction = (
+            (baseline["dropped"] - result["dropped"]) / baseline["dropped"]
+            if baseline["dropped"] > 0
+            else 0.0
+        )
+        rows.append(
+            [
+                label,
+                f"{result['dropped']:.0f}",
+                f"-{reduction:.1%}",
+                f"{retained:.0%}",
+                result["moves"],
+                f"{result['wan_energy']:.0f}",
+                result["violations"],
+            ]
+        )
+
+    for sigma in sigmas:
+        forecast = "oracle" if sigma == 0 else f"noisy-oracle:{sigma:g}"
+        result = oracle if sigma == 0 else cell("predictive", horizon, forecast)
+        add_row(
+            f"K={horizon} {forecast}", ("noisy-oracle", float(sigma)), result
+        )
+    add_row(
+        f"K={horizon} persistence",
+        ("persistence", None),
+        cell("predictive", horizon, "persistence"),
+    )
+
+    return ExperimentResult(
+        name=(
+            "Forecast-error degradation (beyond the paper): the MPC win "
+            "under noisy supply forecasts"
+        ),
+        headers=headers,
+        rows=rows,
+        data={
+            "sweep": sweep,
+            "full_win": full_win,
+            "horizon": horizon,
+            "n_sites": n_sites,
+        },
+        notes=(
+            f"{n_sites} sites, anti-correlated solar, battery "
+            f"{battery_capacity:.0f} W*ticks per site.  'win retained' is "
+            "each forecast's share of the perfect-forecast drop "
+            "reduction; persistence is the no-model floor."
         ),
     )
 

@@ -26,6 +26,7 @@ from repro.experiments import (
     imbalance,
     fig_degraded,
     fig_federation,
+    fig_gym,
     fig_predictive,
     fig_resilience,
     fig04_thermal,
@@ -69,6 +70,8 @@ REGISTRY: Dict[str, Callable] = {
     "resilience": fig_resilience.run,
     "federation": fig_federation.run,
     "predictive": fig_predictive.run,
+    "forecast-error": fig_predictive.run_forecast_sweep,
+    "gym": fig_gym.run,
 }
 
 

@@ -16,15 +16,28 @@ from repro.federation.coordinator import (
     run_federation,
 )
 from repro.federation.vectorized import BatchedFederationCoordinator
+from repro.federation.forecasts import (
+    AR1Forecast,
+    FORECAST_MODELS,
+    ForecastModel,
+    NoisyOracleForecast,
+    OracleForecast,
+    PersistenceForecast,
+    resolve_forecast_model,
+)
 from repro.federation.policies import (
     POLICIES,
     SiteStatus,
     Transfer,
+    as_policy,
     greedy_greenest,
     neutral,
+    policy,
     predictive,
     price_aware,
     proportional,
+    register_policy,
+    unregister_policy,
 )
 from repro.federation.predictive import (
     ActuatedSupply,
@@ -49,6 +62,10 @@ __all__ = [
     "POLICIES",
     "SiteStatus",
     "Transfer",
+    "policy",
+    "register_policy",
+    "unregister_policy",
+    "as_policy",
     "neutral",
     "proportional",
     "greedy_greenest",
@@ -60,4 +77,11 @@ __all__ = [
     "CoolingControl",
     "CoolingSetpoint",
     "ActuatedSupply",
+    "ForecastModel",
+    "OracleForecast",
+    "PersistenceForecast",
+    "NoisyOracleForecast",
+    "AR1Forecast",
+    "FORECAST_MODELS",
+    "resolve_forecast_model",
 ]

@@ -40,7 +40,13 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.binpack.ffdlr import ffdlr_pack
 from repro.binpack.items import Bin, Item
-from repro.federation.policies import POLICIES, SiteStatus, Transfer
+from repro.federation.forecasts import ForecastModel, resolve_forecast_model
+from repro.federation.policies import (
+    POLICIES,
+    SiteStatus,
+    Transfer,
+    as_policy,
+)
 from repro.federation.predictive import (
     CoolingControl,
     CoolingSetpoint,
@@ -92,6 +98,13 @@ class FederationConfig:
         charges the modeled cooling-plant overhead against every site's
         budget and lets the predictive planner actuate supply-air
         setpoints.  ``None`` (the default) changes nothing.
+    forecast:
+        Supply forecast model for forecast-aware policies and the gym
+        environment's observations: a
+        :class:`~repro.federation.forecasts.ForecastModel`, a spec
+        string (``"oracle"``, ``"persistence"``,
+        ``"noisy-oracle:SIGMA[:SEED]"``, ``"ar1:RHO:SIGMA[:SEED]"``) or
+        ``None``/``"oracle"`` for the PR 9 perfect-lookahead behaviour.
     """
 
     policy: Union[str, Callable] = "neutral"
@@ -101,6 +114,7 @@ class FederationConfig:
     horizon: int = 0
     discount: float = 0.6
     cooling: Optional[CoolingControl] = None
+    forecast: Union[str, ForecastModel, None] = "oracle"
 
     def __post_init__(self) -> None:
         if self.horizon < 0:
@@ -111,8 +125,17 @@ class FederationConfig:
             )
 
     def resolve_policy(self) -> Callable:
+        """The policy callable, normalised to the registration protocol.
+
+        Registry slugs come back as registered (every shipped policy
+        carries explicit ``policy_name``/``forecast_aware`` attributes
+        from the ``@policy`` decorator); bare callables are stamped
+        with conservative defaults by
+        :func:`~repro.federation.policies.as_policy` so the coordinator
+        never probes with ``getattr`` defaults.
+        """
         if callable(self.policy):
-            return self.policy
+            return as_policy(self.policy)
         try:
             return POLICIES[self.policy]
         except KeyError:
@@ -186,14 +209,16 @@ class FederationCoordinator:
         #: ``policy(statuses, margin=...)`` call (and ``predictive`` at
         #: ``horizon=0`` therefore stays bit-exact with proportional).
         self._planner: Optional[PredictivePlanner] = None
-        if (
-            getattr(self._policy, "forecast_aware", False)
-            and self.federation.horizon > 0
-        ):
+        if self._policy.forecast_aware and self.federation.horizon > 0:
             self._planner = PredictivePlanner(
                 horizon=self.federation.horizon,
                 discount=self.federation.discount,
+                policy=self._policy,
             )
+        #: The supply forecast model behind :meth:`site_forecasts`.
+        self.forecast_model: ForecastModel = resolve_forecast_model(
+            self.federation.forecast
+        )
         #: Cooling setpoint directives per shift tick.
         self.setpoint_log: List[Tuple[int, List[CoolingSetpoint]]] = []
         if self.federation.cooling is not None:
@@ -309,13 +334,26 @@ class FederationCoordinator:
     def forecasts(self, now: float) -> List[SiteForecast]:
         """One K-step lookahead per site, for the predictive planner.
 
-        ``supplies[k]`` is the segment-exact mean of the *delivered*
-        (post-UPS) supply over future supply period ``k``, minus the
-        site's standing cooling overhead; the battery fields come from
-        the UPS charge plan precomputed at build time.
+        The horizon is the planner's (0 without one); see
+        :meth:`site_forecasts` for the construction contract.
+        """
+        horizon = self._planner.horizon if self._planner is not None else 0
+        return self.site_forecasts(now, horizon)
+
+    def site_forecasts(self, now: float, horizon: int) -> List[SiteForecast]:
+        """One ``horizon``-step lookahead per site.
+
+        ``supplies[k]`` comes from the configured
+        :class:`~repro.federation.forecasts.ForecastModel` (the default
+        oracle is the segment-exact mean of the *delivered*, post-UPS
+        supply over future supply period ``k``), minus the site's
+        standing cooling overhead, clamped at zero; the battery fields
+        come from the UPS charge plan precomputed at build time.  Both
+        the predictive planner and the gym environment's observations
+        (:mod:`repro.gym`) read through here.
         """
         step = self.eta1 * self.delta_d
-        horizon = self._planner.horizon if self._planner is not None else 0
+        model = self.forecast_model
         out: List[SiteForecast] = []
         for site in self.sites:
             overhead = (
@@ -324,14 +362,8 @@ class FederationCoordinator:
                 else 0.0
             )
             supplies = tuple(
-                max(
-                    site.delivered_supply.mean_between(
-                        now + k * step, now + (k + 1) * step
-                    )
-                    - overhead,
-                    0.0,
-                )
-                for k in range(horizon + 1)
+                max(s - overhead, 0.0)
+                for s in model.supplies(site, now, horizon, step)
             )
             out.append(
                 SiteForecast(
@@ -765,6 +797,7 @@ def build_federation(
     horizon: int = 0,
     discount: float = 0.6,
     cooling: Optional[CoolingControl] = None,
+    forecast: Union[str, ForecastModel, None] = "oracle",
     tracer: Optional[Tracer] = None,
     vectorized: bool = False,
     site_tracer: Optional[Tracer] = None,
@@ -805,6 +838,7 @@ def build_federation(
         horizon=horizon,
         discount=discount,
         cooling=cooling,
+        forecast=forecast,
     )
     if vectorized:
         from repro.federation.vectorized import BatchedFederationCoordinator
@@ -826,6 +860,7 @@ def run_federation(
     horizon: int = 0,
     discount: float = 0.6,
     cooling: Optional[CoolingControl] = None,
+    forecast: Union[str, ForecastModel, None] = "oracle",
     tracer: Optional[Tracer] = None,
     vectorized: bool = False,
 ) -> FederationCoordinator:
@@ -845,6 +880,7 @@ def run_federation(
         horizon=horizon,
         discount=discount,
         cooling=cooling,
+        forecast=forecast,
         tracer=tracer,
         vectorized=vectorized,
     )

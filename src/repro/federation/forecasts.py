@@ -1,0 +1,225 @@
+"""Supply forecast models for the federation layer.
+
+The predictive planner (PR 9) read *perfect* forecasts straight from
+each site's :class:`~repro.power.supply.SupplyTrace` -- segment-exact
+``mean_between`` averages of the delivered supply.  Real operators do
+not have that luxury; the ROADMAP asks how the MPC win degrades with
+forecast error.  This module puts the answer behind one small
+interface:
+
+* :class:`OracleForecast` -- the PR 9 behaviour, bit-exact (the
+  default on :class:`~repro.federation.coordinator.FederationConfig`).
+* :class:`PersistenceForecast` -- the classic naive forecaster: every
+  future period looks like the last observation.
+* :class:`NoisyOracleForecast` -- the oracle plus i.i.d. Gaussian
+  error per future step (sigma in watts).
+* :class:`AR1Forecast` -- the oracle plus an AR(1) error process
+  (autocorrelation ``rho``, stationary deviation ``sigma``): errors
+  that *persist* across the lookahead window, the realistic failure
+  mode for cloud-cover misforecasts.
+
+Models only predict the *future* periods ``k >= 1``; period 0 -- the
+window starting now -- is always the exact segment mean, because the
+coordinator observes it.  Noise is a pure function of
+``(seed, site name, decision time, step)``: re-evaluating a forecast
+at the same decision point returns the same floats, so forecasts are
+idempotent within a tick, deterministic across runs, and need no state
+in checkpoints.
+
+The coordinator turns the raw per-period supplies into
+:class:`~repro.federation.predictive.SiteForecast` records (subtracting
+any standing cooling overhead and clamping at zero), so every consumer
+-- the predictive planner, the gym environment's observations
+(:mod:`repro.gym`) -- sees the same interface whatever the model.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "ForecastModel",
+    "OracleForecast",
+    "PersistenceForecast",
+    "NoisyOracleForecast",
+    "AR1Forecast",
+    "FORECAST_MODELS",
+    "resolve_forecast_model",
+]
+
+
+def _site_rng(seed: int, site: str, t_index: int) -> np.random.Generator:
+    """A fresh generator keyed on (seed, site, decision index).
+
+    Mirrors :class:`~repro.sim.rng.RandomStreams`' name-digest
+    derivation so two sites (or two decision points) can never share a
+    stream, while a *re*-evaluation at the same point replays the same
+    draws.
+    """
+    name = site.encode("utf-8")
+    digest = np.frombuffer(
+        name + b"\x00" * (4 - len(name) % 4 or 4), dtype=np.uint8
+    )
+    entropy = [int(seed), int(t_index), *digest.tolist()]
+    return np.random.default_rng(np.random.SeedSequence(entropy))
+
+
+class ForecastModel:
+    """Base class: exact current period, model-defined future periods.
+
+    Subclasses override :meth:`future_supplies`; :meth:`supplies`
+    assembles the full ``(current, *future)`` tuple the coordinator
+    consumes.  ``name`` is the registry slug.
+    """
+
+    name = "oracle"
+
+    def supplies(
+        self, site, now: float, horizon: int, step: float
+    ) -> Tuple[float, ...]:
+        """Per-period mean delivered supply, ``horizon + 1`` entries."""
+        current = site.delivered_supply.mean_between(now, now + step)
+        if horizon <= 0:
+            return (current,)
+        return (current,) + self.future_supplies(site, now, horizon, step)
+
+    def future_supplies(
+        self, site, now: float, horizon: int, step: float
+    ) -> Tuple[float, ...]:
+        raise NotImplementedError
+
+    def _oracle(
+        self, site, now: float, horizon: int, step: float
+    ) -> Tuple[float, ...]:
+        return tuple(
+            site.delivered_supply.mean_between(
+                now + k * step, now + (k + 1) * step
+            )
+            for k in range(1, horizon + 1)
+        )
+
+
+class OracleForecast(ForecastModel):
+    """Perfect lookahead: segment-exact means of the actual trace."""
+
+    name = "oracle"
+
+    def future_supplies(self, site, now, horizon, step):
+        return self._oracle(site, now, horizon, step)
+
+
+class PersistenceForecast(ForecastModel):
+    """Tomorrow looks like right now: repeat the last observation."""
+
+    name = "persistence"
+
+    def future_supplies(self, site, now, horizon, step):
+        last = site.delivered_supply.at(now)
+        return (last,) * horizon
+
+
+class NoisyOracleForecast(ForecastModel):
+    """The oracle plus i.i.d. Gaussian error (``sigma`` watts) per step."""
+
+    name = "noisy-oracle"
+
+    def __init__(self, sigma: float, seed: int = 0):
+        if sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {sigma}")
+        self.sigma = float(sigma)
+        self.seed = int(seed)
+
+    def future_supplies(self, site, now, horizon, step):
+        exact = self._oracle(site, now, horizon, step)
+        rng = _site_rng(self.seed, site.name, int(round(now / step)))
+        noise = rng.normal(0.0, self.sigma, size=horizon)
+        return tuple(max(s + n, 0.0) for s, n in zip(exact, noise))
+
+
+class AR1Forecast(ForecastModel):
+    """The oracle plus an AR(1) error process across the window.
+
+    ``e_k = rho * e_{k-1} + sigma * sqrt(1 - rho^2) * z_k`` with
+    ``e_0 = 0`` (the current period is observed): errors build up with
+    lead time and stay correlated across the horizon, so a planner that
+    trusts step 1 is systematically wrong about step K the same way.
+    """
+
+    name = "ar1"
+
+    def __init__(self, rho: float, sigma: float, seed: int = 0):
+        if not 0.0 <= rho < 1.0:
+            raise ValueError(f"rho must be in [0, 1), got {rho}")
+        if sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {sigma}")
+        self.rho = float(rho)
+        self.sigma = float(sigma)
+        self.seed = int(seed)
+
+    def future_supplies(self, site, now, horizon, step):
+        exact = self._oracle(site, now, horizon, step)
+        rng = _site_rng(self.seed, site.name, int(round(now / step)))
+        innovation = self.sigma * np.sqrt(1.0 - self.rho**2)
+        error = 0.0
+        out = []
+        for supply in exact:
+            error = self.rho * error + innovation * rng.normal()
+            out.append(max(supply + error, 0.0))
+        return tuple(out)
+
+
+#: Slug -> constructor; parameterised slugs are parsed by
+#: :func:`resolve_forecast_model`.
+FORECAST_MODELS = {
+    "oracle": OracleForecast,
+    "persistence": PersistenceForecast,
+    "noisy-oracle": NoisyOracleForecast,
+    "ar1": AR1Forecast,
+}
+
+
+def resolve_forecast_model(
+    spec: Union[str, ForecastModel, None],
+) -> ForecastModel:
+    """Turn a config value into a model instance.
+
+    Accepts a ready model, ``None`` (oracle), or a spec string::
+
+        oracle
+        persistence
+        noisy-oracle:SIGMA[:SEED]
+        ar1:RHO:SIGMA[:SEED]
+    """
+    if spec is None:
+        return OracleForecast()
+    if isinstance(spec, ForecastModel):
+        return spec
+    parts = str(spec).split(":")
+    name, args = parts[0], parts[1:]
+    if name not in FORECAST_MODELS:
+        raise ValueError(
+            f"unknown forecast model {name!r}; "
+            f"choose from {sorted(FORECAST_MODELS)}"
+        )
+    try:
+        if name in ("oracle", "persistence"):
+            if args:
+                raise ValueError(f"{name} takes no parameters")
+            return FORECAST_MODELS[name]()
+        if name == "noisy-oracle":
+            if not 1 <= len(args) <= 2:
+                raise ValueError("expected noisy-oracle:SIGMA[:SEED]")
+            return NoisyOracleForecast(
+                float(args[0]), int(args[1]) if len(args) > 1 else 0
+            )
+        if not 2 <= len(args) <= 3:
+            raise ValueError("expected ar1:RHO:SIGMA[:SEED]")
+        return AR1Forecast(
+            float(args[0]),
+            float(args[1]),
+            int(args[2]) if len(args) > 2 else 0,
+        )
+    except ValueError as error:
+        raise ValueError(f"forecast model {spec!r}: {error}") from None

@@ -34,6 +34,10 @@ __all__ = [
     "SiteStatus",
     "Transfer",
     "POLICIES",
+    "policy",
+    "register_policy",
+    "unregister_policy",
+    "as_policy",
     "neutral",
     "proportional",
     "greedy_greenest",
@@ -42,6 +46,83 @@ __all__ = [
 ]
 
 _EPS = 1e-9
+
+#: Policy registry keyed by CLI/experiment slug; populated by the
+#: :func:`policy` decorator below (shipped policies) and by
+#: :func:`register_policy` (learned policies, see :mod:`repro.gym`).
+POLICIES: Dict[str, Callable[..., List[Transfer]]] = {}
+
+
+def policy(name: str, *, forecast_aware: bool = False) -> Callable:
+    """Register a federation policy under ``name``.
+
+    This is the *whole* policy protocol: a policy is a callable
+    ``fn(statuses, margin=...) -> List[Transfer]`` carrying two explicit
+    attributes the coordinator reads --
+
+    * ``policy_name`` -- the registry slug;
+    * ``forecast_aware`` -- ``True`` selects the stateful
+      :class:`~repro.federation.predictive.PredictivePlanner` drive
+      path when the federation's ``horizon`` is positive, in which case
+      the callable is invoked with the full planner signature
+      (``horizon``, ``forecasts``, ``discount``, ``step``,
+      ``wan_break_even``, ``plan``) in addition to ``statuses`` and
+      ``margin``.
+
+    Learned policies (:class:`repro.gym.agents.LearnedPolicy`) register
+    through exactly the same decorator machinery, so they run under the
+    normal coordinator, the batched fleet and the experiments harness
+    without special cases.
+    """
+    def decorate(fn: Callable) -> Callable:
+        fn.policy_name = name
+        fn.forecast_aware = forecast_aware
+        POLICIES[name] = fn
+        return fn
+
+    return decorate
+
+
+def register_policy(
+    name: str, fn: Callable, *, forecast_aware: bool = False
+) -> Callable:
+    """Imperative form of the :func:`policy` decorator.
+
+    Unlike the decorator (shipped policies, import-time, collisions are
+    bugs), runtime registration refuses to silently shadow an existing
+    slug.
+    """
+    if name in POLICIES:
+        raise ValueError(f"policy {name!r} is already registered")
+    return policy(name, forecast_aware=forecast_aware)(fn)
+
+
+def unregister_policy(name: str) -> None:
+    """Remove a runtime-registered policy (no-op for unknown names)."""
+    POLICIES.pop(name, None)
+
+
+def as_policy(fn: Callable) -> Callable:
+    """Normalise a bare callable to the policy protocol.
+
+    Callables passed straight to ``FederationConfig(policy=...)`` --
+    closures in tests, ad-hoc lambdas -- may not carry the protocol
+    attributes.  Stamp conservative defaults so the coordinator can
+    read ``fn.forecast_aware`` unconditionally; objects with read-only
+    attribute namespaces are wrapped instead.
+    """
+    if hasattr(fn, "forecast_aware"):
+        return fn
+    try:
+        fn.forecast_aware = False
+        if not hasattr(fn, "policy_name"):
+            fn.policy_name = getattr(fn, "__name__", "custom")
+    except (AttributeError, TypeError):
+        wrapped = lambda statuses, **kwargs: fn(statuses, **kwargs)  # noqa: E731
+        wrapped.forecast_aware = False
+        wrapped.policy_name = getattr(fn, "__name__", "custom")
+        return wrapped
+    return fn
 
 
 @dataclass(frozen=True)
@@ -108,6 +189,7 @@ def _split(
     return deficits, donatable
 
 
+@policy("neutral")
 def neutral(
     statuses: Sequence[SiteStatus], *, margin: float = 0.0
 ) -> List[Transfer]:
@@ -115,6 +197,7 @@ def neutral(
     return []
 
 
+@policy("proportional")
 def proportional(
     statuses: Sequence[SiteStatus], *, margin: float = 0.0
 ) -> List[Transfer]:
@@ -167,6 +250,7 @@ def _ordered_fill(
     return transfers
 
 
+@policy("greedy-greenest")
 def greedy_greenest(
     statuses: Sequence[SiteStatus], *, margin: float = 0.0
 ) -> List[Transfer]:
@@ -174,6 +258,7 @@ def greedy_greenest(
     return _ordered_fill(statuses, margin, key=lambda s: (s.carbon, s.name))
 
 
+@policy("price-aware")
 def price_aware(
     statuses: Sequence[SiteStatus], *, margin: float = 0.0
 ) -> List[Transfer]:
@@ -191,6 +276,7 @@ def price_aware(
     )
 
 
+@policy("predictive", forecast_aware=True)
 def predictive(
     statuses: Sequence[SiteStatus], *, margin: float = 0.0, **kwargs
 ) -> List[Transfer]:
@@ -201,25 +287,10 @@ def predictive(
     is deferred to keep the registry free of the planner's
     dependencies).  Called with only ``statuses`` -- no forecasts, no
     horizon -- it degrades to :func:`proportional`, so the registry
-    entry honours the common policy signature.
+    entry honours the common policy signature.  ``forecast_aware=True``
+    selects the coordinator's :class:`~repro.federation.predictive.
+    PredictivePlanner` drive path whenever ``horizon > 0``.
     """
     from repro.federation.predictive import predictive_policy
 
     return predictive_policy(statuses, margin=margin, **kwargs)
-
-
-#: The coordinator spots this marker and drives the policy through a
-#: stateful :class:`~repro.federation.predictive.PredictivePlanner`
-#: (forecast windows, battery plans, cooling setpoints) instead of the
-#: plain ``policy(statuses, margin=...)`` call.
-predictive.forecast_aware = True
-
-
-#: Policy registry keyed by CLI/experiment slug.
-POLICIES: Dict[str, Callable[..., List[Transfer]]] = {
-    "neutral": neutral,
-    "proportional": proportional,
-    "greedy-greenest": greedy_greenest,
-    "price-aware": price_aware,
-    "predictive": predictive,
-}

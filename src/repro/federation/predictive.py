@@ -347,6 +347,7 @@ class PredictivePlanner:
         *,
         horizon: int,
         discount: float = 0.6,
+        policy=None,
     ):
         if horizon < 0:
             raise ValueError(f"horizon must be >= 0, got {horizon}")
@@ -354,6 +355,11 @@ class PredictivePlanner:
             raise ValueError(f"discount must be in (0, 1], got {discount}")
         self.horizon = horizon
         self.discount = discount
+        #: The forecast-aware policy this planner drives.  ``None``
+        #: keeps :func:`predictive_policy`; a learned policy registered
+        #: with ``forecast_aware=True`` (see :mod:`repro.gym.agents`)
+        #: receives the identical planner signature.
+        self.policy = policy if policy is not None else predictive_policy
         #: Last rebalance's per-site predicted deficit vectors.
         self.last_plan: Dict[str, Tuple[float, ...]] = {}
         #: Standing supply-air setpoint per site (cooling control only).
@@ -372,7 +378,7 @@ class PredictivePlanner:
     ) -> Tuple[List[Transfer], List[CoolingSetpoint]]:
         """One receding-horizon decision: transfers plus setpoints."""
         plan: Dict[str, Tuple[float, ...]] = {}
-        transfers = predictive_policy(
+        transfers = self.policy(
             statuses,
             margin=margin,
             horizon=self.horizon,

@@ -1,0 +1,65 @@
+"""repro.gym: the federation as a multi-objective policy environment.
+
+A dependency-free Gym-style interface (``reset``/``step`` 5-tuple, no
+``gymnasium`` import) over the geo-federation: one env step is one
+supply period, actions are cross-site shift matrices (projected to
+feasibility) or discrete policy picks, rewards are a five-component
+cost vector (dropped demand, energy, carbon, WAN energy, thermal
+violations) with configurable scalarization.  Small deterministic
+learners -- CEM over a linear scheduler family, an epsilon-greedy
+policy-switching bandit -- train in it, and :class:`LearnedPolicy`
+registers what they learn back into the federation policy registry so
+it runs everywhere a shipped policy does.  See ``docs/gym.md``.
+"""
+
+from repro.gym.actions import (
+    linear_shift_matrix,
+    matrix_to_transfers,
+    project_shift_matrix,
+)
+from repro.gym.agents import (
+    BanditAgent,
+    CEMAgent,
+    LearnedPolicy,
+    linear_policy_fn,
+)
+from repro.gym.env import (
+    GymConfig,
+    REWARD_COMPONENTS,
+    RewardWeights,
+    WillowFedEnv,
+)
+from repro.gym.evaluate import (
+    compare,
+    episode_costs,
+    rollout_episode,
+    run_baseline,
+    smoke,
+    train_bandit,
+    train_cem,
+)
+from repro.gym.spaces import BoxSpace, DiscreteSpace, EnvSpec
+
+__all__ = [
+    "WillowFedEnv",
+    "GymConfig",
+    "RewardWeights",
+    "REWARD_COMPONENTS",
+    "BoxSpace",
+    "DiscreteSpace",
+    "EnvSpec",
+    "project_shift_matrix",
+    "matrix_to_transfers",
+    "linear_shift_matrix",
+    "CEMAgent",
+    "BanditAgent",
+    "LearnedPolicy",
+    "linear_policy_fn",
+    "compare",
+    "episode_costs",
+    "rollout_episode",
+    "run_baseline",
+    "train_cem",
+    "train_bandit",
+    "smoke",
+]

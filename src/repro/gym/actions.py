@@ -1,0 +1,205 @@
+"""Continuous shift-matrix actions and their feasibility projection.
+
+The gym environment's ``matrix`` action mode lets an agent propose an
+arbitrary non-negative ``(n_sites, n_sites)`` matrix -- entry ``[i, j]``
+is the wattage site ``i`` would like to shed onto site ``j`` this supply
+period.  Raw proposals are almost never feasible, so every action passes
+through :func:`project_shift_matrix` before execution:
+
+1. negatives are clamped to zero and the diagonal is cleared;
+2. each *row* is scaled down so a site never sheds more than its own
+   smoothed demand;
+3. each *column* is scaled down so a site never receives more than its
+   donatable headroom (current headroom minus the federation margin).
+
+Row scaling only shrinks entries, so the later column pass cannot break
+the row caps: the result is always jointly feasible.  The projection is
+the identity on any matrix the ``proportional`` waterfall would emit,
+which is what lets :func:`linear_shift_matrix` with gains ``[1, 0]``
+reproduce the shipped baseline bit-for-bit (pinned by
+``tests/test_gym.py``).
+
+:func:`matrix_to_transfers` lowers a feasible matrix to the coordinator's
+:class:`~repro.federation.policies.Transfer` list using the same emission
+order as the shipped policies (worst-deficit sources first, destinations
+by name), so identical matrices produce identical migration schedules.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.federation.policies import SiteStatus, Transfer
+
+__all__ = [
+    "EPS",
+    "project_shift_matrix",
+    "matrix_to_transfers",
+    "linear_shift_matrix",
+]
+
+#: Feasibility slack, matching the policies module's internal epsilon.
+EPS = 1e-9
+
+
+def project_shift_matrix(
+    statuses: Sequence[SiteStatus],
+    matrix,
+    margin: float = 0.0,
+) -> np.ndarray:
+    """Project a proposed shift matrix onto the feasible set.
+
+    Returns a fresh ``float64`` array; raises ``ValueError`` on a shape
+    mismatch.  Feasible means: non-negative, zero diagonal, row sums at
+    most the source's smoothed demand, column sums at most the
+    destination's donatable headroom ``max(headroom - margin, 0)``.
+    """
+    n = len(statuses)
+    out = np.array(matrix, dtype=float, copy=True)
+    if out.shape != (n, n):
+        raise ValueError(
+            f"shift matrix must have shape ({n}, {n}), got {out.shape}"
+        )
+    out[~np.isfinite(out)] = 0.0
+    out[out < 0.0] = 0.0
+    np.fill_diagonal(out, 0.0)
+    for i, status in enumerate(statuses):
+        cap = max(status.smoothed_demand, 0.0)
+        total = float(out[i].sum())
+        if total > cap:
+            out[i] *= cap / total if total > 0.0 else 0.0
+    for j, status in enumerate(statuses):
+        cap = max(status.headroom - margin, 0.0)
+        total = float(out[:, j].sum())
+        if total > cap:
+            out[:, j] *= cap / total if total > 0.0 else 0.0
+    return out
+
+
+def matrix_to_transfers(
+    statuses: Sequence[SiteStatus],
+    matrix: np.ndarray,
+) -> List[Transfer]:
+    """Lower a feasible shift matrix to an ordered ``Transfer`` list.
+
+    Sources are emitted worst-deficit first (ties by name), destinations
+    by name -- the shipped policies' order, so a matrix that mirrors the
+    ``proportional`` waterfall lowers to its exact transfer list.  A
+    shift out of a site with no current deficit is marked
+    ``preemptive``, which makes the coordinator shed from the source's
+    least-headroom servers rather than its (empty) over-budget set.
+    """
+    order = sorted(
+        range(len(statuses)),
+        key=lambda i: (-statuses[i].deficit, statuses[i].name),
+    )
+    by_name = sorted(range(len(statuses)), key=lambda j: statuses[j].name)
+    transfers: List[Transfer] = []
+    for i in order:
+        preemptive = statuses[i].deficit <= EPS
+        for j in by_name:
+            watts = float(matrix[i, j])
+            if i == j or watts <= EPS:
+                continue
+            transfers.append(
+                Transfer(
+                    src=statuses[i].name,
+                    dst=statuses[j].name,
+                    watts=watts,
+                    preemptive=preemptive,
+                )
+            )
+    return transfers
+
+
+def _waterfall(
+    want: float,
+    donatable: dict,
+    row: np.ndarray,
+    index: dict,
+) -> None:
+    """Drain ``want`` watts from the donor pool pro rata into ``row``.
+
+    The exact ``proportional`` arithmetic: shares are computed against
+    the *current* pool (name-sorted), each donor capped at its remaining
+    room, and the pool decremented in place for the next caller.
+    """
+    total = sum(donatable.values())
+    if total <= EPS or want <= EPS:
+        return
+    want = min(want, total)
+    shares = {name: room / total for name, room in sorted(donatable.items())}
+    for name, share in shares.items():
+        watts = min(want * share, donatable[name])
+        if watts <= EPS:
+            continue
+        row[index[name]] += watts
+        donatable[name] -= watts
+
+
+def linear_shift_matrix(
+    statuses: Sequence[SiteStatus],
+    forecasts: Optional[Sequence],
+    theta: Sequence[float],
+    margin: float = 0.0,
+) -> np.ndarray:
+    """The two-gain linear scheduler family the CEM agent searches.
+
+    ``theta = [g_react, g_pre]`` (negatives clamp to zero):
+
+    * every deficit site requests ``g_react * deficit`` watts, drained
+      from the donor pool by the ``proportional`` waterfall -- at
+      ``g_react = 1`` this *is* proportional;
+    * every currently-healthy site whose forecast shows a future supply
+      shortfall pre-ships ``g_pre * max_future_deficit`` watts (worst
+      predicted crunch first, never donating to itself).
+
+    Returns an unprojected matrix; callers run it through
+    :func:`project_shift_matrix` (a no-op for this family, but the
+    environment projects *every* action uniformly).
+    """
+    n = len(statuses)
+    matrix = np.zeros((n, n))
+    index = {s.name: i for i, s in enumerate(statuses)}
+    g_react = max(float(theta[0]), 0.0)
+    g_pre = max(float(theta[1]), 0.0) if len(theta) > 1 else 0.0
+
+    donatable = {
+        s.name: s.headroom - margin
+        for s in statuses
+        if s.headroom - margin > EPS
+    }
+    deficits = sorted(
+        (s for s in statuses if s.deficit > EPS),
+        key=lambda s: (-s.deficit, s.name),
+    )
+    for needy in deficits:
+        _waterfall(
+            g_react * needy.deficit, donatable, matrix[index[needy.name]], index
+        )
+
+    if g_pre <= 0.0 or not forecasts:
+        return matrix
+    by_site = {f.name: f for f in forecasts}
+    crunches = []
+    for status in statuses:
+        forecast = by_site.get(status.name)
+        if status.deficit > EPS or forecast is None:
+            continue
+        future = max(
+            (
+                max(status.smoothed_demand - supply, 0.0)
+                for supply in forecast.supplies[1:]
+            ),
+            default=0.0,
+        )
+        if future > EPS:
+            crunches.append((future, status.name))
+    for future, name in sorted(crunches, key=lambda c: (-c[0], c[1])):
+        own = donatable.pop(name, None)
+        _waterfall(g_pre * future, donatable, matrix[index[name]], index)
+        if own is not None:
+            donatable[name] = own
+    return matrix

@@ -1,0 +1,77 @@
+"""Dependency-free Gym-style space and spec descriptors.
+
+Plain dataclasses with the same field names and semantics as
+``gymnasium.spaces.Box`` / ``Discrete`` and ``gymnasium.envs.
+registration.EnvSpec``, so :class:`~repro.gym.env.WillowFedEnv` can be
+wrapped for any Gym-compatible RL library in one line::
+
+    import gymnasium
+    wrapped = gymnasium.spaces.Box(
+        low=env.observation_space.low, high=env.observation_space.high
+    )
+
+No ``gymnasium`` import happens anywhere in :mod:`repro.gym`; these
+descriptors are the whole contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["BoxSpace", "DiscreteSpace", "EnvSpec"]
+
+
+@dataclass(frozen=True)
+class BoxSpace:
+    """A bounded (possibly unbounded-above) real-valued array space."""
+
+    low: float
+    high: float
+    shape: Tuple[int, ...]
+    dtype: str = "float64"
+
+    def contains(self, x) -> bool:
+        arr = np.asarray(x, dtype=float)
+        if arr.shape != self.shape:
+            return False
+        return bool(
+            np.all(arr >= self.low - 1e-12)
+            and np.all(arr <= self.high + 1e-12)
+        )
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        """A uniform draw (unbounded edges sample from [0, 1))."""
+        low = self.low if np.isfinite(self.low) else 0.0
+        high = self.high if np.isfinite(self.high) else low + 1.0
+        return rng.uniform(low, high, size=self.shape)
+
+
+@dataclass(frozen=True)
+class DiscreteSpace:
+    """The integers ``{0, ..., n - 1}``."""
+
+    n: int
+
+    def contains(self, x) -> bool:
+        try:
+            value = int(x)
+        except (TypeError, ValueError):
+            return False
+        return 0 <= value < self.n
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.n))
+
+
+@dataclass(frozen=True)
+class EnvSpec:
+    """Registration-style metadata for an environment instance."""
+
+    id: str
+    max_episode_steps: Optional[int] = None
+    reward_threshold: Optional[float] = None
+    nondeterministic: bool = False
+    kwargs: dict = field(default_factory=dict)

@@ -385,6 +385,29 @@ class Tracer:
             record["setpoint"] = float(setpoint)
         self._section("planner").append(record)
 
+    def record_env_step(
+        self,
+        step: int,
+        action_mode: str,
+        reward: float,
+        vector,
+    ) -> None:
+        """One gym decision window (:mod:`repro.gym`).
+
+        Lands in the frame the coordinator opened at this window's
+        rebalance, so replay tooling sees the agent's reward next to
+        the grants and migrations it caused.  ``vector`` is the raw
+        per-window cost vector keyed by component name.
+        """
+        if self._frame is None:
+            return
+        self._frame["env_step"] = {
+            "step": int(step),
+            "action_mode": action_mode,
+            "reward": float(reward),
+            "costs": {name: float(v) for name, v in vector.items()},
+        }
+
     def record_imbalance(self, watts: float) -> None:
         """The level-0 Eq. 9 power-imbalance residual."""
         if self._frame is not None:

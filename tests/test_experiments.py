@@ -276,7 +276,7 @@ class TestRunner:
             "fig12", "table1", "fig14", "fig15_16", "fig17_18",
             "fig19_table3", "table2", "properties", "extensions",
             "imbalance", "degraded", "resilience", "federation",
-            "predictive",
+            "predictive", "forecast-error", "gym",
         }
         assert set(REGISTRY) == expected
 
